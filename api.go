@@ -1,0 +1,279 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/beep"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Algorithm selects which of the paper's algorithms and knowledge
+// variants to run.
+type Algorithm int
+
+const (
+	// Alg1KnownDelta is Algorithm 1 where every vertex knows an upper
+	// bound on the maximum degree Δ (Theorem 2.1, O(log n) w.h.p.).
+	Alg1KnownDelta Algorithm = iota + 1
+	// Alg1OwnDegree is Algorithm 1 where each vertex knows only an
+	// upper bound on its own degree (Theorem 2.2,
+	// O(log n · log log n) w.h.p.).
+	Alg1OwnDegree
+	// Alg2TwoChannel is Algorithm 2 on two beeping channels, where each
+	// vertex knows an upper bound on the maximum degree of its 1-hop
+	// neighborhood (Corollary 2.3, O(log n) w.h.p.).
+	Alg2TwoChannel
+	// Alg1Adaptive is the repository's heuristic for the paper's open
+	// question: Algorithm 1 with NO topology knowledge, growing the
+	// level cap by collision-triggered doubling. It carries no w.h.p.
+	// guarantee (see internal/core/adaptive.go and experiment E10).
+	Alg1Adaptive
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Alg1KnownDelta:
+		return "alg1-known-delta"
+	case Alg1OwnDegree:
+		return "alg1-own-degree"
+	case Alg2TwoChannel:
+		return "alg2-two-channel"
+	case Alg1Adaptive:
+		return "alg1-adaptive"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// InitialState selects the configuration the network starts from.
+type InitialState int
+
+const (
+	// StateFresh starts every vertex in the neutral silent state.
+	StateFresh InitialState = iota + 1
+	// StateArbitrary draws every vertex state uniformly at random: the
+	// self-stabilization model's "arbitrary initial configuration".
+	StateArbitrary
+	// StateAdversarial starts every vertex claiming MIS membership,
+	// the maximally inconsistent configuration.
+	StateAdversarial
+)
+
+// ErrNotStabilized reports that an execution hit its round budget. It
+// wraps the internal sentinel so callers can match with errors.Is.
+var ErrNotStabilized = core.ErrNotStabilized
+
+// Graph is an immutable simple undirected graph for the solver.
+type Graph struct {
+	g *graph.Graph
+}
+
+// NewGraph builds a graph on n vertices (numbered 0..n-1) from an edge
+// list. Self-loops and out-of-range endpoints are rejected; parallel
+// edges are deduplicated.
+func NewGraph(n int, edges [][2]int) (*Graph, error) {
+	es := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		es[i] = graph.Edge{U: e[0], V: e[1]}
+	}
+	g, err := graph.New(n, es)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.g.N() }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.g.M() }
+
+// MaxDegree returns Δ(G).
+func (g *Graph) MaxDegree() int { return g.g.MaxDegree() }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return g.g.Degree(v) }
+
+// VerifyMIS reports whether the given vertex set is a maximal
+// independent set of g, with a descriptive error when it is not.
+func (g *Graph) VerifyMIS(vertices []int) error {
+	mask := make([]bool, g.N())
+	for _, v := range vertices {
+		if v < 0 || v >= g.N() {
+			return fmt.Errorf("repro: vertex %d out of range", v)
+		}
+		mask[v] = true
+	}
+	return g.g.VerifyMIS(mask)
+}
+
+// options collects the Solve/NewInstance configuration.
+type options struct {
+	algorithm Algorithm
+	seed      uint64
+	init      InitialState
+	maxRounds int
+	c1        int
+	parallel  bool
+	noise     beep.Noise
+	sleep     beep.Sleep
+}
+
+// Option configures Solve and NewInstance.
+type Option func(*options)
+
+// WithAlgorithm selects the algorithm variant (default Alg1KnownDelta).
+func WithAlgorithm(a Algorithm) Option {
+	return func(o *options) { o.algorithm = a }
+}
+
+// WithSeed sets the random seed; executions are deterministic per seed.
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithInitialState selects the starting configuration (default
+// StateArbitrary — the self-stabilization setting).
+func WithInitialState(s InitialState) Option {
+	return func(o *options) { o.init = s }
+}
+
+// WithMaxRounds bounds the execution; 0 keeps a generous default far
+// above the w.h.p. bounds.
+func WithMaxRounds(r int) Option {
+	return func(o *options) { o.maxRounds = r }
+}
+
+// WithSlack overrides the slack constant c1 added to the logarithmic
+// level cap. The theorems require 15 (Theorems 2.1, Corollary 2.3) or
+// 30 (Theorem 2.2); smaller values void the w.h.p. guarantee.
+func WithSlack(c1 int) Option {
+	return func(o *options) { o.c1 = c1 }
+}
+
+// WithParallelEngine runs vertices on the sharded parallel engine
+// instead of the sequential one. Traces are identical; only wall-clock
+// differs.
+func WithParallelEngine() Option {
+	return func(o *options) { o.parallel = true }
+}
+
+// WithListeningNoise makes reception unreliable: per vertex, round and
+// channel, a heard beep is dropped with probability pLoss and a silent
+// channel is spuriously heard with probability pFalse. This extends
+// the paper's (reliable) model; under noise the strict stabilization
+// condition may only hold intermittently — see experiment E9.
+func WithListeningNoise(pLoss, pFalse float64) Option {
+	return func(o *options) { o.noise = beep.Noise{PLoss: pLoss, PFalse: pFalse} }
+}
+
+// WithSleepProbability makes vertices duty-cycle: each round, each
+// vertex independently misses the whole round (no beep, no listening,
+// no state update) with probability p ∈ [0, 1). This extends the
+// paper's always-awake model — see experiment E12.
+func WithSleepProbability(p float64) Option {
+	return func(o *options) { o.sleep = beep.Sleep{P: p} }
+}
+
+// build resolves options into an internal run configuration.
+func (o options) protocol() (beep.Protocol, error) {
+	switch o.algorithm {
+	case Alg1KnownDelta, 0:
+		c1 := o.c1
+		if c1 == 0 {
+			c1 = core.DefaultC1KnownDelta
+		}
+		return core.NewAlg1(core.KnownMaxDegreeExact(c1)), nil
+	case Alg1OwnDegree:
+		c1 := o.c1
+		if c1 == 0 {
+			c1 = core.DefaultC1OwnDegree
+		}
+		return core.NewAlg1(core.OwnDegree(c1)), nil
+	case Alg2TwoChannel:
+		c1 := o.c1
+		if c1 == 0 {
+			c1 = core.DefaultC1TwoHop
+		}
+		return core.NewAlg2(core.NeighborhoodMaxDegree(c1)), nil
+	case Alg1Adaptive:
+		return core.NewAdaptiveAlg1(), nil
+	default:
+		return nil, fmt.Errorf("repro: unknown algorithm %v", o.algorithm)
+	}
+}
+
+func (o options) initMode() (core.InitMode, error) {
+	switch o.init {
+	case StateArbitrary, 0:
+		return core.InitRandom, nil
+	case StateFresh:
+		return core.InitFresh, nil
+	case StateAdversarial:
+		return core.InitAdversarial, nil
+	default:
+		return 0, fmt.Errorf("repro: unknown initial state %v", o.init)
+	}
+}
+
+// Result reports a stabilized execution.
+type Result struct {
+	// MIS lists the vertices of the computed maximal independent set in
+	// ascending order.
+	MIS []int
+	// Rounds is the number of synchronous beeping rounds until the
+	// network stabilized.
+	Rounds int
+}
+
+// Solve runs the selected algorithm on g until the network reaches a
+// legal configuration (a verified MIS with every vertex stable), and
+// returns the set and the round count. It returns an error wrapping
+// ErrNotStabilized if the round budget is exhausted — with the default
+// budget this indicates a misconfiguration (e.g. WithSlack far below
+// the theorems' requirement).
+func Solve(g *Graph, opts ...Option) (*Result, error) {
+	if g == nil {
+		return nil, errors.New("repro: nil graph")
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	proto, err := o.protocol()
+	if err != nil {
+		return nil, err
+	}
+	init, err := o.initMode()
+	if err != nil {
+		return nil, err
+	}
+	engine := beep.Sequential
+	if o.parallel {
+		engine = beep.Parallel
+	}
+	res, err := core.Run(core.RunConfig{
+		Graph:     g.g,
+		Protocol:  proto,
+		Seed:      o.seed,
+		Init:      init,
+		MaxRounds: o.maxRounds,
+		Engine:    engine,
+		Noise:     o.noise,
+		Sleep:     o.sleep,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Rounds: res.Rounds}
+	for v, in := range res.MIS {
+		if in {
+			out.MIS = append(out.MIS, v)
+		}
+	}
+	return out, nil
+}

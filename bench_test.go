@@ -1,0 +1,211 @@
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/beep"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stab"
+)
+
+// The Benchmark*Experiment benches regenerate every table/figure of the
+// reproduction (one per experiment, at reduced trial counts): run
+// `go test -bench=Experiment` for the full pipeline timings, or use
+// cmd/benchtab to print the actual tables.
+
+func benchExperiment(b *testing.B, run func(exp.Config) error) {
+	b.Helper()
+	cfg := exp.Config{Seed: 1, Trials: 1, Out: io.Discard}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF1ActivationFunctionExperiment(b *testing.B) { benchExperiment(b, exp.RunF1) }
+func BenchmarkE1KnownDeltaExperiment(b *testing.B)         { benchExperiment(b, exp.RunE1) }
+func BenchmarkE2OwnDegreeExperiment(b *testing.B)          { benchExperiment(b, exp.RunE2) }
+func BenchmarkE3TwoChannelExperiment(b *testing.B)         { benchExperiment(b, exp.RunE3) }
+func BenchmarkE4VsJeavonsExperiment(b *testing.B)          { benchExperiment(b, exp.RunE4) }
+func BenchmarkE5VsAfekExperiment(b *testing.B)             { benchExperiment(b, exp.RunE5) }
+func BenchmarkE6FaultRecoveryExperiment(b *testing.B)      { benchExperiment(b, exp.RunE6) }
+func BenchmarkE7LemmaTailsExperiment(b *testing.B)         { benchExperiment(b, exp.RunE7) }
+func BenchmarkE8AblationsExperiment(b *testing.B)          { benchExperiment(b, exp.RunE8) }
+func BenchmarkE9NoiseExperiment(b *testing.B)              { benchExperiment(b, exp.RunE9) }
+func BenchmarkE10AdaptiveExperiment(b *testing.B)          { benchExperiment(b, exp.RunE10) }
+func BenchmarkE11DynamicsExperiment(b *testing.B)          { benchExperiment(b, exp.RunE11) }
+func BenchmarkE12SleepExperiment(b *testing.B)             { benchExperiment(b, exp.RunE12) }
+func BenchmarkE13EnergyExperiment(b *testing.B)            { benchExperiment(b, exp.RunE13) }
+func BenchmarkE14AvailabilityExperiment(b *testing.B)      { benchExperiment(b, exp.RunE14) }
+
+// Single-instance stabilization benchmarks: the cost of one end-to-end
+// run per algorithm variant on a representative topology.
+
+func benchStabilize(b *testing.B, proto func() beep.Protocol, g *graph.Graph) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.RunConfig{
+			Graph:    g,
+			Protocol: proto(),
+			Seed:     uint64(i),
+			Init:     core.InitRandom,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+func BenchmarkStabilizeAlg1KnownDelta1k(b *testing.B) {
+	g := graph.GNPAvgDegree(1024, 8, rng.New(1))
+	benchStabilize(b, func() beep.Protocol {
+		return core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))
+	}, g)
+}
+
+func BenchmarkStabilizeAlg1OwnDegree1k(b *testing.B) {
+	g := graph.GNPAvgDegree(1024, 8, rng.New(1))
+	benchStabilize(b, func() beep.Protocol {
+		return core.NewAlg1(core.OwnDegree(core.DefaultC1OwnDegree))
+	}, g)
+}
+
+func BenchmarkStabilizeAlg2TwoChannel1k(b *testing.B) {
+	g := graph.GNPAvgDegree(1024, 8, rng.New(1))
+	benchStabilize(b, func() beep.Protocol {
+		return core.NewAlg2(core.NeighborhoodMaxDegree(core.DefaultC1TwoHop))
+	}, g)
+}
+
+// Engine benchmarks: cost of one simulated round under the three
+// execution engines, isolating simulator overhead from algorithm work.
+
+func benchEngine(b *testing.B, engine beep.Engine, n int) {
+	b.Helper()
+	g := graph.GNPAvgDegree(n, 8, rng.New(2))
+	proto := core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))
+	net, err := beep.NewNetwork(g, proto, 3, beep.WithEngine(engine))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Close()
+	net.RandomizeAll()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
+func BenchmarkRoundSequential4k(b *testing.B) { benchEngine(b, beep.Sequential, 4096) }
+func BenchmarkRoundParallel4k(b *testing.B)   { benchEngine(b, beep.Parallel, 4096) }
+func BenchmarkRoundPerVertex4k(b *testing.B)  { benchEngine(b, beep.PerVertex, 4096) }
+
+// Substrate benchmarks.
+
+func BenchmarkLegalityCheck4k(b *testing.B) {
+	g := graph.GNPAvgDegree(4096, 8, rng.New(4))
+	proto := core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))
+	net, err := beep.NewNetwork(g, proto, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Close()
+	net.RandomizeAll()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var st core.State
+	for i := 0; i < b.N; i++ {
+		if err := st.Refresh(net); err != nil {
+			b.Fatal(err)
+		}
+		_ = st.Stabilized()
+	}
+}
+
+func BenchmarkFaultRecoveryCycle1k(b *testing.B) {
+	g := graph.Cycle(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := stab.MeasureRecovery(stab.RecoveryConfig{
+			Graph:    g,
+			Protocol: core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta)),
+			Seed:     uint64(i),
+			Fault:    stab.RandomFault{K: 32},
+			Repeats:  1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineJeavons1k(b *testing.B) {
+	g := graph.GNPAvgDegree(1024, 8, rng.New(6))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.RunBeeping(g, baseline.Jeavons{}, uint64(i), 100000, false, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineLuby1k(b *testing.B) {
+	g := graph.GNPAvgDegree(1024, 8, rng.New(7))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.RunLuby(g, uint64(i), 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphGNP64k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = graph.GNPAvgDegree(65536, 8, rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkPublicSolveCycle256(b *testing.B) {
+	g, err := NewGraph(256, cycleEdges(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(g, WithSeed(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundDenseK2k measures one round on a complete graph, the
+// topology where the early-exit delivery scan matters most.
+func BenchmarkRoundDenseK2k(b *testing.B) {
+	g := graph.Complete(2048)
+	proto := core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))
+	net, err := beep.NewNetwork(g, proto, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Close()
+	// Zero levels: everyone beeps, the early exit triggers immediately.
+	for v := 0; v < net.N(); v++ {
+		net.Machine(v).(core.Leveled).SetLevel(0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}

@@ -1,0 +1,298 @@
+// Command beepmis runs one of the paper's self-stabilizing MIS
+// algorithms on a graph and reports the stabilization round count and
+// the computed set.
+//
+// Usage:
+//
+//	beepmis -family cycle:64 -alg alg1-known-delta -init random
+//	beepmis -graph topology.edges -alg alg2-two-channel -seed 7
+//	beepmis -family gnp:256:0.05 -faults 20        # inject and recover
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/beep"
+	"repro/internal/core"
+	"repro/internal/famspec"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// applyInitCLI mirrors core's initial-configuration handling for the
+// directly built network used by the -csv path.
+func applyInitCLI(net *beep.Network, mode core.InitMode) error {
+	switch mode {
+	case core.InitRandom:
+		net.RandomizeAll()
+	case core.InitAdversarial:
+		for v := 0; v < net.N(); v++ {
+			m, ok := net.Machine(v).(core.Leveled)
+			if !ok {
+				return fmt.Errorf("machine %T has no levels", net.Machine(v))
+			}
+			m.SetLevel(-m.Cap())
+		}
+	case core.InitZero:
+		for v := 0; v < net.N(); v++ {
+			m, ok := net.Machine(v).(core.Leveled)
+			if !ok {
+				return fmt.Errorf("machine %T has no levels", net.Machine(v))
+			}
+			m.SetLevel(0)
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "beepmis:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("beepmis", flag.ContinueOnError)
+	family := fs.String("family", "", "graph family spec (see -help-families)")
+	graphFile := fs.String("graph", "", "edge-list file (alternative to -family)")
+	alg := fs.String("alg", "alg1-known-delta", "algorithm: alg1-known-delta | alg1-own-degree | alg2-two-channel | alg1-adaptive | jeavons | afek | luby")
+	init := fs.String("init", "random", "initial configuration: fresh | random | adversarial | zero")
+	seed := fs.Uint64("seed", 1, "random seed")
+	maxRounds := fs.Int("max-rounds", 0, "round budget (0 = generous default)")
+	faults := fs.Int("faults", 0, "after stabilizing, corrupt this many vertex states and re-stabilize")
+	noise := fs.Float64("noise", 0, "listening-noise probability ε (applied as both loss and false-positive rate)")
+	csvPath := fs.String("csv", "", "write per-round aggregate statistics (CSV) to this file")
+	printMIS := fs.Bool("print-mis", false, "print the MIS vertex list")
+	helpFams := fs.Bool("help-families", false, "list graph family specs and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *helpFams {
+		fmt.Println(famspec.Help)
+		return nil
+	}
+
+	g, err := loadGraph(*family, *graphFile, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %s  n=%d m=%d Δ=%d\n", g.Name(), g.N(), g.M(), g.MaxDegree())
+
+	switch *alg {
+	case "jeavons", "afek", "luby":
+		return runBaseline(g, *alg, *seed, *maxRounds, *init, *printMIS)
+	}
+
+	proto, err := protocolFor(*alg)
+	if err != nil {
+		return err
+	}
+	initMode, err := initFor(*init)
+	if err != nil {
+		return err
+	}
+	runCfg := core.RunConfig{
+		Graph:     g,
+		Protocol:  proto,
+		Seed:      *seed,
+		Init:      initMode,
+		MaxRounds: *maxRounds,
+		Noise:     beep.Noise{PLoss: *noise, PFalse: *noise},
+	}
+	var rec *trace.Recorder
+	if *csvPath != "" {
+		// The recorder needs the network; route through an observer set
+		// after construction via a small indirection.
+		obs := func(round int, sent, heard []beep.Signal) {
+			if rec != nil {
+				rec.Observer()(round, sent, heard)
+			}
+		}
+		net, err := beep.NewNetwork(g, proto, *seed, beep.WithObserver(obs), beep.WithNoise(runCfg.Noise))
+		if err != nil {
+			return err
+		}
+		defer net.Close()
+		rec = trace.NewRecorder(net)
+		if err := applyInitCLI(net, initMode); err != nil {
+			return err
+		}
+		stop := func() bool {
+			st, serr := core.Snapshot(net)
+			return serr == nil && st.Stabilized()
+		}
+		budget := *maxRounds
+		if budget <= 0 {
+			budget = 1000000
+		}
+		rounds, ok := net.Run(budget, stop)
+		if !ok {
+			return fmt.Errorf("did not stabilize within %d rounds", budget)
+		}
+		st, err := core.Snapshot(net)
+		if err != nil {
+			return err
+		}
+		if err := st.VerifyMIS(); err != nil {
+			return err
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			return err
+		}
+		mis := st.MISMask()
+		fmt.Printf("stabilized: rounds=%d |MIS|=%d (verified); trace written to %s\n", rounds, graph.CountTrue(mis), *csvPath)
+		if *printMIS {
+			printMask(mis)
+		}
+		return nil
+	}
+	res, err := core.Run(runCfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stabilized: rounds=%d |MIS|=%d (verified)\n", res.Rounds, res.MISSize)
+	if *printMIS {
+		printMask(res.MIS)
+	}
+	if *faults > 0 {
+		return recoverFromFaults(g, proto, *seed, *faults, *maxRounds)
+	}
+	return nil
+}
+
+func loadGraph(family, file string, seed uint64) (*graph.Graph, error) {
+	switch {
+	case family != "" && file != "":
+		return nil, fmt.Errorf("use either -family or -graph, not both")
+	case family != "":
+		return famspec.Parse(family, rng.New(seed^0x9e37))
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(file, ".g6") {
+			return graph.DecodeGraph6(string(data))
+		}
+		return graph.ReadEdgeList(bytes.NewReader(data))
+	default:
+		return nil, fmt.Errorf("need -family or -graph (try -help-families)")
+	}
+}
+
+func protocolFor(alg string) (beep.Protocol, error) {
+	switch alg {
+	case "alg1-known-delta":
+		return core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta)), nil
+	case "alg1-own-degree":
+		return core.NewAlg1(core.OwnDegree(core.DefaultC1OwnDegree)), nil
+	case "alg2-two-channel":
+		return core.NewAlg2(core.NeighborhoodMaxDegree(core.DefaultC1TwoHop)), nil
+	case "alg1-adaptive":
+		return core.NewAdaptiveAlg1(), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", alg)
+	}
+}
+
+func initFor(s string) (core.InitMode, error) {
+	switch s {
+	case "fresh":
+		return core.InitFresh, nil
+	case "random":
+		return core.InitRandom, nil
+	case "adversarial":
+		return core.InitAdversarial, nil
+	case "zero":
+		return core.InitZero, nil
+	default:
+		return 0, fmt.Errorf("unknown init mode %q", s)
+	}
+}
+
+func runBaseline(g *graph.Graph, alg string, seed uint64, maxRounds int, init string, printMIS bool) error {
+	if maxRounds <= 0 {
+		maxRounds = 2000000
+	}
+	randomize := init == "random" || init == "adversarial" || init == "zero"
+	var res *baseline.Result
+	var err error
+	switch alg {
+	case "jeavons":
+		res, err = baseline.RunBeeping(g, baseline.Jeavons{}, seed, maxRounds, randomize, false)
+	case "afek":
+		res, err = baseline.RunBeeping(g, baseline.NewAfekStyle(g.N()+1), seed, maxRounds, randomize, true)
+	case "luby":
+		res, err = baseline.RunLuby(g, seed, maxRounds)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("completed: rounds=%d |MIS|=%d valid=%v\n", res.Rounds, graph.CountTrue(res.MIS), res.Valid)
+	if printMIS {
+		printMask(res.MIS)
+	}
+	return nil
+}
+
+func recoverFromFaults(g *graph.Graph, proto beep.Protocol, seed uint64, k, maxRounds int) error {
+	net, err := beep.NewNetwork(g, proto, seed)
+	if err != nil {
+		return err
+	}
+	defer net.Close()
+	net.RandomizeAll()
+	if maxRounds <= 0 {
+		maxRounds = 1000000
+	}
+	stop := func() bool {
+		st, serr := core.Snapshot(net)
+		return serr == nil && st.Stabilized()
+	}
+	if _, ok := net.Run(maxRounds, stop); !ok {
+		return fmt.Errorf("no stabilization before fault injection")
+	}
+	src := rng.New(seed ^ 0xfa17)
+	perm := src.Perm(g.N())
+	if k > g.N() {
+		k = g.N()
+	}
+	if err := net.Corrupt(perm[:k]); err != nil {
+		return err
+	}
+	before := net.Round()
+	if _, ok := net.Run(maxRounds, stop); !ok {
+		return fmt.Errorf("no recovery after corrupting %d states", k)
+	}
+	st, err := core.Snapshot(net)
+	if err != nil {
+		return err
+	}
+	if err := st.VerifyMIS(); err != nil {
+		return err
+	}
+	fmt.Printf("fault recovery: corrupted=%d recovery-rounds=%d (verified)\n", k, net.Round()-before)
+	return nil
+}
+
+func printMask(mask []bool) {
+	fmt.Print("MIS:")
+	for v, in := range mask {
+		if in {
+			fmt.Printf(" %d", v)
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFamilyAllAlgorithms(t *testing.T) {
+	for _, alg := range []string{"alg1-known-delta", "alg1-own-degree", "alg2-two-channel", "alg1-adaptive"} {
+		if err := run([]string{"-family", "cycle:24", "-alg", alg, "-seed", "3"}); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	for _, alg := range []string{"jeavons", "afek", "luby"} {
+		if err := run([]string{"-family", "cycle:16", "-alg", alg, "-init", "fresh", "-seed", "3"}); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestRunInitModes(t *testing.T) {
+	for _, init := range []string{"fresh", "random", "adversarial", "zero"} {
+		if err := run([]string{"-family", "path:12", "-init", init}); err != nil {
+			t.Fatalf("%s: %v", init, err)
+		}
+	}
+}
+
+func TestRunGraphFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.edges")
+	if err := os.WriteFile(path, []byte("n 4\n0 1\n1 2\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph", path, "-print-mis"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFaultsAndNoise(t *testing.T) {
+	if err := run([]string{"-family", "cycle:20", "-faults", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-family", "cycle:20", "-noise", "0.01"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSVTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	if err := run([]string{"-family", "cycle:16", "-csv", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "round,beeping,") {
+		t.Fatalf("csv header missing:\n%s", string(data[:60]))
+	}
+	if strings.Count(string(data), "\n") < 3 {
+		t.Fatal("csv too short")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                     // no graph
+		{"-family", "cycle:8", "-graph", "x"},  // both sources
+		{"-family", "nosuch:8"},                // unknown family
+		{"-family", "cycle:8", "-alg", "bad"},  // unknown algorithm
+		{"-family", "cycle:8", "-init", "bad"}, // unknown init
+		{"-graph", "/nonexistent/file"},        // unreadable file
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestHelpFamilies(t *testing.T) {
+	if err := run([]string{"-help-families"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGraph6File(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.g6")
+	// "Ch" is P4.
+	if err := os.WriteFile(path, []byte("Ch\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph", path}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+// Command benchtab regenerates the experiment tables and series of the
+// reproduction (see DESIGN.md and EXPERIMENTS.md): one experiment per
+// table/figure-level claim of the paper.
+//
+// Usage:
+//
+//	benchtab -exp all             # quick laptop-scale sweep of F1,E1..E8
+//	benchtab -exp E1 -full        # paper-scale sweep of one experiment
+//	benchtab -exp E6 -trials 10 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	expID := fs.String("exp", "all", "experiment id ("+strings.Join(exp.IDs(), ", ")+") or 'all'")
+	full := fs.Bool("full", false, "run the paper-scale sweeps (larger n, more trials)")
+	seed := fs.Uint64("seed", 1, "root random seed")
+	trials := fs.Int("trials", 0, "override per-cell trial count (0 = default)")
+	jsonOut := fs.Bool("json", false, "emit one JSON document per table/series instead of aligned text")
+	list := fs.Bool("list", false, "list the experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range exp.IDs() {
+			e, err := exp.Lookup(id)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.Description)
+		}
+		return nil
+	}
+
+	cfg := exp.Config{
+		Full:   *full,
+		Seed:   *seed,
+		Trials: *trials,
+		Out:    os.Stdout,
+		JSON:   *jsonOut,
+	}
+	if *expID == "all" {
+		return exp.RunAll(cfg)
+	}
+	e, err := exp.Lookup(*expID)
+	if err != nil {
+		return err
+	}
+	if !cfg.JSON {
+		fmt.Printf("=== %s — %s ===\n%s\n\n", e.ID, e.Title, e.Description)
+	}
+	return e.Run(cfg)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunEdgesToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.edges")
+	if err := run([]string{"-family", "cycle:10", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "n 10") || strings.Count(s, "\n") < 10 {
+		t.Fatalf("edge list malformed:\n%s", s)
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.dot")
+	if err := run([]string{"-family", "path:4", "-format", "dot", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "graph") || !strings.Contains(string(data), "--") {
+		t.Fatalf("dot malformed:\n%s", string(data))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                      // missing family
+		{"-family", "nosuch:4"},                 // unknown family
+		{"-family", "path:4", "-format", "bad"}, // unknown format
+		{"-family", "path:4", "-o", "/nonexistent/dir/file"}, // unwritable
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestHelpFamilies(t *testing.T) {
+	if err := run([]string{"-help-families"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGraph6Format(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.g6")
+	if err := run([]string{"-family", "complete:3", "-format", "g6", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(data)) != "Bw" {
+		t.Fatalf("K3 graph6 = %q, want Bw", string(data))
+	}
+}

@@ -1,0 +1,170 @@
+// Command tracebeep runs a small instance of Algorithm 1 or 2 and
+// prints a per-round trace: each vertex's level, beep, and stability,
+// making the paper's dynamics visible at a glance.
+//
+// Usage:
+//
+//	tracebeep -family cycle:12 -rounds 40
+//	tracebeep -family complete:6 -alg alg2-two-channel -init adversarial
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/beep"
+	"repro/internal/core"
+	"repro/internal/famspec"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracebeep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracebeep", flag.ContinueOnError)
+	family := fs.String("family", "cycle:12", "graph family spec (keep it small; one line per round)")
+	alg := fs.String("alg", "alg1-known-delta", "alg1-known-delta | alg1-own-degree | alg2-two-channel")
+	init := fs.String("init", "random", "fresh | random | adversarial | zero")
+	seed := fs.Uint64("seed", 1, "random seed")
+	rounds := fs.Int("rounds", 60, "maximum rounds to trace")
+	svgPath := fs.String("svg", "", "write a level-heatmap SVG of the run to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := famspec.Parse(*family, rng.New(*seed^0x9e37))
+	if err != nil {
+		return err
+	}
+	if g.N() > 64 {
+		return fmt.Errorf("trace output is per-vertex; use a graph with at most 64 vertices (got %d)", g.N())
+	}
+
+	var proto beep.Protocol
+	switch *alg {
+	case "alg1-known-delta":
+		proto = core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))
+	case "alg1-own-degree":
+		proto = core.NewAlg1(core.OwnDegree(core.DefaultC1OwnDegree))
+	case "alg2-two-channel":
+		proto = core.NewAlg2(core.NeighborhoodMaxDegree(core.DefaultC1TwoHop))
+	default:
+		return fmt.Errorf("unknown algorithm %q", *alg)
+	}
+
+	var initMode core.InitMode
+	switch *init {
+	case "fresh":
+		initMode = core.InitFresh
+	case "random":
+		initMode = core.InitRandom
+	case "adversarial":
+		initMode = core.InitAdversarial
+	case "zero":
+		initMode = core.InitZero
+	default:
+		return fmt.Errorf("unknown init %q", *init)
+	}
+
+	var lastSent []beep.Signal
+	var rec *trace.Recorder
+	net, err := beep.NewNetwork(g, proto, *seed, beep.WithObserver(func(round int, sent, heard []beep.Signal) {
+		lastSent = append(lastSent[:0], sent...)
+		if rec != nil {
+			rec.Observer()(round, sent, heard)
+		}
+	}))
+	if err != nil {
+		return err
+	}
+	defer net.Close()
+	if *svgPath != "" {
+		rec = trace.NewRecorder(net)
+		rec.KeepLevels = true
+	}
+
+	switch initMode {
+	case core.InitRandom:
+		net.RandomizeAll()
+	case core.InitAdversarial:
+		for v := 0; v < net.N(); v++ {
+			if m, ok := net.Machine(v).(core.Leveled); ok {
+				m.SetLevel(-m.Cap())
+			}
+		}
+	case core.InitZero:
+		for v := 0; v < net.N(); v++ {
+			if m, ok := net.Machine(v).(core.Leveled); ok {
+				m.SetLevel(0)
+			}
+		}
+	}
+
+	fmt.Printf("graph %s  n=%d m=%d  alg=%s init=%s seed=%d\n", g.Name(), g.N(), g.M(), *alg, *init, *seed)
+	fmt.Println("per round: level[beep-marker]; * = in MIS, . = stable non-MIS")
+
+	for r := 0; r <= *rounds; r++ {
+		st, err := core.Snapshot(net)
+		if err != nil {
+			return err
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "r%-4d", net.Round())
+		stable := st.StableMask()
+		for v := 0; v < g.N(); v++ {
+			mark := " "
+			if r > 0 && v < len(lastSent) && lastSent[v] != beep.Silent {
+				mark = "!"
+			}
+			tag := ""
+			switch {
+			case st.InMIS(v):
+				tag = "*"
+			case stable[v]:
+				tag = "."
+			}
+			fmt.Fprintf(&sb, " %4d%s%s", st.Level(v), mark, tag)
+		}
+		fmt.Println(sb.String())
+		if st.Stabilized() {
+			fmt.Printf("stabilized after %d rounds; MIS verified: %v\n", net.Round(), st.VerifyMIS() == nil)
+			return writeSVG(rec, net, *svgPath)
+		}
+		net.Step()
+	}
+	fmt.Printf("not stabilized within %d rounds (increase -rounds)\n", *rounds)
+	return writeSVG(rec, net, *svgPath)
+}
+
+// writeSVG emits the level heatmap when requested.
+func writeSVG(rec *trace.Recorder, net *beep.Network, path string) error {
+	if rec == nil || path == "" {
+		return nil
+	}
+	caps := make([]int, net.N())
+	for v := range caps {
+		m, ok := net.Machine(v).(core.Leveled)
+		if !ok {
+			return fmt.Errorf("machine %T has no levels", net.Machine(v))
+		}
+		caps[v] = m.Cap()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rec.WriteLevelHeatmapSVG(f, caps, 6); err != nil {
+		return err
+	}
+	fmt.Printf("heatmap written to %s\n", path)
+	return nil
+}

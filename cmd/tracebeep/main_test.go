@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTraceAllAlgorithms(t *testing.T) {
+	for _, alg := range []string{"alg1-known-delta", "alg1-own-degree", "alg2-two-channel"} {
+		if err := run([]string{"-family", "cycle:8", "-alg", alg, "-rounds", "500"}); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestRunTraceInits(t *testing.T) {
+	for _, init := range []string{"fresh", "random", "adversarial", "zero"} {
+		if err := run([]string{"-family", "path:6", "-init", init, "-rounds", "500"}); err != nil {
+			t.Fatalf("%s: %v", init, err)
+		}
+	}
+}
+
+func TestRunTraceBudgetExhaustion(t *testing.T) {
+	// One round is never enough on a clique; run reports, not errors.
+	if err := run([]string{"-family", "complete:8", "-rounds", "0", "-init", "zero"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-family", "nosuch:8"},
+		{"-family", "cycle:8", "-alg", "bad"},
+		{"-family", "cycle:8", "-init", "bad"},
+		{"-family", "cycle:100"}, // too large to trace
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestRunTraceSVG(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "levels.svg")
+	if err := run([]string{"-family", "cycle:10", "-rounds", "500", "-svg", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Fatal("no svg written")
+	}
+}

@@ -1,0 +1,27 @@
+// Package repro is a Go implementation of self-stabilizing maximal
+// independent set (MIS) computation in the full-duplex beeping model,
+// reproducing "Brief Announcement: Self-Stabilizing MIS Computation in
+// the Beeping Model" (Giakkoupis, Turau, Ziccardi, PODC 2024).
+//
+// The package exposes the paper's two algorithms behind a small facade:
+//
+//   - Algorithm 1 with the knowledge variants of Theorem 2.1 (a shared
+//     upper bound on the maximum degree; O(log n) stabilization w.h.p.)
+//     and Theorem 2.2 (each vertex knows its own degree;
+//     O(log n · log log n)).
+//   - Algorithm 2 for the two-channel beeping model with 1-hop
+//     neighborhood degree knowledge (Corollary 2.3; O(log n)).
+//
+// A Graph is built from an edge list, Solve runs an algorithm to
+// stabilization from any initial configuration, and Instance gives
+// round-level control with transient-fault injection for
+// self-stabilization studies:
+//
+//	g, _ := repro.NewGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+//	res, _ := repro.Solve(g, repro.WithSeed(42))
+//	fmt.Println(res.MIS, res.Rounds)
+//
+// The underlying simulator, graph generators, baselines and the full
+// experiment suite live in internal packages and are driven by the
+// binaries under cmd/ (see README.md and EXPERIMENTS.md).
+package repro

@@ -1,0 +1,173 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/beep"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Instance is a live, steppable execution of one of the paper's
+// algorithms: the round-level API for self-stabilization studies. It
+// exposes single-round stepping, legality queries, and transient-fault
+// injection. Close releases engine resources when the parallel engine
+// is used.
+type Instance struct {
+	net      *beep.Network
+	faultSrc *rng.Source
+}
+
+// NewInstance builds a steppable execution on g with the given options.
+func NewInstance(g *Graph, opts ...Option) (*Instance, error) {
+	if g == nil {
+		return nil, errors.New("repro: nil graph")
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	proto, err := o.protocol()
+	if err != nil {
+		return nil, err
+	}
+	init, err := o.initMode()
+	if err != nil {
+		return nil, err
+	}
+	engine := beep.Sequential
+	if o.parallel {
+		engine = beep.Parallel
+	}
+	net, err := beep.NewNetwork(g.g, proto, o.seed, beep.WithEngine(engine), beep.WithNoise(o.noise), beep.WithSleep(o.sleep))
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{net: net, faultSrc: rng.New(o.seed ^ 0xfa17)}
+	switch init {
+	case core.InitRandom:
+		net.RandomizeAll()
+	case core.InitAdversarial:
+		for v := 0; v < net.N(); v++ {
+			if m, ok := net.Machine(v).(core.Leveled); ok {
+				m.SetLevel(-m.Cap())
+			}
+		}
+	}
+	return inst, nil
+}
+
+// Step executes one synchronous beeping round.
+func (i *Instance) Step() { i.net.Step() }
+
+// Rounds returns the number of completed rounds.
+func (i *Instance) Rounds() int { return i.net.Round() }
+
+// Stabilized reports whether the network is in a legal configuration:
+// the claimed set is a maximal independent set and every vertex is
+// stable.
+func (i *Instance) Stabilized() (bool, error) {
+	st, err := core.Snapshot(i.net)
+	if err != nil {
+		return false, err
+	}
+	return st.Stabilized(), nil
+}
+
+// StableVertices returns |S_t|, the number of vertices whose output has
+// stabilized — a convergence progress measure.
+func (i *Instance) StableVertices() (int, error) {
+	st, err := core.Snapshot(i.net)
+	if err != nil {
+		return 0, err
+	}
+	return st.StableCount(), nil
+}
+
+// MIS returns the current claimed MIS vertices in ascending order. The
+// set is only guaranteed maximal and independent once Stabilized
+// reports true.
+func (i *Instance) MIS() ([]int, error) {
+	st, err := core.Snapshot(i.net)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for v, in := range st.MISMask() {
+		if in {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Level returns the current level ℓ(v) of a vertex, the paper's whole
+// per-vertex state.
+func (i *Instance) Level(v int) (int, error) {
+	if v < 0 || v >= i.net.N() {
+		return 0, fmt.Errorf("repro: vertex %d out of range", v)
+	}
+	m, ok := i.net.Machine(v).(core.Leveled)
+	if !ok {
+		return 0, fmt.Errorf("repro: machine %T has no level", i.net.Machine(v))
+	}
+	return m.Level(), nil
+}
+
+// InjectFault corrupts the states of k uniformly chosen vertices
+// (transient RAM faults). The algorithm will re-stabilize within the
+// same asymptotic round bounds.
+func (i *Instance) InjectFault(k int) error {
+	n := i.net.N()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	perm := i.faultSrc.Perm(n)
+	return i.net.Corrupt(perm[:k])
+}
+
+// RunUntilStabilized steps until the network is legal or maxRounds
+// rounds pass, returning the rounds consumed by this call.
+func (i *Instance) RunUntilStabilized(maxRounds int) (int, error) {
+	start := i.net.Round()
+	stop := func() bool {
+		ok, err := i.Stabilized()
+		return err == nil && ok
+	}
+	_, ok := i.net.Run(maxRounds, stop)
+	if !ok {
+		return i.net.Round() - start, fmt.Errorf("%w: after %d rounds", ErrNotStabilized, maxRounds)
+	}
+	return i.net.Round() - start, nil
+}
+
+// Save writes a resumable JSON checkpoint of the execution: the round
+// counter, every vertex's algorithm state, and every random stream. A
+// later Load on an instance built with the same graph and options
+// resumes the exact execution.
+func (i *Instance) Save(w io.Writer) error {
+	cp, err := i.net.Checkpoint()
+	if err != nil {
+		return err
+	}
+	return beep.WriteCheckpoint(w, cp)
+}
+
+// Load restores a checkpoint written by Save. The instance must have
+// been built on the same graph with the same algorithm.
+func (i *Instance) Load(r io.Reader) error {
+	cp, err := beep.ReadCheckpoint(r)
+	if err != nil {
+		return err
+	}
+	return i.net.Restore(cp)
+}
+
+// Close releases the engine's worker goroutines; safe to call multiple
+// times and required only for the parallel engine.
+func (i *Instance) Close() { i.net.Close() }

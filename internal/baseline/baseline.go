@@ -1,0 +1,52 @@
+// Package baseline implements the algorithms the paper positions itself
+// against, so the experiment suite can reproduce its comparative claims:
+//
+//   - Jeavons–Scott–Xu [17]: the non-self-stabilizing O(log n) beeping
+//     MIS algorithm with two-round phases that Algorithm 1 derives from.
+//     Used to show Algorithm 1 keeps the same asymptotics while also
+//     converging from arbitrary states, where Jeavons et al. does not.
+//   - An Afek et al.-style restart baseline [1]: a self-stabilizing
+//     beeping MIS built on attempt/restart competition with knowledge of
+//     an upper bound N on n, whose stabilization time carries extra
+//     log-factors — the O(log²N·log n) regime the paper improves on.
+//   - Luby's classical algorithm [20] on the message-passing substrate,
+//     the reference point from the LOCAL/CONGEST world.
+//
+// All baselines expose a common DecidedStatus so one harness measures
+// them uniformly.
+package baseline
+
+import "fmt"
+
+// Status is the externally visible decision state of a vertex in the
+// baseline algorithms.
+type Status uint8
+
+const (
+	// Active vertices are still competing.
+	Active Status = iota + 1
+	// InMIS vertices have joined the independent set.
+	InMIS
+	// Out vertices have a neighbor in the set.
+	Out
+)
+
+// String names the status for traces.
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case InMIS:
+		return "inMIS"
+	case Out:
+		return "out"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Decider is implemented by baseline machines/nodes to expose their
+// decision to the harness.
+type Decider interface {
+	Status() Status
+}

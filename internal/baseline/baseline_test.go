@@ -1,0 +1,276 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/beep"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		Active: "active", InMIS: "inMIS", Out: "out", Status(9): "status(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String()=%q want %q", s, got, want)
+		}
+	}
+}
+
+func testGraphs(t *testing.T) []*graph.Graph {
+	t.Helper()
+	src := rng.New(55)
+	return []*graph.Graph{
+		graph.Empty(6),
+		graph.Path(25),
+		graph.Cycle(24),
+		graph.Complete(12),
+		graph.Star(16),
+		graph.Grid(5, 5),
+		graph.GNP(60, 0.1, src),
+	}
+}
+
+func TestJeavonsFreshProducesValidMIS(t *testing.T) {
+	for _, g := range testGraphs(t) {
+		res, err := RunBeeping(g, Jeavons{}, 17, 100000, false, false)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if !res.Valid {
+			t.Fatalf("%s: Jeavons from fresh start produced invalid MIS", g.Name())
+		}
+		if err := g.VerifyMIS(res.MIS); err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+	}
+}
+
+func TestJeavonsFailsFromCorruptedStates(t *testing.T) {
+	// The defining non-self-stabilization claim: from arbitrary states,
+	// some executions end in illegal configurations. Over several seeds
+	// on a graph with many adjacent pairs, at least one must fail.
+	g := graph.Complete(14)
+	failures := 0
+	for seed := uint64(0); seed < 20; seed++ {
+		res, err := RunBeeping(g, Jeavons{}, seed, 20000, true, false)
+		if err != nil || !res.Valid {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Fatal("Jeavons recovered from all corrupted states; expected failures (it is not self-stabilizing)")
+	}
+}
+
+func TestJeavonsMachineTransitions(t *testing.T) {
+	m := &jeavonsMachine{status: Active, exp: 1}
+
+	// Round 1: beeped alone → candidate, p doubled (already at cap 1/2).
+	m.Update(beep.Chan1, beep.Silent)
+	if !m.candidate || !m.inRound2 || m.exp != 1 {
+		t.Fatalf("after solo beep: %+v", m)
+	}
+	// Round 2: candidate joins.
+	m.Update(beep.Chan1, beep.Silent)
+	if m.status != InMIS {
+		t.Fatalf("candidate did not join: %+v", m)
+	}
+	// Decided machines are inert and silent.
+	m.Update(beep.Silent, beep.Chan1)
+	if m.status != InMIS {
+		t.Fatal("decided machine changed state")
+	}
+	if m.Emit(rng.New(1)) != beep.Silent {
+		t.Fatal("decided machine beeped")
+	}
+
+	// A listener hearing the round-2 beep goes out.
+	l := &jeavonsMachine{status: Active, exp: 1}
+	l.Update(beep.Silent, beep.Chan1) // round 1: heard → p halves
+	if l.exp != 2 || l.candidate {
+		t.Fatalf("listener after round 1: %+v", l)
+	}
+	l.Update(beep.Silent, beep.Chan1) // round 2: dominated
+	if l.status != Out {
+		t.Fatalf("listener not out: %+v", l)
+	}
+}
+
+func TestJeavonsProbabilityAdaptation(t *testing.T) {
+	m := &jeavonsMachine{status: Active, exp: 5}
+	// Silent round 1 raises p (lowers exponent).
+	m.Update(beep.Silent, beep.Silent)
+	if m.exp != 4 {
+		t.Fatalf("exp=%d want 4", m.exp)
+	}
+	m.inRound2 = false
+	// Heard round 1 halves p (raises exponent).
+	m.Update(beep.Silent, beep.Chan1)
+	if m.exp != 5 {
+		t.Fatalf("exp=%d want 5", m.exp)
+	}
+	// Exponent floor is 1 (p <= 1/2 always).
+	m2 := &jeavonsMachine{status: Active, exp: 1}
+	m2.Update(beep.Silent, beep.Silent)
+	if m2.exp != 1 {
+		t.Fatalf("exp floor violated: %d", m2.exp)
+	}
+}
+
+func TestAfekStyleConvergesFresh(t *testing.T) {
+	for _, g := range testGraphs(t) {
+		proto := NewAfekStyle(g.N() + 1)
+		res, err := RunBeeping(g, proto, 23, 300000, false, true)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if !res.Valid {
+			t.Fatalf("%s: invalid MIS", g.Name())
+		}
+	}
+}
+
+func TestAfekStyleSelfStabilizes(t *testing.T) {
+	for _, g := range testGraphs(t) {
+		proto := NewAfekStyle(g.N() + 1)
+		res, err := RunBeeping(g, proto, 29, 500000, true, true)
+		if err != nil {
+			t.Fatalf("%s from corrupted states: %v", g.Name(), err)
+		}
+		if err := g.VerifyMIS(res.MIS); err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+	}
+}
+
+func TestAfekStyleParamsGrowWithN(t *testing.T) {
+	small := NewAfekStyle(4)
+	large := NewAfekStyle(1 << 16)
+	sj, sw, _ := small.afekParams()
+	lj, lw, _ := large.afekParams()
+	if lj <= sj || lw <= sw {
+		t.Fatalf("params did not grow: (%d,%d) vs (%d,%d)", sj, sw, lj, lw)
+	}
+	if NewAfekStyle(0).N != 2 {
+		t.Fatal("N floor missing")
+	}
+}
+
+func TestAfekMachineMemberConflict(t *testing.T) {
+	proto := NewAfekStyle(16)
+	m := proto.NewMachine(0, graph.Path(2)).(*afekMachine)
+	m.status = InMIS
+	// Sustained beeping from a conflicting member forces it out of the
+	// MIS within a bounded number of rounds.
+	left := false
+	for r := 0; r < 4*m.window+4; r++ {
+		m.Update(beep.Chan1, beep.Chan1)
+		if m.status != InMIS {
+			left = true
+			break
+		}
+	}
+	if !left {
+		t.Fatal("conflicting member never left the MIS")
+	}
+}
+
+func TestAfekMachineOutRecovery(t *testing.T) {
+	proto := NewAfekStyle(16)
+	m := proto.NewMachine(0, graph.Path(2)).(*afekMachine)
+	m.status = Out
+	for r := 0; r < m.window+1; r++ {
+		m.Update(beep.Silent, beep.Silent)
+	}
+	if m.status != Active {
+		t.Fatal("out vertex with vanished dominator never recompeted")
+	}
+}
+
+func TestLubyProducesValidMIS(t *testing.T) {
+	for _, g := range testGraphs(t) {
+		res, err := RunLuby(g, 31, 10000)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if !res.Valid {
+			t.Fatalf("%s: invalid MIS from Luby", g.Name())
+		}
+	}
+}
+
+func TestLubyDeterministicPerSeed(t *testing.T) {
+	g := graph.GNP(50, 0.1, rng.New(77))
+	a, err := RunLuby(g, 5, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLuby(g, 5, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds {
+		t.Fatalf("rounds %d vs %d", a.Rounds, b.Rounds)
+	}
+	for v := range a.MIS {
+		if a.MIS[v] != b.MIS[v] {
+			t.Fatalf("MIS differs at %d", v)
+		}
+	}
+}
+
+func TestLubyRoundsScaleGently(t *testing.T) {
+	// Luby completes K_64 quickly (one survivor per phase cascade) and
+	// should never need more than a few dozen rounds on these sizes.
+	for _, n := range []int{8, 64, 256} {
+		res, err := RunLuby(graph.Complete(n), 3, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rounds > 100 {
+			t.Fatalf("Luby took %d rounds on K_%d", res.Rounds, n)
+		}
+		if graph.CountTrue(res.MIS) != 1 {
+			t.Fatalf("K_%d MIS size %d", n, graph.CountTrue(res.MIS))
+		}
+	}
+}
+
+func TestRunBeepingBudget(t *testing.T) {
+	g := graph.Complete(10)
+	_, err := RunBeeping(g, NewAfekStyle(11), 1, 1, false, true)
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("err=%v want ErrNotConverged", err)
+	}
+}
+
+// Property: Luby always outputs a valid MIS on random graphs.
+func TestLubyValidityProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		g := graph.GNP(n, 0.2, rng.New(seed))
+		res, err := RunLuby(g, seed, 100000)
+		return err == nil && res.Valid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AfekStyle self-stabilizes on small random graphs from
+// arbitrary states.
+func TestAfekStyleStabilizationProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		g := graph.GNP(n, 0.25, rng.New(seed))
+		res, err := RunBeeping(g, NewAfekStyle(n+1), seed, 500000, true, true)
+		return err == nil && res.Valid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package baseline
+
+import (
+	"repro/internal/beep"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Jeavons is the beeping MIS algorithm of Jeavons, Scott and Xu [17]
+// (with Ghaffari's refined analysis [13]): phases of two rounds with an
+// adaptive beeping probability p, initially 1/2.
+//
+//	Round 1 of a phase: each active vertex beeps with probability p.
+//	If it beeped and heard nothing, it becomes a candidate. p is halved
+//	if a beep was heard, otherwise doubled (capped at 1/2).
+//	Round 2: candidates beep and permanently join the MIS; active
+//	vertices hearing the round-2 beep become permanently out.
+//
+// Decided (InMIS/Out) vertices stay silent forever. The algorithm is
+// correct in O(log n) rounds w.h.p. *from its fixed initial state*, and
+// Section 2 of the paper explains why it is not self-stabilizing: it
+// needs p = 1/2 everywhere at start and global synchronization of the
+// two-round phases. Randomize therefore draws an arbitrary state
+// (status, probability exponent, phase parity, pending candidacy), and
+// experiment E4 shows executions from such states deadlock or settle on
+// non-MIS outputs.
+type Jeavons struct{}
+
+var _ beep.Protocol = Jeavons{}
+
+// Channels reports the single beeping channel.
+func (Jeavons) Channels() int { return 1 }
+
+// NewMachine returns a fresh machine in the algorithm's defined initial
+// state: active, p = 1/2, at the start of a phase.
+func (Jeavons) NewMachine(int, *graph.Graph) beep.Machine {
+	return &jeavonsMachine{status: Active, exp: 1}
+}
+
+// jeavonsMachine is the per-vertex state: decision status, probability
+// exponent (p = 2^-exp, exp >= 1), the parity of the current round
+// within the phase, and a pending candidacy flag between the two rounds.
+type jeavonsMachine struct {
+	status    Status
+	exp       int
+	inRound2  bool
+	candidate bool
+}
+
+var _ Decider = (*jeavonsMachine)(nil)
+
+// Emit implements the two-round phase structure.
+func (m *jeavonsMachine) Emit(src *rng.Source) beep.Signal {
+	if m.status != Active {
+		return beep.Silent
+	}
+	if m.inRound2 {
+		if m.candidate {
+			return beep.Chan1
+		}
+		return beep.Silent
+	}
+	if src.Bernoulli2Pow(m.exp) {
+		return beep.Chan1
+	}
+	return beep.Silent
+}
+
+// Update applies the phase transition.
+func (m *jeavonsMachine) Update(sent, heard beep.Signal) {
+	if m.status != Active {
+		return
+	}
+	if !m.inRound2 {
+		// End of round 1: set candidacy and adapt p.
+		m.candidate = sent.Has(beep.Chan1) && !heard.Has(beep.Chan1)
+		if heard.Has(beep.Chan1) {
+			m.exp++ // p ← p/2
+		} else if m.exp > 1 {
+			m.exp-- // p ← min{2p, 1/2}
+		}
+		m.inRound2 = true
+		return
+	}
+	// End of round 2: candidates joined, listeners are dominated.
+	switch {
+	case m.candidate:
+		m.status = InMIS
+	case heard.Has(beep.Chan1):
+		m.status = Out
+	}
+	m.candidate = false
+	m.inRound2 = false
+}
+
+// Randomize draws an arbitrary machine state: this is what a transient
+// fault (or an adversarial boot) can produce, and what the algorithm is
+// not designed to recover from.
+func (m *jeavonsMachine) Randomize(src *rng.Source) {
+	m.status = []Status{Active, InMIS, Out}[src.Intn(3)]
+	m.exp = 1 + src.Intn(20)
+	m.inRound2 = src.Coin()
+	m.candidate = src.Coin()
+}
+
+// Status exposes the decision for the harness.
+func (m *jeavonsMachine) Status() Status { return m.status }

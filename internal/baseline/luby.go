@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"repro/internal/graph"
+	"repro/internal/msgnet"
+	"repro/internal/rng"
+)
+
+// Luby is Luby's classical randomized MIS algorithm [20] on the
+// synchronous message-passing substrate, in the random-priority form:
+// each phase, every active vertex draws a uniform 64-bit priority and
+// broadcasts it; a vertex whose priority is a strict local minimum among
+// active neighbors joins the MIS; MIS vertices then announce themselves
+// and their neighbors drop out. One phase costs two message rounds, and
+// O(log n) phases suffice w.h.p.
+//
+// Luby's algorithm needs to transmit Θ(log n)-bit values, which the
+// beeping model cannot do in one round — this baseline quantifies what
+// the paper's algorithms give up (nothing asymptotic in rounds) for the
+// exponentially weaker communication.
+type Luby struct{}
+
+var _ msgnet.Protocol = Luby{}
+
+// Message kinds used by the protocol.
+const (
+	lubyKindPriority uint8 = iota + 1
+	lubyKindJoined
+)
+
+// NewNode returns a fresh active node.
+func (Luby) NewNode(int, *graph.Graph) msgnet.Node {
+	return &lubyNode{status: Active}
+}
+
+// lubyNode is the per-vertex state: the decision and the phase parity.
+type lubyNode struct {
+	status   Status
+	announce bool
+	inRound2 bool
+}
+
+var _ Decider = (*lubyNode)(nil)
+
+// Broadcast sends the priority in round 1 and the join announcement in
+// round 2.
+func (n *lubyNode) Broadcast(src *rng.Source) msgnet.Msg {
+	if n.inRound2 {
+		if n.announce {
+			return msgnet.Msg{Kind: lubyKindJoined}
+		}
+		return msgnet.None
+	}
+	if n.status != Active {
+		return msgnet.None
+	}
+	// Priority 0 is reserved so that None never collides with a real
+	// priority; draw until nonzero (probability 2^-64 per retry).
+	v := src.Uint64()
+	for v == 0 {
+		v = src.Uint64()
+	}
+	return msgnet.Msg{Kind: lubyKindPriority, Val: v}
+}
+
+// Receive applies the phase transition.
+func (n *lubyNode) Receive(own msgnet.Msg, inbox []msgnet.Msg) {
+	if !n.inRound2 {
+		if n.status == Active && own.Kind == lubyKindPriority {
+			min := true
+			for _, m := range inbox {
+				if m.Kind == lubyKindPriority && m.Val <= own.Val {
+					min = false
+					break
+				}
+			}
+			if min {
+				n.status = InMIS
+				n.announce = true
+			}
+		}
+		n.inRound2 = true
+		return
+	}
+	if n.status == Active {
+		for _, m := range inbox {
+			if m.Kind == lubyKindJoined {
+				n.status = Out
+				break
+			}
+		}
+	}
+	n.announce = false
+	n.inRound2 = false
+}
+
+// Status exposes the decision for the harness.
+func (n *lubyNode) Status() Status { return n.status }

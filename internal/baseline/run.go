@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/beep"
+	"repro/internal/graph"
+	"repro/internal/msgnet"
+)
+
+// ErrNotConverged reports that a baseline did not reach a decided, legal
+// configuration within its round budget.
+var ErrNotConverged = errors.New("baseline: did not converge within the round budget")
+
+// Result reports one baseline execution.
+type Result struct {
+	// Rounds until the termination condition was first observed.
+	Rounds int
+	// MIS is the claimed independent set (status == InMIS).
+	MIS []bool
+	// Valid reports whether MIS is a maximal independent set. For the
+	// correct-by-design runs it is always true; E4 uses it to count the
+	// failures of non-self-stabilizing baselines from corrupted states.
+	Valid bool
+}
+
+// statusMask extracts the InMIS mask and whether any vertex is still
+// Active from a status lookup.
+func statusMask(n int, status func(v int) Status) (mis []bool, anyActive bool) {
+	mis = make([]bool, n)
+	for v := 0; v < n; v++ {
+		switch status(v) {
+		case InMIS:
+			mis[v] = true
+		case Active:
+			anyActive = true
+		}
+	}
+	return mis, anyActive
+}
+
+// RunBeeping executes a status-based beeping baseline (Jeavons or
+// AfekStyle) until every vertex is decided and — when requireLegal is
+// set (self-stabilizing baselines) — the decided configuration is a
+// legal MIS. If randomizeInit is set the machines start from arbitrary
+// states.
+//
+// With requireLegal unset the run stops at the first all-decided
+// configuration and reports its validity in Result.Valid, which lets
+// experiments show a non-self-stabilizing algorithm "terminating" on an
+// illegal output.
+func RunBeeping(g *graph.Graph, proto beep.Protocol, seed uint64, maxRounds int, randomizeInit, requireLegal bool) (*Result, error) {
+	net, err := beep.NewNetwork(g, proto, seed)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	defer net.Close()
+	if randomizeInit {
+		net.RandomizeAll()
+	}
+	status := func(v int) Status {
+		d, ok := net.Machine(v).(Decider)
+		if !ok {
+			return Active
+		}
+		return d.Status()
+	}
+	converged := func() bool {
+		mis, anyActive := statusMask(g.N(), status)
+		if anyActive {
+			return false
+		}
+		if !requireLegal {
+			return true
+		}
+		return g.VerifyMIS(mis) == nil
+	}
+	rounds, ok := net.Run(maxRounds, converged)
+	mis, anyActive := statusMask(g.N(), status)
+	if !ok || anyActive {
+		return nil, fmt.Errorf("%w: %d rounds on %s", ErrNotConverged, rounds, g.Name())
+	}
+	return &Result{
+		Rounds: rounds,
+		MIS:    mis,
+		Valid:  g.VerifyMIS(mis) == nil,
+	}, nil
+}
+
+// RunLuby executes Luby's algorithm to completion (all vertices
+// decided), returning the round count on the message-passing substrate.
+func RunLuby(g *graph.Graph, seed uint64, maxRounds int) (*Result, error) {
+	net, err := msgnet.NewNetwork(g, Luby{}, seed)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	status := func(v int) Status {
+		return net.Node(v).(*lubyNode).Status()
+	}
+	converged := func() bool {
+		_, anyActive := statusMask(g.N(), status)
+		return !anyActive
+	}
+	rounds, ok := net.Run(maxRounds, converged)
+	mis, anyActive := statusMask(g.N(), status)
+	if !ok || anyActive {
+		return nil, fmt.Errorf("%w: luby after %d rounds on %s", ErrNotConverged, rounds, g.Name())
+	}
+	return &Result{
+		Rounds: rounds,
+		MIS:    mis,
+		Valid:  g.VerifyMIS(mis) == nil,
+	}, nil
+}

@@ -1,0 +1,150 @@
+package beep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// codecProtocol is a checkpointable test protocol: beeps with
+// probability 1/2 and counts rounds.
+type codecProtocol struct{}
+
+func (codecProtocol) Channels() int { return 1 }
+func (codecProtocol) NewMachine(int, *graph.Graph) Machine {
+	return &codecMachine{}
+}
+
+type codecMachine struct {
+	rounds int64
+	beeped int64
+}
+
+func (m *codecMachine) Emit(src *rng.Source) Signal {
+	if src.Coin() {
+		return Chan1
+	}
+	return Silent
+}
+
+func (m *codecMachine) Update(sent, _ Signal) {
+	m.rounds++
+	if sent.Has(Chan1) {
+		m.beeped++
+	}
+}
+
+func (m *codecMachine) Randomize(src *rng.Source) {
+	m.rounds = int64(src.Intn(10))
+}
+
+func (m *codecMachine) EncodeState() []int64 { return []int64{m.rounds, m.beeped} }
+
+func (m *codecMachine) DecodeState(state []int64) error {
+	m.rounds, m.beeped = state[0], state[1]
+	return nil
+}
+
+func traceOf(t *testing.T, net *Network, steps int) [][]Signal {
+	t.Helper()
+	var tr [][]Signal
+	for i := 0; i < steps; i++ {
+		net.Step()
+		row := make([]Signal, net.N())
+		copy(row, net.sent)
+		tr = append(tr, row)
+	}
+	return tr
+}
+
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	g := graph.GNP(40, 0.1, rng.New(3))
+
+	// Straight-through run: 60 rounds.
+	netA, err := NewNetwork(g, codecProtocol{}, 7, WithNoise(Noise{PLoss: 0.05, PFalse: 0.02}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netA.Close()
+	full := traceOf(t, netA, 60)
+
+	// Checkpointed run: 30 rounds, checkpoint, restore onto a FRESH
+	// network, 30 more rounds.
+	netB, err := NewNetwork(g, codecProtocol{}, 7, WithNoise(Noise{PLoss: 0.05, PFalse: 0.02}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netB.Close()
+	_ = traceOf(t, netB, 30)
+	cp, err := netB.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialize and parse the checkpoint to exercise the JSON round trip.
+	var sb strings.Builder
+	if err := WriteCheckpoint(&sb, cp); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := ReadCheckpoint(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	netC, err := NewNetwork(g, codecProtocol{}, 999 /* different seed */, WithNoise(Noise{PLoss: 0.05, PFalse: 0.02}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netC.Close()
+	if err := netC.Restore(cp2); err != nil {
+		t.Fatal(err)
+	}
+	if netC.Round() != 30 {
+		t.Fatalf("restored round %d, want 30", netC.Round())
+	}
+	tail := traceOf(t, netC, 30)
+
+	for r := 0; r < 30; r++ {
+		for v := range tail[r] {
+			if tail[r][v] != full[30+r][v] {
+				t.Fatalf("resumed trace diverged at round %d vertex %d", 31+r, v)
+			}
+		}
+	}
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	g := graph.Path(3)
+	// counterProtocol machines do not implement StateCodec.
+	net, err := NewNetwork(g, counterProtocol{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if _, err := net.Checkpoint(); err == nil {
+		t.Fatal("checkpoint of non-codec machines accepted")
+	}
+	if err := net.Restore(&Checkpoint{Machines: make([][]int64, 3), Streams: make([][4]uint64, 3)}); err == nil {
+		t.Fatal("restore onto non-codec machines accepted")
+	}
+
+	netC, err := NewNetwork(g, codecProtocol{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netC.Close()
+	if err := netC.Restore(nil); err == nil {
+		t.Fatal("nil checkpoint accepted")
+	}
+	if err := netC.Restore(&Checkpoint{Machines: make([][]int64, 1), Streams: make([][4]uint64, 1)}); err == nil {
+		t.Fatal("size-mismatched checkpoint accepted")
+	}
+}
+
+func TestReadCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := ReadCheckpoint(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,330 @@
+package beep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Network is one executable instance of a protocol on a graph: the
+// machines, their private random streams, and double-buffered signal
+// arrays. A Network is not safe for concurrent use by multiple callers;
+// the concurrent engines synchronize internally.
+type Network struct {
+	g        *graph.Graph
+	machines []Machine
+	srcs     []*rng.Source
+	engine   Engine
+
+	sent  []Signal
+	heard []Signal
+	round int
+
+	channels int
+	fullMask Signal
+	noise    Noise
+	noiseSrc *rng.Source
+	sleep    Sleep
+	sleepSrc *rng.Source
+	asleep   []bool
+
+	observer func(round int, sent, heard []Signal)
+
+	workers *workerPool
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithEngine selects the execution engine (default Sequential).
+func WithEngine(e Engine) Option {
+	return func(n *Network) { n.engine = e }
+}
+
+// WithObserver installs a callback invoked after every round with the
+// signals of that round. The slices are reused across rounds and must not
+// be retained.
+func WithObserver(fn func(round int, sent, heard []Signal)) Option {
+	return func(n *Network) { n.observer = fn }
+}
+
+// NewNetwork instantiates proto on every vertex of g. Each vertex gets
+// the child stream Split(v) of the root stream derived from seed, so an
+// execution is a pure function of (g, proto, seed, engine) and engines
+// are trace-equivalent.
+func NewNetwork(g *graph.Graph, proto Protocol, seed uint64, opts ...Option) (*Network, error) {
+	if g == nil {
+		return nil, fmt.Errorf("beep: nil graph")
+	}
+	if c := proto.Channels(); c < 1 || c > 2 {
+		return nil, fmt.Errorf("beep: protocol uses %d channels, model supports 1 or 2", c)
+	}
+	n := g.N()
+	net := &Network{
+		g:        g,
+		machines: make([]Machine, n),
+		srcs:     make([]*rng.Source, n),
+		engine:   Sequential,
+		sent:     make([]Signal, n),
+		heard:    make([]Signal, n),
+		channels: proto.Channels(),
+		fullMask: Signal(1<<uint(proto.Channels())) - 1,
+		noiseSrc: noiseSeed(seed),
+		sleepSrc: rng.New(seed ^ 0x736c656570), // "sleep"
+	}
+	root := rng.New(seed)
+	for v := 0; v < n; v++ {
+		net.machines[v] = proto.NewMachine(v, g)
+		net.srcs[v] = root.Split(uint64(v))
+	}
+	for _, opt := range opts {
+		opt(net)
+	}
+	if err := net.noise.validate(); err != nil {
+		return nil, err
+	}
+	if err := net.sleep.validate(); err != nil {
+		return nil, err
+	}
+	if net.engine != Sequential {
+		net.workers = newWorkerPool(net, net.poolSize())
+	}
+	return net, nil
+}
+
+// poolSize returns the number of worker goroutines for the configured
+// engine: one per vertex for PerVertex, one per available CPU for
+// Parallel.
+func (n *Network) poolSize() int {
+	if n.engine == PerVertex {
+		if n.N() < 1 {
+			return 1
+		}
+		return n.N()
+	}
+	return workerCount(n.N())
+}
+
+func workerCount(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Graph returns the topology the network runs on.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Round returns the number of completed rounds.
+func (n *Network) Round() int { return n.round }
+
+// Machine returns the state machine of vertex v, for inspection by the
+// harness (legality checks) and the fault injector.
+func (n *Network) Machine(v int) Machine { return n.machines[v] }
+
+// N returns the number of vertices.
+func (n *Network) N() int { return len(n.machines) }
+
+// RandomizeAll sets every machine to a uniformly random state, using the
+// vertices' own streams: the "arbitrary initial configuration" of the
+// self-stabilization model.
+func (n *Network) RandomizeAll() {
+	for v, m := range n.machines {
+		m.Randomize(n.srcs[v])
+	}
+}
+
+// Corrupt randomizes the states of the given vertices, modeling a
+// transient fault hitting exactly those RAMs.
+func (n *Network) Corrupt(vertices []int) error {
+	for _, v := range vertices {
+		if v < 0 || v >= n.N() {
+			return fmt.Errorf("beep: corrupt vertex %d out of range", v)
+		}
+		n.machines[v].Randomize(n.srcs[v])
+	}
+	return nil
+}
+
+// Step executes one synchronous round on the configured engine.
+func (n *Network) Step() {
+	switch n.engine {
+	case Parallel, PerVertex:
+		n.stepParallel()
+	default:
+		n.stepSequential()
+	}
+	n.round++
+	if n.observer != nil {
+		n.observer(n.round, n.sent, n.heard)
+	}
+}
+
+// Run executes rounds until stop returns true or maxRounds rounds have
+// completed, returning the number of rounds executed and whether stop was
+// satisfied. stop is evaluated after each round (and once before the
+// first, so an already-satisfied condition costs zero rounds).
+func (n *Network) Run(maxRounds int, stop func() bool) (rounds int, ok bool) {
+	if stop != nil && stop() {
+		return 0, true
+	}
+	for r := 0; r < maxRounds; r++ {
+		n.Step()
+		if stop != nil && stop() {
+			return r + 1, true
+		}
+	}
+	return maxRounds, stop == nil
+}
+
+func (n *Network) stepSequential() {
+	n.drawSleep()
+	for v, m := range n.machines {
+		if n.sleeping(v) {
+			n.sent[v] = Silent
+			continue
+		}
+		n.sent[v] = m.Emit(n.srcs[v])
+	}
+	n.deliverRange(0, n.N())
+	n.applyNoise()
+	for v, m := range n.machines {
+		if n.sleeping(v) {
+			continue
+		}
+		m.Update(n.sent[v], n.heard[v])
+	}
+}
+
+// deliverRange computes heard[v] for v in [lo, hi): the OR of neighbor
+// signals. Once every channel the protocol uses has been heard, the
+// remaining neighbors cannot change the result, so the scan stops —
+// on dense graphs with many beeping vertices this turns the O(deg)
+// per-vertex scan into an O(1) expected one.
+func (n *Network) deliverRange(lo, hi int) {
+	full := n.fullMask
+	for v := lo; v < hi; v++ {
+		var h Signal
+		for _, u := range n.g.Neighbors(v) {
+			h |= n.sent[u]
+			if h == full {
+				break
+			}
+		}
+		n.heard[v] = h
+	}
+}
+
+// Close releases the worker goroutines of the concurrent engines. It is
+// a no-op for the sequential engine and safe to call multiple times.
+func (n *Network) Close() {
+	if n.workers != nil {
+		n.workers.close()
+		n.workers = nil
+	}
+}
+
+// workerPool runs the three phases of a round (emit, deliver, update)
+// over vertex shards with persistent goroutines and a barrier between
+// phases (the start/done channel pattern). The Parallel engine uses one
+// shard per CPU; the PerVertex engine uses one single-vertex shard per
+// vertex, i.e. a long-lived goroutine per simulated processor, the direct
+// Go realization of the model. Because every vertex consumes only its own
+// random stream and phases are barrier-separated, all engines produce
+// identical traces for a fixed seed.
+type workerPool struct {
+	net    *Network
+	shards [][2]int
+	start  []chan int // phase number
+	wg     sync.WaitGroup
+}
+
+const (
+	phaseEmit = iota
+	phaseDeliver
+	phaseUpdate
+	phaseExit
+)
+
+func newWorkerPool(net *Network, workers int) *workerPool {
+	p := &workerPool{net: net}
+	n := net.N()
+	per := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		p.shards = append(p.shards, [2]int{lo, hi})
+	}
+	p.start = make([]chan int, len(p.shards))
+	for i := range p.shards {
+		p.start[i] = make(chan int)
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *workerPool) worker(i int) {
+	lo, hi := p.shards[i][0], p.shards[i][1]
+	net := p.net
+	for phase := range p.start[i] {
+		switch phase {
+		case phaseEmit:
+			for v := lo; v < hi; v++ {
+				if net.sleeping(v) {
+					net.sent[v] = Silent
+					continue
+				}
+				net.sent[v] = net.machines[v].Emit(net.srcs[v])
+			}
+		case phaseDeliver:
+			net.deliverRange(lo, hi)
+		case phaseUpdate:
+			for v := lo; v < hi; v++ {
+				if net.sleeping(v) {
+					continue
+				}
+				net.machines[v].Update(net.sent[v], net.heard[v])
+			}
+		case phaseExit:
+			p.wg.Done()
+			return
+		}
+		p.wg.Done()
+	}
+}
+
+// runPhase dispatches one phase to all workers and waits for the barrier.
+func (p *workerPool) runPhase(phase int) {
+	p.wg.Add(len(p.start))
+	for _, ch := range p.start {
+		ch <- phase
+	}
+	p.wg.Wait()
+}
+
+func (p *workerPool) close() {
+	p.runPhase(phaseExit)
+	for _, ch := range p.start {
+		close(ch)
+	}
+}
+
+func (n *Network) stepParallel() {
+	if n.workers == nil {
+		n.workers = newWorkerPool(n, n.poolSize())
+	}
+	n.drawSleep()
+	n.workers.runPhase(phaseEmit)
+	n.workers.runPhase(phaseDeliver)
+	n.applyNoise()
+	n.workers.runPhase(phaseUpdate)
+}

@@ -1,0 +1,64 @@
+package beep
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Noise models unreliable listening, a standard harshening of the
+// beeping model: independently per vertex, per round and per channel,
+// a genuinely heard channel is dropped with probability PLoss (false
+// negative) and a silent channel is spuriously heard with probability
+// PFalse (false positive). Senders are unaffected — only reception is
+// noisy, matching radio interference models.
+//
+// The zero value is noiseless.
+type Noise struct {
+	PLoss  float64
+	PFalse float64
+}
+
+// enabled reports whether the noise model perturbs anything.
+func (n Noise) enabled() bool { return n.PLoss > 0 || n.PFalse > 0 }
+
+// validate checks the probabilities.
+func (n Noise) validate() error {
+	if n.PLoss < 0 || n.PLoss > 1 || n.PFalse < 0 || n.PFalse > 1 {
+		return fmt.Errorf("beep: noise probabilities must be in [0,1], got loss=%v false=%v", n.PLoss, n.PFalse)
+	}
+	return nil
+}
+
+// WithNoise installs the listening-noise model, driven by its own
+// deterministic stream derived from the network seed so noisy
+// executions stay reproducible and engine-independent.
+func WithNoise(n Noise) Option {
+	return func(net *Network) { net.noise = n }
+}
+
+// applyNoise perturbs the heard array in place. It runs as a
+// sequential pass between delivery and update (in every engine), so
+// the consumed noise-stream order is engine-independent.
+func (n *Network) applyNoise() {
+	if !n.noise.enabled() {
+		return
+	}
+	channels := []Signal{Chan1, Chan2}[:n.channels]
+	for v := range n.heard {
+		for _, c := range channels {
+			if n.heard[v].Has(c) {
+				if n.noise.PLoss > 0 && n.noiseSrc.Float64() < n.noise.PLoss {
+					n.heard[v] &^= c
+				}
+			} else if n.noise.PFalse > 0 && n.noiseSrc.Float64() < n.noise.PFalse {
+				n.heard[v] |= c
+			}
+		}
+	}
+}
+
+// noiseSeed derives the dedicated noise stream for a network seed.
+func noiseSeed(seed uint64) *rng.Source {
+	return rng.New(seed ^ 0x6e6f697365) // "noise"
+}

@@ -1,0 +1,52 @@
+package beep
+
+import "fmt"
+
+// Sleep models duty-cycling or crash-recovery vertices, a second
+// harshening of the model alongside Noise: independently per round,
+// each vertex sleeps with probability P. A sleeping vertex transmits
+// nothing, hears nothing and does not update its state that round —
+// it simply misses the round, as a radio in a sleep slot or a briefly
+// crashed processor would.
+//
+// The zero value never sleeps.
+type Sleep struct {
+	P float64
+}
+
+// enabled reports whether the model perturbs anything.
+func (s Sleep) enabled() bool { return s.P > 0 }
+
+// validate checks the probability.
+func (s Sleep) validate() error {
+	if s.P < 0 || s.P >= 1 {
+		return fmt.Errorf("beep: sleep probability must be in [0,1), got %v", s.P)
+	}
+	return nil
+}
+
+// WithSleep installs the sleeping model, driven by its own
+// deterministic stream so executions stay reproducible and
+// engine-independent.
+func WithSleep(s Sleep) Option {
+	return func(net *Network) { net.sleep = s }
+}
+
+// drawSleep fills the asleep mask for the coming round. It runs as a
+// sequential pass before the emit phase in every engine.
+func (n *Network) drawSleep() {
+	if !n.sleep.enabled() {
+		return
+	}
+	if n.asleep == nil {
+		n.asleep = make([]bool, n.N())
+	}
+	for v := range n.asleep {
+		n.asleep[v] = n.sleepSrc.Float64() < n.sleep.P
+	}
+}
+
+// sleeping reports whether v misses the current round.
+func (n *Network) sleeping(v int) bool {
+	return n.asleep != nil && n.asleep[v]
+}

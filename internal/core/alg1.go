@@ -1,0 +1,130 @@
+package core
+
+import (
+	"repro/internal/beep"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Leveled is implemented by the machines of both algorithms and exposes
+// the level state to the harness (legality checks, traces, instrumented
+// experiments). The harness is the analyst's eye view; vertices
+// themselves never see each other's levels.
+type Leveled interface {
+	// Level returns the current level ℓ_t(v).
+	Level() int
+	// Cap returns ℓmax(v).
+	Cap() int
+	// SetLevel overwrites the level, clamping into the machine's valid
+	// state space. It models a targeted (rather than random) transient
+	// fault and is used by adversarial initializers.
+	SetLevel(l int)
+}
+
+// Alg1 is Algorithm 1 of the paper: the single-channel self-stabilizing
+// MIS protocol. The zero value is not usable; construct with NewAlg1.
+type Alg1 struct {
+	cap LevelCap
+	// initLevel, when non-nil, provides the starting level for each
+	// vertex (clamped); otherwise machines start from level ℓmax(v),
+	// a neutral "silent" state. Self-stabilization experiments override
+	// initial states through the harness anyway.
+	initLevel func(v int) int
+}
+
+var _ beep.Protocol = (*Alg1)(nil)
+
+// NewAlg1 returns the protocol with the given knowledge variant.
+func NewAlg1(cap LevelCap) *Alg1 {
+	return &Alg1{cap: cap}
+}
+
+// WithInitialLevels sets a deterministic initial level per vertex,
+// clamped to the state space. It returns the receiver for chaining.
+func (p *Alg1) WithInitialLevels(fn func(v int) int) *Alg1 {
+	p.initLevel = fn
+	return p
+}
+
+// Channels reports that Algorithm 1 uses a single beeping channel.
+func (p *Alg1) Channels() int { return 1 }
+
+// NewMachine builds the vertex machine with ℓmax(v) from the knowledge
+// variant.
+func (p *Alg1) NewMachine(v int, g *graph.Graph) beep.Machine {
+	m := &alg1Machine{lmax: p.cap(v, g)}
+	if m.lmax < 1 {
+		m.lmax = 1
+	}
+	if p.initLevel != nil {
+		m.SetLevel(p.initLevel(v))
+	} else {
+		m.level = m.lmax
+	}
+	return m
+}
+
+// alg1Machine is the per-vertex state of Algorithm 1: a single integer
+// level in {-ℓmax, …, ℓmax}.
+type alg1Machine struct {
+	level int
+	lmax  int
+}
+
+var _ Leveled = (*alg1Machine)(nil)
+
+// Emit beeps with probability min{2^-ℓ, 1} while ℓ < ℓmax, exactly the
+// first branch of Algorithm 1.
+func (m *alg1Machine) Emit(src *rng.Source) beep.Signal {
+	if m.level < m.lmax && src.Bernoulli2Pow(m.level) {
+		return beep.Chan1
+	}
+	return beep.Silent
+}
+
+// Update applies the level transition of Algorithm 1:
+//
+//	heard a beep        → ℓ ← min{ℓ+1, ℓmax}
+//	beeped, heard none  → ℓ ← -ℓmax       (commit to joining the MIS)
+//	silent round        → ℓ ← max{ℓ-1, 1} (decay toward active beeping)
+func (m *alg1Machine) Update(sent, heard beep.Signal) {
+	switch {
+	case heard.Has(beep.Chan1):
+		if m.level+1 < m.lmax {
+			m.level++
+		} else {
+			m.level = m.lmax
+		}
+	case sent.Has(beep.Chan1):
+		m.level = -m.lmax
+	default:
+		if m.level-1 > 1 {
+			m.level--
+		} else {
+			m.level = 1
+		}
+	}
+}
+
+// Randomize draws a uniform level from {-ℓmax, …, ℓmax}: an arbitrary
+// RAM state after a transient fault.
+func (m *alg1Machine) Randomize(src *rng.Source) {
+	m.level = src.Intn(2*m.lmax+1) - m.lmax
+}
+
+// Level returns ℓ_t(v).
+func (m *alg1Machine) Level() int { return m.level }
+
+// Cap returns ℓmax(v).
+func (m *alg1Machine) Cap() int { return m.lmax }
+
+// SetLevel clamps l into {-ℓmax, …, ℓmax} and installs it.
+func (m *alg1Machine) SetLevel(l int) {
+	if l < -m.lmax {
+		l = -m.lmax
+	}
+	if l > m.lmax {
+		l = m.lmax
+	}
+	m.level = l
+}

@@ -1,0 +1,83 @@
+package core
+
+// Section 6 analysis machinery: light vertices and golden rounds, the
+// intermediate notions of the proof of Lemma 3.5. They are exposed on
+// State so the experiment suite (and curious readers) can watch the
+// proof's quantities evolve on real executions.
+
+// lightDegreeBound is the constant of Definition 6.1: a vertex with
+// μ > 0 is light when its expected number of beeping neighbors is at
+// most 10 (or its level is non-positive).
+const lightDegreeBound = 10
+
+// goldenQuietBound and goldenLightMass are the constants of Definition
+// 6.2: a round is golden for v when (a) ℓ(v) <= 1 and d(v) <= 0.02, or
+// (b) the light-neighbor beeping mass exceeds 0.001.
+const (
+	goldenQuietBound = 0.02
+	goldenLightMass  = 0.001
+)
+
+// Light reports whether v is light in this snapshot (Definition 6.1):
+// μ_t(v) > 0 and (d_t(v) <= 10 or ℓ_t(v) <= 0). Light vertices have a
+// constant probability of hearing silence, the stepping stone toward a
+// platinum round.
+func (s *State) Light(v int) bool {
+	if s.Mu(v) <= 0 {
+		return false
+	}
+	if s.levels[v] <= 0 {
+		return true
+	}
+	return s.ExpectedBeepingNeighbors(v) <= lightDegreeBound
+}
+
+// LightBeepingMass returns d_t^L(v): the expected number of beeping
+// *light* neighbors of v (Section 6.1).
+func (s *State) LightBeepingMass(v int) float64 {
+	mass := 0.0
+	for _, u := range s.g.Neighbors(v) {
+		if s.Light(int(u)) {
+			mass += s.BeepProbOf(int(u))
+		}
+	}
+	return mass
+}
+
+// GoldenFor reports whether this snapshot is a golden round of v
+// (Definition 6.2): either v sits at level <= 1 with expected beeping
+// neighborhood at most 0.02, or the light-neighbor beeping mass exceeds
+// 0.001. Golden rounds become platinum with constant probability
+// (Lemma 6.7), which is how Lemma 3.5's waiting-time bound is proved.
+func (s *State) GoldenFor(v int) bool {
+	if s.levels[v] <= 1 && s.ExpectedBeepingNeighbors(v) <= goldenQuietBound {
+		return true
+	}
+	return s.LightBeepingMass(v) > goldenLightMass
+}
+
+// CountClassified returns, in one pass, the sizes of the snapshot's
+// vertex classes: prominent (|PM_t|), light, and the number of
+// not-yet-stable vertices currently in a golden or platinum round —
+// the proof's progress measures.
+func (s *State) CountClassified() (prominent, light, golden, platinum int) {
+	stable := s.StableMask()
+	for v := 0; v < len(s.levels); v++ {
+		if s.Prominent(v) {
+			prominent++
+		}
+		if s.Light(v) {
+			light++
+		}
+		if stable[v] {
+			continue
+		}
+		if s.GoldenFor(v) {
+			golden++
+		}
+		if s.PlatinumFor(v) {
+			platinum++
+		}
+	}
+	return prominent, light, golden, platinum
+}

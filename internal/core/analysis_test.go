@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/beep"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestLightDefinition(t *testing.T) {
+	// Path 0-1-2 with caps 8.
+	g := graph.Path(3)
+	caps := []int{8, 8, 8}
+
+	// Vertex 1 with a committed (always-beeping) neighbor at level -8:
+	// μ(1) = -1 <= 0, so 1 is NOT light no matter its own level.
+	st := NewState(g, []int{-8, 1, 8}, caps)
+	if st.Light(1) {
+		t.Fatal("vertex with a negative-level neighbor cannot be light (μ <= 0)")
+	}
+	// Vertex 0 itself is prominent (ℓ <= 0) with μ(0) = 1/8 > 0 → light.
+	if !st.Light(0) {
+		t.Fatal("prominent vertex with positive-μ neighborhood should be light")
+	}
+
+	// All levels high: everyone has μ > 0 and tiny expected beeping
+	// neighborhoods → all light.
+	st = NewState(g, []int{5, 5, 5}, caps)
+	for v := 0; v < 3; v++ {
+		if !st.Light(v) {
+			t.Fatalf("vertex %d should be light", v)
+		}
+	}
+}
+
+func TestLightHeavyOnDenseHighProbability(t *testing.T) {
+	// Star center with 40 leaves all at level 1 (p = 1/2 each):
+	// d(center) = 20 > 10 and ℓ(center) = 2 > 0 → heavy.
+	g := graph.Star(41)
+	levels := make([]int, 41)
+	caps := make([]int, 41)
+	for v := range levels {
+		levels[v] = 1
+		caps[v] = 12
+	}
+	levels[0] = 2
+	st := NewState(g, levels, caps)
+	if st.Light(0) {
+		t.Fatalf("center with d=%v should be heavy", st.ExpectedBeepingNeighbors(0))
+	}
+	// The leaves see only the center (d = 1/4) → light.
+	if !st.Light(1) {
+		t.Fatal("leaf should be light")
+	}
+}
+
+func TestGoldenForQuietCase(t *testing.T) {
+	// Definition 6.2(a): ℓ(v) <= 1 and d(v) <= 0.02.
+	g := graph.Path(2)
+	st := NewState(g, []int{1, 10}, []int{12, 12})
+	// d(0) = 2^-10 ≈ 0.00098 <= 0.02, ℓ(0) = 1 → golden.
+	if !st.GoldenFor(0) {
+		t.Fatal("quiet low-level vertex should be golden")
+	}
+	// Vertex 1 at ℓ = 10: d(1) = 1/2 > 0.02 and light mass 1/2 > 0.001
+	// → golden via case (b) (its neighbor is light).
+	if !st.GoldenFor(1) {
+		t.Fatal("vertex with beeping light neighbor should be golden (case b)")
+	}
+}
+
+func TestGoldenForNegativeCase(t *testing.T) {
+	// Star center at high level with all leaves at cap (silent): no
+	// light beeping mass, level > 1 → not golden.
+	g := graph.Star(5)
+	levels := []int{5, 8, 8, 8, 8}
+	caps := []int{8, 8, 8, 8, 8}
+	st := NewState(g, levels, caps)
+	if st.GoldenFor(0) {
+		t.Fatal("silent neighborhood at high level should not be golden")
+	}
+}
+
+func TestLightBeepingMass(t *testing.T) {
+	g := graph.Star(3) // center 0, leaves 1,2
+	st := NewState(g, []int{8, 1, 2}, []int{8, 8, 8})
+	// Leaves are light (their only neighbor is at positive level, d small).
+	want := 0.5 + 0.25
+	if got := st.LightBeepingMass(0); got != want {
+		t.Fatalf("light mass %v, want %v", got, want)
+	}
+}
+
+func TestCountClassifiedOnExecution(t *testing.T) {
+	g := graph.GNPAvgDegree(80, 6, rng.New(5))
+	proto := NewAlg1(KnownMaxDegreeExact(DefaultC1KnownDelta))
+	net, err := beep.NewNetwork(g, proto, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	net.RandomizeAll()
+
+	sawGolden := false
+	for r := 0; r < 500; r++ {
+		st, err := Snapshot(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prominent, light, golden, platinum := st.CountClassified()
+		if prominent < 0 || light < 0 || golden < 0 || platinum < 0 {
+			t.Fatal("negative class count")
+		}
+		if light > g.N() || prominent > g.N() {
+			t.Fatal("class count exceeds n")
+		}
+		if golden > 0 {
+			sawGolden = true
+		}
+		if st.Stabilized() {
+			// In a legal state every unstable count is zero.
+			if golden != 0 || platinum != 0 {
+				t.Fatalf("stabilized snapshot has golden=%d platinum=%d", golden, platinum)
+			}
+			if !sawGolden {
+				t.Fatal("no golden rounds observed on the way to stabilization")
+			}
+			return
+		}
+		net.Step()
+	}
+	t.Fatal("no stabilization in 500 rounds")
+}

@@ -1,0 +1,23 @@
+// Package core implements the paper's contribution: self-stabilizing
+// maximal-independent-set computation in the full-duplex beeping model
+// (Giakkoupis, Turau, Ziccardi, PODC 2024).
+//
+// It provides:
+//
+//   - Algorithm 1: the self-stabilizing version of the Jeavons–Scott–Xu
+//     beeping MIS algorithm. Each vertex maintains a level
+//     ℓ ∈ {-ℓmax(v), …, ℓmax(v)} and beeps with probability
+//     min{2^-ℓ, 1}; hearing a beep raises the level, beeping alone drops
+//     it to -ℓmax (a committed MIS attempt), silence decays it toward 1.
+//   - Algorithm 2: the two-beeping-channel variant with levels in
+//     {0, …, ℓmax(v)}, where MIS membership is announced on the second
+//     channel.
+//   - The knowledge variants of Theorems 2.1 and 2.2 and Corollary 2.3 as
+//     LevelCap functions: global maximum degree, own degree, and 1-hop
+//     neighborhood maximum degree.
+//   - The legality machinery of Section 3 (I_t, S_t, μ_t, η_t, prominent
+//     vertices, platinum rounds) used for stabilization detection and the
+//     lemma-level experiments.
+//   - A Runner that executes an instance to stabilization from arbitrary
+//     initial configurations and verifies the resulting MIS.
+package core

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/beep"
+	"repro/internal/graph"
+)
+
+// In a legal configuration every vertex's beeping probability is 0 or 1,
+// so the dynamics are deterministic. That makes closure exhaustively
+// checkable: enumerate EVERY level assignment of a tiny system, find the
+// legal ones, and verify each is a fixpoint of one synchronous round.
+// This is a model-checking-style complement to the randomized tests.
+
+// enumerateAssignments calls fn with every assignment of levels[v] in
+// [-caps[v], caps[v]].
+func enumerateAssignments(caps []int, fn func(levels []int)) {
+	levels := make([]int, len(caps))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(caps) {
+			fn(levels)
+			return
+		}
+		for l := -caps[i]; l <= caps[i]; l++ {
+			levels[i] = l
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// installLevels forces the given levels onto an Algorithm 1 network.
+func installLevels(t *testing.T, net *beep.Network, levels []int) {
+	t.Helper()
+	for v, l := range levels {
+		m, ok := net.Machine(v).(Leveled)
+		if !ok {
+			t.Fatalf("machine %T has no levels", net.Machine(v))
+		}
+		m.SetLevel(l)
+		if m.Level() != l {
+			t.Fatalf("level %d rejected for vertex %d", l, v)
+		}
+	}
+}
+
+func TestExhaustiveClosureAlg1(t *testing.T) {
+	// Small graphs and a tiny constant cap keep the state space
+	// enumerable: (2·cap+1)^n assignments.
+	const cap = 2
+	graphs := []*graph.Graph{
+		graph.Empty(2),
+		graph.Path(3),
+		graph.Cycle(4),
+		graph.Complete(3),
+		graph.Star(4),
+	}
+	for _, g := range graphs {
+		proto := NewAlg1(ConstantCap(cap))
+		net, err := beep.NewNetwork(g, proto, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps := make([]int, g.N())
+		for v := range caps {
+			caps[v] = cap
+		}
+		legalCount, checked := 0, 0
+		enumerateAssignments(caps, func(levels []int) {
+			checked++
+			installLevels(t, net, levels)
+			st, err := Snapshot(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.Stabilized() {
+				return
+			}
+			legalCount++
+			if err := st.VerifyMIS(); err != nil {
+				t.Fatalf("%s: legal state %v is not an MIS: %v", g.Name(), levels, err)
+			}
+			// One round must leave the configuration unchanged.
+			net.Step()
+			after, err := Snapshot(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < g.N(); v++ {
+				if after.Level(v) != levels[v] {
+					t.Fatalf("%s: legal state %v not a fixpoint: vertex %d moved to %d",
+						g.Name(), levels, v, after.Level(v))
+				}
+			}
+		})
+		if legalCount == 0 {
+			t.Fatalf("%s: no legal states among %d assignments — enumeration or legality broken", g.Name(), checked)
+		}
+		net.Close()
+	}
+}
+
+func TestExhaustiveLegalStatesMatchMISes(t *testing.T) {
+	// On P3 with cap 2, the legal configurations must correspond exactly
+	// to the two MISes {1} and {0,2} (levels -2/2 patterns).
+	g := graph.Path(3)
+	const cap = 2
+	proto := NewAlg1(ConstantCap(cap))
+	net, err := beep.NewNetwork(g, proto, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	caps := []int{cap, cap, cap}
+	var legals [][]int
+	enumerateAssignments(caps, func(levels []int) {
+		installLevels(t, net, levels)
+		st, err := Snapshot(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Stabilized() {
+			legals = append(legals, append([]int(nil), levels...))
+		}
+	})
+	want := map[[3]int]bool{
+		{2, -2, 2}:  true, // MIS {1}
+		{-2, 2, -2}: true, // MIS {0,2}
+	}
+	if len(legals) != len(want) {
+		t.Fatalf("legal states %v, want exactly %v", legals, want)
+	}
+	for _, l := range legals {
+		key := [3]int{l[0], l[1], l[2]}
+		if !want[key] {
+			t.Fatalf("unexpected legal state %v", l)
+		}
+	}
+}
+
+// Exhaustive reachability on a tiny instance: from EVERY initial
+// assignment of P2 (cap 2), the system stabilizes within a modest
+// budget for several seeds — brute-force coverage of the entire initial
+// state space, complementing the sampled InitRandom tests.
+func TestExhaustiveReachabilityP2(t *testing.T) {
+	g := graph.Path(2)
+	const cap = 2
+	caps := []int{cap, cap}
+	enumerateAssignments(caps, func(levels []int) {
+		for seed := uint64(0); seed < 3; seed++ {
+			proto := NewAlg1(ConstantCap(cap)).WithInitialLevels(func(v int) int { return levels[v] })
+			res, err := Run(RunConfig{
+				Graph:     g,
+				Protocol:  proto,
+				Seed:      seed,
+				Init:      InitFresh, // keep the WithInitialLevels values
+				MaxRounds: 5000,
+			})
+			if err != nil {
+				t.Fatalf("initial %v seed %d: %v", levels, seed, err)
+			}
+			if err := g.VerifyMIS(res.MIS); err != nil {
+				t.Fatalf("initial %v seed %d: %v", levels, seed, err)
+			}
+		}
+	})
+}
+
+// The two-channel algorithm's legal states on P3 (cap 2) are exactly
+// its MIS encodings: members at 0, others at cap.
+func TestExhaustiveLegalStatesAlg2(t *testing.T) {
+	g := graph.Path(3)
+	const cap = 2
+	proto := NewAlg2(ConstantCap(cap))
+	net, err := beep.NewNetwork(g, proto, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+
+	var legals [][]int
+	levels := []int{0, 0, 0}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == 3 {
+			for v, l := range levels {
+				net.Machine(v).(Leveled).SetLevel(l)
+			}
+			st, err := Snapshot(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Stabilized() {
+				if err := st.VerifyMIS(); err != nil {
+					t.Fatalf("legal alg2 state %v invalid: %v", levels, err)
+				}
+				legals = append(legals, append([]int(nil), levels...))
+			}
+			return
+		}
+		for l := 0; l <= cap; l++ {
+			levels[i] = l
+			rec(i + 1)
+		}
+	}
+	rec(0)
+
+	want := map[[3]int]bool{
+		{2, 0, 2}: true, // MIS {1}
+		{0, 2, 0}: true, // MIS {0,2}
+	}
+	if len(legals) != len(want) {
+		t.Fatalf("alg2 legal states %v, want %v", legals, want)
+	}
+	for _, l := range legals {
+		if !want[[3]int{l[0], l[1], l[2]}] {
+			t.Fatalf("unexpected alg2 legal state %v", l)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/beep"
+	"repro/internal/rng"
+)
+
+// Property: under ANY sequence of (sent, heard) signal pairs, the
+// Algorithm 1 level stays in {-ℓmax, …, ℓmax} and only a solo beep can
+// take it below 1.
+func TestAlg1TransitionInvariantProperty(t *testing.T) {
+	f := func(seed uint64, capRaw uint8, steps []byte) bool {
+		cap := int(capRaw%30) + 1
+		m := &alg1Machine{lmax: cap}
+		m.Randomize(rng.New(seed))
+		for _, b := range steps {
+			sent := beep.Signal(b & 1)
+			heard := beep.Signal((b >> 1) & 1)
+			before := m.level
+			m.Update(sent, heard)
+			if m.level < -cap || m.level > cap {
+				return false
+			}
+			// Only the solo-beep branch may move the level below 1
+			// from a positive value.
+			if before >= 1 && m.level < 1 && !(sent.Has(beep.Chan1) && !heard.Has(beep.Chan1)) {
+				return false
+			}
+			// Hearing a beep never lowers the level.
+			if heard.Has(beep.Chan1) && m.level < before {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Algorithm 2 levels stay in {0, …, ℓmax}; ℓ reaches 0 only
+// via a solo beep₁ and ℓmax instantly on hearing beep₂.
+func TestAlg2TransitionInvariantProperty(t *testing.T) {
+	f := func(seed uint64, capRaw uint8, steps []byte) bool {
+		cap := int(capRaw%30) + 1
+		m := &alg2Machine{lmax: cap}
+		m.Randomize(rng.New(seed))
+		for _, b := range steps {
+			var sent beep.Signal
+			switch b & 3 {
+			case 1:
+				sent = beep.Chan1
+			case 2:
+				sent = beep.Chan2
+			}
+			heard := beep.Signal((b >> 2) & 3)
+			before := m.level
+			m.Update(sent, heard)
+			if m.level < 0 || m.level > cap {
+				return false
+			}
+			if heard.Has(beep.Chan2) && m.level != cap {
+				return false
+			}
+			if before > 0 && m.level == 0 && !(sent.Has(beep.Chan1) && heard == beep.Silent) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the adaptive machine's cap is monotone non-decreasing and
+// level always stays within the current cap under arbitrary signals.
+func TestAdaptiveTransitionInvariantProperty(t *testing.T) {
+	f := func(seed uint64, steps []byte) bool {
+		m := NewAdaptiveAlg1().NewMachine(0, nil).(*adaptiveMachine)
+		m.Randomize(rng.New(seed))
+		prevCap := m.Cap()
+		for _, b := range steps {
+			sent := beep.Signal(b & 1)
+			heard := beep.Signal((b >> 1) & 1)
+			m.Update(sent, heard)
+			if m.Cap() < prevCap {
+				return false
+			}
+			prevCap = m.Cap()
+			if m.Level() < -m.Cap() || m.Level() > m.Cap() || m.Cap() > m.maxCap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Emit never returns a channel the protocol does not own, for
+// arbitrary machine states.
+func TestEmitChannelDisciplineProperty(t *testing.T) {
+	f := func(seed uint64, capRaw uint8) bool {
+		cap := int(capRaw%20) + 1
+		src := rng.New(seed)
+		m1 := &alg1Machine{lmax: cap}
+		m1.Randomize(src)
+		for i := 0; i < 50; i++ {
+			if m1.Emit(src).Has(beep.Chan2) {
+				return false
+			}
+		}
+		m2 := &alg2Machine{lmax: cap}
+		m2.Randomize(src)
+		for i := 0; i < 50; i++ {
+			s := m2.Emit(src)
+			if s.Has(beep.Chan1) && s.Has(beep.Chan2) {
+				return false // channels are mutually exclusive in Alg2
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

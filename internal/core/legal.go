@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/beep"
+	"repro/internal/graph"
+)
+
+// State is an analyst's snapshot of one execution instant: the levels and
+// caps of all vertices. It supports the Section 3 machinery (I_t, S_t,
+// μ_t, η_t, prominent vertices) used for stabilization detection and the
+// lemma-level experiments.
+type State struct {
+	g      *graph.Graph
+	levels []int
+	caps   []int
+	// twoChannel marks Algorithm 2 semantics: MIS membership is ℓ = 0
+	// with no ℓ = 0 neighbor, rather than ℓ = -ℓmax with all-cap
+	// neighbors.
+	twoChannel bool
+
+	// misBuf and stableBuf are scratch masks reused by the per-round
+	// legality check so snapshot-every-round loops stay allocation-free.
+	misBuf    []bool
+	stableBuf []bool
+}
+
+// Snapshot captures the current levels of a network running Algorithm 1
+// or Algorithm 2. It returns an error if any machine does not expose
+// levels (i.e. is not one of the core protocols).
+func Snapshot(net *beep.Network) (*State, error) {
+	st := &State{}
+	if err := st.Refresh(net); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Refresh re-captures the network's current levels into the receiver,
+// reusing its buffers. It is the allocation-free path for callers that
+// snapshot every round (the stabilization detector); a zero State is a
+// valid receiver.
+func (s *State) Refresh(net *beep.Network) error {
+	n := net.N()
+	s.g = net.Graph()
+	if cap(s.levels) < n {
+		s.levels = make([]int, n)
+		s.caps = make([]int, n)
+	}
+	s.levels = s.levels[:n]
+	s.caps = s.caps[:n]
+	s.twoChannel = false
+	for v := 0; v < n; v++ {
+		m, ok := net.Machine(v).(Leveled)
+		if !ok {
+			return fmt.Errorf("core: machine of vertex %d (%T) does not expose levels", v, net.Machine(v))
+		}
+		s.levels[v] = m.Level()
+		s.caps[v] = m.Cap()
+		if _, is2 := net.Machine(v).(*alg2Machine); is2 {
+			s.twoChannel = true
+		}
+	}
+	return nil
+}
+
+// NewState builds a snapshot directly from level and cap slices
+// (single-channel semantics), for tests and analytical tooling.
+func NewState(g *graph.Graph, levels, caps []int) *State {
+	return &State{g: g, levels: levels, caps: caps}
+}
+
+// Level returns ℓ(v) in this snapshot.
+func (s *State) Level(v int) int { return s.levels[v] }
+
+// Cap returns ℓmax(v).
+func (s *State) Cap(v int) int { return s.caps[v] }
+
+// InMIS reports whether v is in the stabilized-MIS set I_t of the
+// snapshot: for Algorithm 1, ℓ(v) = -ℓmax(v) and every neighbor u is at
+// ℓmax(u) (equivalently μ_t(v) = 1); for Algorithm 2, ℓ(v) = 0 and no
+// neighbor has ℓ = 0 while all neighbors are at cap.
+func (s *State) InMIS(v int) bool {
+	if s.twoChannel {
+		if s.levels[v] != 0 {
+			return false
+		}
+		for _, u := range s.g.Neighbors(v) {
+			if s.levels[u] != s.caps[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if s.levels[v] != -s.caps[v] {
+		return false
+	}
+	for _, u := range s.g.Neighbors(v) {
+		if s.levels[u] != s.caps[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// MISMask returns the membership mask of I_t. The returned slice is
+// freshly allocated and safe to retain.
+func (s *State) MISMask() []bool {
+	mask := make([]bool, len(s.levels))
+	s.misMaskInto(mask)
+	return mask
+}
+
+// misMaskInto fills mask (length n) with I_t membership.
+func (s *State) misMaskInto(mask []bool) {
+	for v := range mask {
+		mask[v] = s.InMIS(v)
+	}
+}
+
+// StableMask returns the mask of S_t = I_t ∪ N(I_t), the vertices whose
+// output has stabilized. The returned slice is freshly allocated and
+// safe to retain.
+func (s *State) StableMask() []bool {
+	stable := make([]bool, len(s.levels))
+	s.stableMaskInto(stable, make([]bool, len(s.levels)))
+	return stable
+}
+
+// stableMaskInto fills stable with S_t, using misScratch as the I_t
+// working mask; both must have length n.
+func (s *State) stableMaskInto(stable, misScratch []bool) {
+	s.misMaskInto(misScratch)
+	copy(stable, misScratch)
+	for v, in := range misScratch {
+		if !in {
+			continue
+		}
+		for _, u := range s.g.Neighbors(v) {
+			stable[u] = true
+		}
+	}
+}
+
+// scratchMasks returns the reusable mis/stable scratch buffers sized n.
+func (s *State) scratchMasks() (mis, stable []bool) {
+	n := len(s.levels)
+	if cap(s.misBuf) < n {
+		s.misBuf = make([]bool, n)
+		s.stableBuf = make([]bool, n)
+	}
+	return s.misBuf[:n], s.stableBuf[:n]
+}
+
+// Stabilized reports whether every vertex is stable (S_t = V), the
+// paper's stabilization condition. In that case MISMask is a maximal
+// independent set. It reuses internal scratch buffers, so it performs
+// no allocations after the first call on a given State.
+func (s *State) Stabilized() bool {
+	mis, stable := s.scratchMasks()
+	s.stableMaskInto(stable, mis)
+	for _, ok := range stable {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// StableCount returns |S_t|, useful for convergence progress curves.
+func (s *State) StableCount() int {
+	mis, stable := s.scratchMasks()
+	s.stableMaskInto(stable, mis)
+	return graph.CountTrue(stable)
+}
+
+// Mu returns μ_t(v) = min over u ∈ N(v) of ℓ(u)/ℓmax(u), in [-1, 1];
+// for an isolated vertex it returns 1 (the vacuous minimum, consistent
+// with the stabilization predicate).
+func (s *State) Mu(v int) float64 {
+	nb := s.g.Neighbors(v)
+	if len(nb) == 0 {
+		return 1
+	}
+	min := 2.0
+	for _, u := range nb {
+		r := float64(s.levels[u]) / float64(s.caps[u])
+		if r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// Prominent reports whether v is prominent (Definition 3.3): ℓ(v) <= 0.
+// Under Algorithm 2 semantics the analogous notion is ℓ(v) = 0.
+func (s *State) Prominent(v int) bool {
+	if s.twoChannel {
+		return s.levels[v] == 0
+	}
+	return s.levels[v] <= 0
+}
+
+// PlatinumFor reports whether the snapshot is a platinum round of v:
+// some vertex of N⁺(v) is prominent.
+func (s *State) PlatinumFor(v int) bool {
+	if s.Prominent(v) {
+		return true
+	}
+	for _, u := range s.g.Neighbors(v) {
+		if s.Prominent(int(u)) {
+			return true
+		}
+	}
+	return false
+}
+
+// BeepProbOf returns p_t(v), the beeping probability implied by the
+// level of v (Figure 1). For Algorithm 2 it is the channel-1 probability
+// (0 at both ℓ = 0 and ℓ = ℓmax).
+func (s *State) BeepProbOf(v int) float64 {
+	if s.twoChannel && s.levels[v] == 0 {
+		return 0
+	}
+	return BeepProb(s.levels[v], s.caps[v])
+}
+
+// ExpectedBeepingNeighbors returns d_t(v) = Σ_{u ∈ N(v)} p_t(u), the
+// quantity driving the golden-round analysis (Section 6.1).
+func (s *State) ExpectedBeepingNeighbors(v int) float64 {
+	d := 0.0
+	for _, u := range s.g.Neighbors(v) {
+		d += s.BeepProbOf(int(u))
+	}
+	return d
+}
+
+// Eta returns η_t(v) = Σ_{u ∈ N(v) \ S_t} 2^-ℓmax(u), the residual mass
+// of unstabilized neighbors (Section 3). stable must be a StableMask of
+// the same snapshot; pass nil to compute it.
+func (s *State) Eta(v int, stable []bool) float64 {
+	if stable == nil {
+		stable = s.StableMask()
+	}
+	sum := 0.0
+	for _, u := range s.g.Neighbors(v) {
+		if !stable[u] {
+			sum += math.Pow(2, -float64(s.caps[u]))
+		}
+	}
+	return sum
+}
+
+// VerifyMIS checks that the snapshot's I_t is a maximal independent set
+// of the graph, returning a descriptive error otherwise. It is the
+// safety check applied after every stabilized run.
+func (s *State) VerifyMIS() error {
+	return s.g.VerifyMIS(s.MISMask())
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// LevelCap computes ℓmax(v), the per-vertex level cap, from the
+// *knowledge* available to vertex v. The three variants below realize the
+// knowledge assumptions of Theorem 2.1 (global Δ), Theorem 2.2 (own
+// degree) and Corollary 2.3 (1-hop neighborhood maximum degree).
+//
+// The function may inspect the graph only to model the granted knowledge;
+// the resulting integer is the only topology information the vertex's
+// machine ever holds.
+type LevelCap func(v int, g *graph.Graph) int
+
+// Default slack constants from the theorem statements: Theorem 2.1 and
+// Corollary 2.3 require c1 >= 15, Theorem 2.2 requires c1 >= 30.
+const (
+	DefaultC1KnownDelta = 15
+	DefaultC1OwnDegree  = 30
+	DefaultC1TwoHop     = 15
+)
+
+// log2Ceil returns ceil(log2(x)) for x >= 1, and 0 for x <= 1.
+func log2Ceil(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(x))))
+}
+
+// KnownMaxDegree returns the Theorem 2.1 cap: every vertex uses the same
+// ℓmax = log2(Δupper) + c1, where Δupper is a (possibly loose) upper
+// bound on the maximum degree known to all vertices.
+func KnownMaxDegree(deltaUpper, c1 int) LevelCap {
+	return func(int, *graph.Graph) int {
+		return log2Ceil(deltaUpper) + c1
+	}
+}
+
+// KnownMaxDegreeExact is KnownMaxDegree with the true Δ(G) of the
+// instance, the tightest admissible knowledge under Theorem 2.1.
+func KnownMaxDegreeExact(c1 int) LevelCap {
+	return func(_ int, g *graph.Graph) int {
+		return log2Ceil(g.MaxDegree()) + c1
+	}
+}
+
+// OwnDegree returns the Theorem 2.2 cap: ℓmax(v) = 2·log2(deg(v)) + c1,
+// using only the vertex's own degree.
+func OwnDegree(c1 int) LevelCap {
+	return func(v int, g *graph.Graph) int {
+		return 2*log2Ceil(g.Degree(v)) + c1
+	}
+}
+
+// NeighborhoodMaxDegree returns the Corollary 2.3 cap for the
+// two-channel algorithm: ℓmax(v) = 2·log2(deg₂(v)) + c1, where deg₂ is
+// the maximum degree in the closed 1-hop neighborhood.
+func NeighborhoodMaxDegree(c1 int) LevelCap {
+	return func(v int, g *graph.Graph) int {
+		return 2*log2Ceil(g.Degree2(v)) + c1
+	}
+}
+
+// ConstantCap returns ℓmax(v) = L for every vertex, used by ablations
+// that probe what happens below the theorems' thresholds.
+func ConstantCap(L int) LevelCap {
+	return func(int, *graph.Graph) int { return L }
+}
+
+// ValidateCaps checks the preconditions the theorems put on ℓmax:
+// positivity, ℓmax(v) >= log2(deg(v)) + 4 (the standing assumption of
+// Lemmas 3.5/3.6), and ℓmax(v) = O(log n) via the given c2 multiplier
+// (ℓmax(v) <= c2·log2(n) with a small additive allowance for tiny
+// graphs). It returns a descriptive error naming the first offending
+// vertex.
+func ValidateCaps(g *graph.Graph, cap LevelCap, c2 float64) error {
+	n := g.N()
+	limit := c2*math.Log2(float64(n)+1) + float64(DefaultC1OwnDegree) + 4
+	for v := 0; v < n; v++ {
+		lm := cap(v, g)
+		if lm < 1 {
+			return fmt.Errorf("core: ℓmax(%d) = %d < 1", v, lm)
+		}
+		if lm < log2Ceil(g.Degree(v))+4 {
+			return fmt.Errorf("core: ℓmax(%d) = %d below log2(deg)+4 = %d (lemma precondition)", v, lm, log2Ceil(g.Degree(v))+4)
+		}
+		if float64(lm) > limit {
+			return fmt.Errorf("core: ℓmax(%d) = %d exceeds c2·log n allowance %.1f", v, lm, limit)
+		}
+	}
+	return nil
+}
+
+// BeepProb returns the beeping probability p_t(v) implied by a level and
+// cap, the activation function of Figure 1:
+//
+//	p = 1      if ℓ <= 0
+//	p = 2^-ℓ   if 0 < ℓ < ℓmax
+//	p = 0      if ℓ = ℓmax
+func BeepProb(level, cap int) float64 {
+	switch {
+	case level <= 0:
+		return 1
+	case level >= cap:
+		return 0
+	default:
+		return math.Pow(2, -float64(level))
+	}
+}

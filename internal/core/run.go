@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/beep"
+	"repro/internal/graph"
+)
+
+// ErrNotStabilized reports that an execution hit its round budget before
+// reaching a legal configuration.
+var ErrNotStabilized = errors.New("core: execution did not stabilize within the round budget")
+
+// InitMode selects the initial configuration of a run.
+type InitMode int
+
+const (
+	// InitFresh starts every vertex at ℓmax(v), the neutral silent state
+	// (comparable to a clean boot).
+	InitFresh InitMode = iota + 1
+	// InitRandom draws every level uniformly from the vertex's state
+	// space: the "arbitrary initial configuration" of self-stabilization.
+	InitRandom
+	// InitAdversarial uses a crafted worst-case configuration: every
+	// vertex claims MIS membership simultaneously (ℓ = -ℓmax for
+	// Algorithm 1, ℓ = 0 for Algorithm 2), the maximal mutual
+	// inconsistency a fault can produce.
+	InitAdversarial
+	// InitZero starts every vertex at level 0 (all vertices beeping with
+	// probability 1), another synchronized pathological configuration.
+	InitZero
+)
+
+// String names the init mode for experiment tables.
+func (m InitMode) String() string {
+	switch m {
+	case InitFresh:
+		return "fresh"
+	case InitRandom:
+		return "random"
+	case InitAdversarial:
+		return "adversarial"
+	case InitZero:
+		return "zero"
+	default:
+		return fmt.Sprintf("init(%d)", int(m))
+	}
+}
+
+// RunConfig describes one execution of a core algorithm to stabilization.
+type RunConfig struct {
+	Graph *graph.Graph
+	// Protocol must be *Alg1 or *Alg2 (anything whose machines implement
+	// Leveled).
+	Protocol beep.Protocol
+	Seed     uint64
+	Init     InitMode
+	// MaxRounds bounds the execution; 0 selects a generous default of
+	// 1000·(log2 n + 1) + 1000 rounds, far above the w.h.p. bounds.
+	MaxRounds int
+	Engine    beep.Engine
+	// CheckEvery sets how often (in rounds) stabilization is tested;
+	// 0 means every round, giving exact stabilization times.
+	CheckEvery int
+	// Observer, when non-nil, receives each round's signals.
+	Observer func(round int, sent, heard []beep.Signal)
+	// Noise, when non-zero, makes listening unreliable (see beep.Noise).
+	// Under noise, stabilization may hold only intermittently; Run still
+	// stops at the first legal snapshot.
+	Noise beep.Noise
+	// Sleep, when non-zero, makes vertices miss rounds (see beep.Sleep).
+	Sleep beep.Sleep
+}
+
+// RunResult reports a stabilized execution.
+type RunResult struct {
+	// Rounds is the number of rounds until S_t = V was first observed
+	// (at CheckEvery granularity).
+	Rounds int
+	// MIS is the stabilized maximal independent set.
+	MIS []bool
+	// MISSize is the number of MIS vertices.
+	MISSize int
+}
+
+// defaultMaxRounds returns the default round budget for n vertices.
+func defaultMaxRounds(n int) int {
+	log := 0
+	for x := n; x > 1; x >>= 1 {
+		log++
+	}
+	return 1000*(log+1) + 1000
+}
+
+// Run executes the configured instance until the paper's stabilization
+// condition holds, then verifies the resulting MIS against the graph.
+// It returns ErrNotStabilized (wrapped) if the budget is exhausted.
+func Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("core: nil protocol")
+	}
+	engine := cfg.Engine
+	if engine == 0 {
+		engine = beep.Sequential
+	}
+	opts := []beep.Option{beep.WithEngine(engine), beep.WithNoise(cfg.Noise), beep.WithSleep(cfg.Sleep)}
+	if cfg.Observer != nil {
+		opts = append(opts, beep.WithObserver(cfg.Observer))
+	}
+	net, err := beep.NewNetwork(cfg.Graph, cfg.Protocol, cfg.Seed, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("core: build network: %w", err)
+	}
+	defer net.Close()
+
+	if err := applyInit(net, cfg.Init); err != nil {
+		return nil, err
+	}
+	return runToStabilization(net, cfg.MaxRounds, cfg.CheckEvery)
+}
+
+// applyInit installs the initial configuration on a freshly built
+// network whose machines implement Leveled.
+func applyInit(net *beep.Network, mode InitMode) error {
+	switch mode {
+	case InitFresh, 0:
+		// Machines already start at ℓmax.
+		return nil
+	case InitRandom:
+		net.RandomizeAll()
+		return nil
+	case InitAdversarial:
+		for v := 0; v < net.N(); v++ {
+			m, ok := net.Machine(v).(Leveled)
+			if !ok {
+				return fmt.Errorf("core: init %v: machine %T has no levels", mode, net.Machine(v))
+			}
+			// SetLevel clamps: -cap for Algorithm 1, 0 for Algorithm 2 —
+			// in both cases the "I am in the MIS" extreme.
+			m.SetLevel(-m.Cap())
+		}
+		return nil
+	case InitZero:
+		for v := 0; v < net.N(); v++ {
+			m, ok := net.Machine(v).(Leveled)
+			if !ok {
+				return fmt.Errorf("core: init %v: machine %T has no levels", mode, net.Machine(v))
+			}
+			m.SetLevel(0)
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: unknown init mode %v", mode)
+	}
+}
+
+// runToStabilization steps net until Stabilized, the budget runs out, or
+// a safety violation is detected, and verifies the final MIS.
+func runToStabilization(net *beep.Network, maxRounds, checkEvery int) (*RunResult, error) {
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds(net.N())
+	}
+	if checkEvery <= 0 {
+		checkEvery = 1
+	}
+	var probe State
+	stabilized := func() bool {
+		if net.Round()%checkEvery != 0 {
+			return false
+		}
+		if err := probe.Refresh(net); err != nil {
+			// Surfaced below via the final snapshot; cannot stabilize.
+			return false
+		}
+		return probe.Stabilized()
+	}
+	rounds, ok := net.Run(maxRounds, stabilized)
+	st, err := Snapshot(net)
+	if err != nil {
+		return nil, err
+	}
+	if !ok || !st.Stabilized() {
+		return nil, fmt.Errorf("%w: %d rounds on %s (n=%d, stable %d/%d)",
+			ErrNotStabilized, rounds, net.Graph().Name(), net.N(), st.StableCount(), net.N())
+	}
+	if err := st.VerifyMIS(); err != nil {
+		return nil, fmt.Errorf("core: stabilized to an illegal state: %w", err)
+	}
+	mis := st.MISMask()
+	return &RunResult{
+		Rounds:  rounds,
+		MIS:     mis,
+		MISSize: graph.CountTrue(mis),
+	}, nil
+}

@@ -1,0 +1,217 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// RunE8 runs the ablation suite motivated by Section 2 and the
+// conclusion: the role of the slack constant c1, what happens when
+// ℓmax is pushed below the analysis threshold, one versus two channels,
+// sensitivity to the initial configuration, and the classical
+// message-passing reference points.
+func RunE8(cfg Config) error {
+	if err := runE8C1Sweep(cfg); err != nil {
+		return err
+	}
+	if err := runE8BelowThreshold(cfg); err != nil {
+		return err
+	}
+	if err := runE8Channels(cfg); err != nil {
+		return err
+	}
+	if err := runE8InitModes(cfg); err != nil {
+		return err
+	}
+	return runE8Reference(cfg)
+}
+
+// runE8C1Sweep varies the slack constant c1 of Theorem 2.1. The
+// theorems require c1 >= 15, but the constant trades robustness margin
+// (smaller η) against the ℓmax-proportional commitment delay; the sweep
+// shows the measured cost of slack.
+func runE8C1Sweep(cfg Config) error {
+	trials := cfg.trials(5, 20)
+	n := 256
+	if cfg.Full {
+		n = 2048
+	}
+	tab := &Table{
+		Title:   fmt.Sprintf("E8a: slack constant c1 (Algorithm 1, known Δ, gnp-avg8, n=%d)", n),
+		Columns: []string{"c1", "ℓmax", "rounds(mean)", "rounds(p90)"},
+		Notes:   []string{"Theorem 2.1 requires c1 >= 15; smaller c1 voids the w.h.p. guarantee but often still stabilizes, faster"},
+	}
+	for _, c1 := range []int{4, 8, 15, 30, 60} {
+		var rounds []float64
+		lmax := 0
+		for trial := 0; trial < trials; trial++ {
+			g := graph.GNPAvgDegree(n, 8, rng.New(cellSeed(cfg.Seed, 81, uint64(c1), uint64(trial), 1)))
+			cap := core.KnownMaxDegreeExact(c1)
+			lmax = cap(0, g)
+			res, err := core.Run(core.RunConfig{
+				Graph:    g,
+				Protocol: core.NewAlg1(cap),
+				Seed:     cellSeed(cfg.Seed, 81, uint64(c1), uint64(trial), 2),
+				Init:     core.InitRandom,
+			})
+			if err != nil {
+				return fmt.Errorf("E8a c1=%d: %w", c1, err)
+			}
+			rounds = append(rounds, float64(res.Rounds))
+		}
+		s := Summarize(rounds)
+		tab.AddRow(I(c1), I(lmax), F(s.Mean), F(s.P90))
+	}
+	return cfg.Render(tab)
+}
+
+// runE8BelowThreshold pushes ℓmax below the lemmas' log2(deg)+4
+// precondition on a clique, where the beeping-probability floor 2^-ℓmax
+// keeps collision rates high: stabilization within the budget becomes
+// unreliable, demonstrating that the knowledge requirement is real.
+func runE8BelowThreshold(cfg Config) error {
+	trials := cfg.trials(5, 20)
+	const n = 64
+	const budget = 30000
+	tab := &Table{
+		Title:   fmt.Sprintf("E8b: constant ℓmax below the threshold (complete graph K_%d, budget %d rounds)", n, budget),
+		Columns: []string{"ℓmax", "log2Δ+4", "stabilized", "trials", "rounds(mean, stabilized only)"},
+	}
+	need := 0
+	for x := n - 1; x > 1; x >>= 1 {
+		need++
+	}
+	need += 4
+	for _, cap := range []int{2, 3, 4, 6, need, need + 8} {
+		stabilized := 0
+		var rounds []float64
+		for trial := 0; trial < trials; trial++ {
+			res, err := core.Run(core.RunConfig{
+				Graph:     graph.Complete(n),
+				Protocol:  core.NewAlg1(core.ConstantCap(cap)),
+				Seed:      cellSeed(cfg.Seed, 82, uint64(cap), uint64(trial)),
+				Init:      core.InitRandom,
+				MaxRounds: budget,
+			})
+			switch {
+			case err == nil:
+				stabilized++
+				rounds = append(rounds, float64(res.Rounds))
+			case errors.Is(err, core.ErrNotStabilized):
+				// Expected failure mode below the threshold.
+			default:
+				return fmt.Errorf("E8b cap=%d: %w", cap, err)
+			}
+		}
+		tab.AddRow(I(cap), I(need), I(stabilized), I(trials), F(Summarize(rounds).Mean))
+	}
+	return cfg.Render(tab)
+}
+
+// runE8Channels compares Algorithm 1 (one channel, known Δ) with
+// Algorithm 2 (two channels, deg₂) on identical instances: the price
+// and benefit of the second channel.
+func runE8Channels(cfg Config) error {
+	trials := cfg.trials(5, 20)
+	tab := &Table{
+		Title:   "E8c: one vs two beeping channels (arbitrary initial states, mean rounds)",
+		Columns: []string{"family", "n", "alg1(known Δ)", "alg2(two-chan, deg₂)", "alg2/alg1"},
+	}
+	for _, fam := range denseFamilies() {
+		for _, n := range compareSizes(cfg) {
+			var a1, a2 []float64
+			for trial := 0; trial < trials; trial++ {
+				g := fam.build(n, rng.New(cellSeed(cfg.Seed, 83, uint64(n), uint64(trial), 1)))
+				seed := cellSeed(cfg.Seed, 83, uint64(n), uint64(trial), 2)
+				r1, err := core.Run(core.RunConfig{
+					Graph:    g,
+					Protocol: core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta)),
+					Seed:     seed, Init: core.InitRandom,
+				})
+				if err != nil {
+					return fmt.Errorf("E8c alg1 %s n=%d: %w", fam.name, n, err)
+				}
+				r2, err := core.Run(core.RunConfig{
+					Graph:    g,
+					Protocol: core.NewAlg2(core.NeighborhoodMaxDegree(core.DefaultC1TwoHop)),
+					Seed:     seed, Init: core.InitRandom,
+				})
+				if err != nil {
+					return fmt.Errorf("E8c alg2 %s n=%d: %w", fam.name, n, err)
+				}
+				a1 = append(a1, float64(r1.Rounds))
+				a2 = append(a2, float64(r2.Rounds))
+			}
+			m1, m2 := Summarize(a1).Mean, Summarize(a2).Mean
+			ratio := 0.0
+			if m1 > 0 {
+				ratio = m2 / m1
+			}
+			tab.AddRow(fam.name, I(n), F(m1), F(m2), F(ratio))
+		}
+	}
+	return cfg.Render(tab)
+}
+
+// runE8InitModes quantifies sensitivity to the initial configuration:
+// a self-stabilizing algorithm's round counts should be of the same
+// order for fresh, random, adversarial and zero starts.
+func runE8InitModes(cfg Config) error {
+	trials := cfg.trials(5, 20)
+	n := 256
+	if cfg.Full {
+		n = 2048
+	}
+	tab := &Table{
+		Title:   fmt.Sprintf("E8d: initial-configuration sensitivity (Algorithm 1, gnp-avg8, n=%d, mean rounds)", n),
+		Columns: []string{"init", "rounds(mean)", "median", "max"},
+	}
+	for _, init := range []core.InitMode{core.InitFresh, core.InitRandom, core.InitAdversarial, core.InitZero} {
+		var rounds []float64
+		for trial := 0; trial < trials; trial++ {
+			g := graph.GNPAvgDegree(n, 8, rng.New(cellSeed(cfg.Seed, 84, uint64(init), uint64(trial), 1)))
+			res, err := core.Run(core.RunConfig{
+				Graph:    g,
+				Protocol: core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta)),
+				Seed:     cellSeed(cfg.Seed, 84, uint64(init), uint64(trial), 2),
+				Init:     init,
+			})
+			if err != nil {
+				return fmt.Errorf("E8d init=%v: %w", init, err)
+			}
+			rounds = append(rounds, float64(res.Rounds))
+		}
+		s := Summarize(rounds)
+		tab.AddRow(init.String(), F(s.Mean), F(s.Median), F(s.Max))
+	}
+	return cfg.Render(tab)
+}
+
+// runE8Reference places the beeping algorithms next to Luby on the
+// message-passing substrate and the sequential greedy MIS: round counts
+// under incomparable communication models, plus output MIS sizes.
+func runE8Reference(cfg Config) error {
+	trials := cfg.trials(3, 10)
+	tab := &Table{
+		Title:   "E8e: classical reference points (mean over trials)",
+		Columns: []string{"family", "n", "luby-rounds", "luby-|MIS|", "alg1-|MIS|", "greedy-|MIS|"},
+		Notes: []string{
+			"luby runs on the message-passing substrate (Θ(log n)-bit messages per round); the beeping model transmits 1 bit",
+			"MIS sizes are close across algorithms: all outputs are maximal independent sets of the same graphs",
+		},
+	}
+	for _, fam := range denseFamilies() {
+		for _, n := range compareSizes(cfg) {
+			lr, ls, as, gs, err := lubyReference(cfg, fam, n, trials)
+			if err != nil {
+				return fmt.Errorf("E8e: %w", err)
+			}
+			tab.AddRow(fam.name, I(n), F(lr), F(ls), F(as), F(gs))
+		}
+	}
+	return cfg.Render(tab)
+}

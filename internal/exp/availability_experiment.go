@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stab"
+)
+
+// RunE14 measures availability under recurring fault storms — the
+// dependability view of self-stabilization. Unlike E6 (which waits for
+// each recovery), faults arrive on a fixed period whether or not the
+// previous one has been repaired, and the metric is the fraction of
+// rounds the system spends in a legal configuration. Because recovery
+// takes O(log n) rounds, availability should approach 1 once the fault
+// period comfortably exceeds the recovery time, and collapse when
+// faults arrive faster than repairs.
+func RunE14(cfg Config) error {
+	trials := cfg.trials(3, 10)
+	n := 256
+	if cfg.Full {
+		n = 1024
+	}
+	window := 2000
+
+	tab := &Table{
+		Title:   fmt.Sprintf("E14: availability under recurring faults (gnp-avg8 n=%d, window %d rounds, mean over trials)", n, window),
+		Columns: []string{"fault", "k", "period", "availability", "mean-recovery", "longest-outage", "injections"},
+		Notes: []string{
+			"faults recur every `period` rounds regardless of recovery state",
+			"availability: fraction of rounds in a legal configuration",
+			"the crossover sits where the period matches the O(log n) recovery time",
+		},
+	}
+
+	k := n / 20
+	for _, faultKind := range []string{"random", "mis"} {
+		for _, period := range []int{10, 25, 50, 100, 400} {
+			var avail, rec, outage, inj []float64
+			for trial := 0; trial < trials; trial++ {
+				g := graph.GNPAvgDegree(n, 8, rng.New(cellSeed(cfg.Seed, 14, uint64(period), uint64(trial), 1)))
+				var fault stab.Fault
+				if faultKind == "random" {
+					fault = stab.RandomFault{K: k}
+				} else {
+					fault = stab.MISFault{K: k / 4}
+				}
+				res, err := stab.MeasureAvailability(stab.AvailabilityConfig{
+					Graph:    g,
+					Protocol: core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta)),
+					Seed:     cellSeed(cfg.Seed, 14, uint64(period), uint64(trial), 2),
+					Fault:    fault,
+					Period:   period,
+					Window:   window,
+				})
+				if err != nil {
+					return fmt.Errorf("E14 %s period=%d: %w", faultKind, period, err)
+				}
+				avail = append(avail, res.Availability)
+				rec = append(rec, res.MeanRecovery)
+				outage = append(outage, float64(res.LongestOutage))
+				inj = append(inj, float64(res.Injections))
+			}
+			kShown := k
+			if faultKind == "mis" {
+				kShown = k / 4
+			}
+			tab.AddRow(faultKind, I(kShown), I(period),
+				fmt.Sprintf("%.3f", Summarize(avail).Mean),
+				F(Summarize(rec).Mean), F(Summarize(outage).Mean), F(Summarize(inj).Mean))
+		}
+	}
+	return cfg.Render(tab)
+}

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// CI is a two-sided confidence interval for a mean.
+type CI struct {
+	Low  float64
+	High float64
+}
+
+// String renders the interval for table cells.
+func (c CI) String() string {
+	return fmt.Sprintf("[%s, %s]", F(c.Low), F(c.High))
+}
+
+// BootstrapMeanCI estimates a confidence interval for the mean of xs by
+// the percentile bootstrap with the given number of resamples,
+// deterministic under src. conf is the coverage (e.g. 0.95). For fewer
+// than two samples it returns the degenerate interval at the mean.
+func BootstrapMeanCI(xs []float64, conf float64, resamples int, src *rng.Source) CI {
+	if len(xs) == 0 {
+		return CI{}
+	}
+	if len(xs) == 1 {
+		return CI{Low: xs[0], High: xs[0]}
+	}
+	if resamples < 1 {
+		resamples = 1000
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 0.95
+	}
+	means := make([]float64, resamples)
+	n := len(xs)
+	for r := 0; r < resamples; r++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += xs[src.Intn(n)]
+		}
+		means[r] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := (1 - conf) / 2
+	return CI{
+		Low:  quantile(means, alpha),
+		High: quantile(means, 1-alpha),
+	}
+}

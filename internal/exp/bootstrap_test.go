@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestBootstrapMeanCIBasics(t *testing.T) {
+	src := rng.New(1)
+	xs := []float64{10, 11, 9, 10.5, 9.5, 10, 10.2, 9.8}
+	ci := BootstrapMeanCI(xs, 0.95, 2000, src)
+	mean := Summarize(xs).Mean
+	if ci.Low > mean || ci.High < mean {
+		t.Fatalf("mean %v outside CI %v", mean, ci)
+	}
+	if ci.Low >= ci.High {
+		t.Fatalf("degenerate CI %v for varied data", ci)
+	}
+	// Interval should be narrow for tight data.
+	if ci.High-ci.Low > 2 {
+		t.Fatalf("CI too wide: %v", ci)
+	}
+}
+
+func TestBootstrapMeanCICoversTrueMean(t *testing.T) {
+	// Repeated experiments: the 95% CI should cover the true mean in
+	// most repetitions (loose bound to keep the test stable).
+	src := rng.New(7)
+	const trueMean = 5.0
+	covered, reps := 0, 100
+	for r := 0; r < reps; r++ {
+		xs := make([]float64, 30)
+		for i := range xs {
+			// Uniform on [0, 10]: mean 5.
+			xs[i] = src.Float64() * 10
+		}
+		ci := BootstrapMeanCI(xs, 0.95, 500, src)
+		if ci.Low <= trueMean && trueMean <= ci.High {
+			covered++
+		}
+	}
+	if covered < 80 {
+		t.Fatalf("95%% CI covered the true mean only %d/%d times", covered, reps)
+	}
+}
+
+func TestBootstrapMeanCIEdgeCases(t *testing.T) {
+	src := rng.New(2)
+	if ci := BootstrapMeanCI(nil, 0.95, 100, src); ci != (CI{}) {
+		t.Fatalf("empty data CI %v", ci)
+	}
+	ci := BootstrapMeanCI([]float64{42}, 0.95, 100, src)
+	if ci.Low != 42 || ci.High != 42 {
+		t.Fatalf("singleton CI %v", ci)
+	}
+	// Invalid parameters fall back to defaults rather than failing.
+	ci = BootstrapMeanCI([]float64{1, 2, 3}, -1, 0, src)
+	if ci.Low > ci.High {
+		t.Fatalf("fallback CI %v", ci)
+	}
+	if ci.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	a := BootstrapMeanCI(xs, 0.9, 300, rng.New(11))
+	b := BootstrapMeanCI(xs, 0.9, 300, rng.New(11))
+	if a != b {
+		t.Fatalf("same seed gave %v and %v", a, b)
+	}
+}

@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/beep"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// RunE13 measures beep complexity — the energy metric of the wireless
+// literature the beeping model comes from. Two quantities matter:
+//
+//   - convergence energy: beeps per vertex until stabilization;
+//   - steady-state energy: beeps per round once stabilized. This is
+//     where self-stabilization has a structural price the paper makes
+//     explicit ("stable vertices cannot be silent after they
+//     stabilized", Section 2): MIS members must keep beeping forever
+//     so faults are detectable, whereas the non-self-stabilizing
+//     Jeavons baseline goes permanently silent — and permanently blind.
+func RunE13(cfg Config) error {
+	trials := cfg.trials(3, 10)
+	n := 256
+	if cfg.Full {
+		n = 1024
+	}
+
+	tab := &Table{
+		Title:   fmt.Sprintf("E13: beep (energy) complexity on gnp-avg8 n=%d, fresh start, mean over trials", n),
+		Columns: []string{"algorithm", "rounds", "conv-beeps/vertex", "max-vertex-beeps", "steady-beeps/round", "fault-detect"},
+		Notes: []string{
+			"conv-beeps/vertex: mean transmissions per vertex until stabilization (convergence energy)",
+			"steady-beeps/round: transmissions per round in the stabilized configuration (standby energy)",
+			"fault-detect: whether the steady state lets neighbors notice a member's disappearance",
+			"the nonzero standby energy of the self-stabilizing algorithms is the structural price of fault detection (Section 2)",
+		},
+	}
+
+	type alg struct {
+		name  string
+		proto beep.Protocol
+		// selfStab marks protocols whose steady state supports fault
+		// detection.
+		selfStab bool
+	}
+	algs := func() []alg {
+		return []alg{
+			{name: "alg1-known-delta", proto: core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta)), selfStab: true},
+			{name: "alg2-two-channel", proto: core.NewAlg2(core.NeighborhoodMaxDegree(core.DefaultC1TwoHop)), selfStab: true},
+			{name: "jeavons (not SS)", proto: baseline.Jeavons{}, selfStab: false},
+		}
+	}
+
+	for _, a := range algs() {
+		var rounds, meanBeeps, maxBeeps, steady []float64
+		for trial := 0; trial < trials; trial++ {
+			g := graph.GNPAvgDegree(n, 8, rng.New(cellSeed(cfg.Seed, 13, uint64(trial), 1)))
+			counts := make([]int, n)
+			lastRoundBeeps := 0
+			net, err := beep.NewNetwork(g, a.proto, cellSeed(cfg.Seed, 13, uint64(trial), 2),
+				beep.WithObserver(func(_ int, sent, _ []beep.Signal) {
+					lastRoundBeeps = 0
+					for v, s := range sent {
+						if s != beep.Silent {
+							counts[v]++
+							lastRoundBeeps++
+						}
+					}
+				}))
+			if err != nil {
+				return fmt.Errorf("E13 %s: %w", a.name, err)
+			}
+			var stop func() bool
+			if a.selfStab {
+				stop = func() bool {
+					st, serr := core.Snapshot(net)
+					return serr == nil && st.Stabilized()
+				}
+			} else {
+				stop = func() bool {
+					for v := 0; v < n; v++ {
+						d, ok := net.Machine(v).(baseline.Decider)
+						if !ok || d.Status() == baseline.Active {
+							return false
+						}
+					}
+					return true
+				}
+			}
+			r, ok := net.Run(200000, stop)
+			if !ok {
+				net.Close()
+				return fmt.Errorf("E13 %s: no convergence", a.name)
+			}
+			rounds = append(rounds, float64(r))
+			sum, max := 0, 0
+			for _, c := range counts {
+				sum += c
+				if c > max {
+					max = c
+				}
+			}
+			meanBeeps = append(meanBeeps, float64(sum)/float64(n))
+			maxBeeps = append(maxBeeps, float64(max))
+			// Steady-state energy: run a settling round and average the
+			// per-round beeps over a short window.
+			const window = 50
+			total := 0
+			for w := 0; w < window; w++ {
+				net.Step()
+				total += lastRoundBeeps
+			}
+			steady = append(steady, float64(total)/window)
+			net.Close()
+		}
+		detect := "no (blind)"
+		if a.selfStab {
+			detect = "yes"
+		}
+		tab.AddRow(a.name, F(Summarize(rounds).Mean), F(Summarize(meanBeeps).Mean),
+			F(Summarize(maxBeeps).Mean), F(Summarize(steady).Mean), detect)
+	}
+	return cfg.Render(tab)
+}

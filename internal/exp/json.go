@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Renderable is anything the experiments emit: tables and series, in
+// text or JSON form.
+type Renderable interface {
+	Render(w io.Writer) error
+	RenderJSON(w io.Writer) error
+}
+
+var (
+	_ Renderable = (*Table)(nil)
+	_ Renderable = (*Series)(nil)
+)
+
+// Render writes r to the configured output in the configured format,
+// so experiments stay agnostic of the output encoding.
+func (c Config) Render(r Renderable) error {
+	if c.JSON {
+		return r.RenderJSON(c.Out)
+	}
+	return r.Render(c.Out)
+}
+
+// jsonTable is the stable machine-readable form of a Table.
+type jsonTable struct {
+	Kind    string     `json:"kind"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// RenderJSON writes the table as one JSON document.
+func (t *Table) RenderJSON(w io.Writer) error {
+	doc := jsonTable{
+		Kind:    "table",
+		Title:   t.Title,
+		Columns: t.Columns,
+		Rows:    t.Rows,
+		Notes:   t.Notes,
+	}
+	if err := json.NewEncoder(w).Encode(doc); err != nil {
+		return fmt.Errorf("render table json: %w", err)
+	}
+	return nil
+}
+
+// jsonSeries is the stable machine-readable form of a Series.
+type jsonSeries struct {
+	Kind   string             `json:"kind"`
+	Title  string             `json:"title"`
+	XLabel string             `json:"xLabel"`
+	YLabel string             `json:"yLabel"`
+	Lines  map[string][]Point `json:"lines"`
+	Order  []string           `json:"order"`
+}
+
+// RenderJSON writes the series as one JSON document.
+func (s *Series) RenderJSON(w io.Writer) error {
+	doc := jsonSeries{
+		Kind:   "series",
+		Title:  s.Title,
+		XLabel: s.XLabel,
+		YLabel: s.YLabel,
+		Lines:  s.Lines,
+		Order:  s.order,
+	}
+	if err := json.NewEncoder(w).Encode(doc); err != nil {
+		return fmt.Errorf("render series json: %w", err)
+	}
+	return nil
+}

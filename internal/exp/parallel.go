@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runTrials executes fn(trial) for every trial in [0, trials)
+// concurrently, bounded by the number of CPUs, and returns the first
+// error encountered. Trials must be independent (each derives its own
+// seeds), so results remain deterministic regardless of scheduling;
+// fn must write its outputs to trial-indexed slots, never append.
+func runTrials(trials int, fn func(trial int) error) error {
+	if trials <= 1 {
+		if trials == 1 {
+			return fn(0)
+		}
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range next {
+				if err := fn(trial); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for t := 0; t < trials; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

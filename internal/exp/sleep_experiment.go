@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/beep"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// RunE12 probes the second model harshening: duty-cycling (sleeping)
+// vertices. Each round every vertex independently misses the round
+// (no transmit, no listen, no update) with probability p — radios in
+// sleep slots or briefly crashed processors. Like E9 it reports both
+// the strict per-round legality and the functional MIS persistence.
+func RunE12(cfg Config) error {
+	trials := cfg.trials(3, 10)
+	n := 256
+	if cfg.Full {
+		n = 1024
+	}
+	const window = 1000
+	budget := 100000
+
+	tab := &Table{
+		Title:   fmt.Sprintf("E12: duty-cycling — per-round sleep probability p, Algorithm 1 known Δ, gnp-avg8 n=%d", n),
+		Columns: []string{"p", "func-stab", "rounds(func)", "strict-frac", "func-frac", "member-flips"},
+		Notes: []string{
+			"a sleeping vertex misses the whole round: no beep, no listening, no state update",
+			"func: the prominent set is a valid MIS; strict: the paper's S_t = V condition",
+			"unlike noise (E9), sleep only delays information — committed members keep their state while asleep",
+		},
+	}
+
+	for _, p := range []float64{0, 0.01, 0.05, 0.1, 0.3, 0.5} {
+		funcStab := 0
+		var rounds, strictFrac, funcFrac, flips []float64
+		for trial := 0; trial < trials; trial++ {
+			g := graph.GNPAvgDegree(n, 8, rng.New(cellSeed(cfg.Seed, 12, uint64(p*1e6), uint64(trial), 1)))
+			proto := core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))
+			net, err := beep.NewNetwork(g, proto, cellSeed(cfg.Seed, 12, uint64(p*1e6), uint64(trial), 2),
+				beep.WithSleep(beep.Sleep{P: p}))
+			if err != nil {
+				return fmt.Errorf("E12 p=%v: %w", p, err)
+			}
+			net.RandomizeAll()
+
+			functionalMIS := func() ([]bool, bool) {
+				st, serr := core.Snapshot(net)
+				if serr != nil {
+					return nil, false
+				}
+				mask := make([]bool, n)
+				for v := 0; v < n; v++ {
+					mask[v] = st.Prominent(v)
+				}
+				return mask, g.VerifyMIS(mask) == nil
+			}
+			strictNow := func() bool {
+				st, serr := core.Snapshot(net)
+				return serr == nil && st.Stabilized()
+			}
+			stop := func() bool {
+				_, ok := functionalMIS()
+				return ok
+			}
+			r, ok := net.Run(budget, stop)
+			if !ok {
+				net.Close()
+				continue
+			}
+			funcStab++
+			rounds = append(rounds, float64(r))
+
+			ref, _ := functionalMIS()
+			flipped := make([]bool, n)
+			strictRounds, funcRounds := 0, 0
+			for w := 0; w < window; w++ {
+				net.Step()
+				if strictNow() {
+					strictRounds++
+				}
+				mask, ok := functionalMIS()
+				if ok {
+					funcRounds++
+				}
+				for v := range mask {
+					if mask[v] != ref[v] {
+						flipped[v] = true
+					}
+				}
+			}
+			net.Close()
+			strictFrac = append(strictFrac, float64(strictRounds)/window)
+			funcFrac = append(funcFrac, float64(funcRounds)/window)
+			flips = append(flips, float64(graph.CountTrue(flipped)))
+		}
+		tab.AddRow(fmt.Sprintf("%.3g", p),
+			fmt.Sprintf("%d/%d", funcStab, trials),
+			F(Summarize(rounds).Mean),
+			fmt.Sprintf("%.3f", Summarize(strictFrac).Mean),
+			fmt.Sprintf("%.3f", Summarize(funcFrac).Mean),
+			F(Summarize(flips).Mean))
+	}
+	return cfg.Render(tab)
+}

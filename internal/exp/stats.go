@@ -1,0 +1,188 @@
+// Package exp is the experiment framework that regenerates every
+// quantitative claim of the paper as a table or series: summary
+// statistics over trials, scaling-law fits against the theorems'
+// O(log n) and O(log n · log log n) bounds, text rendering, and the
+// experiment registry (F1, E1–E8) described in DESIGN.md.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary is the descriptive statistics of one measurement cell.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Median float64
+	P90    float64
+	Max    float64
+}
+
+// Summarize computes a Summary; it returns a zero Summary for no data.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	sum, sumSq := 0.0, 0.0
+	for _, x := range s {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(s),
+		Mean:   mean,
+		Std:    math.Sqrt(variance),
+		Min:    s[0],
+		Median: quantile(s, 0.5),
+		P90:    quantile(s, 0.9),
+		Max:    s[len(s)-1],
+	}
+}
+
+// quantile returns the q-quantile of sorted data via linear
+// interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Log2 returns log2(x) guarded for the small sizes that appear in quick
+// sweeps (log2 of anything below 2 is clamped to 1 so normalized columns
+// stay finite).
+func Log2(x float64) float64 {
+	if x < 2 {
+		return 1
+	}
+	return math.Log2(x)
+}
+
+// LogLog2 returns log2(log2(x)) with the same clamping.
+func LogLog2(x float64) float64 {
+	return Log2(Log2(x))
+}
+
+// LinearFit is an ordinary least-squares fit y ≈ Slope·x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination in [0, 1] (1 when y has no
+	// variance, i.e. a constant perfectly explained by the intercept).
+	R2 float64
+}
+
+// FitLinear fits y against x. It returns an error when fewer than two
+// points are supplied or x has no variance.
+func FitLinear(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) {
+		return LinearFit{}, fmt.Errorf("exp: fit length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return LinearFit{}, fmt.Errorf("exp: fit needs at least two points, got %d", len(x))
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinearFit{}, fmt.Errorf("exp: fit with zero x-variance")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range x {
+		pred := slope*x[i] + intercept
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// ScalingVerdict compares how well rounds scale with log n versus with
+// log n · log log n, the two regimes of Theorems 2.1/2.3 and 2.2.
+type ScalingVerdict struct {
+	// RatioLogSpread is max/min of rounds/log2(n) across sizes: close to
+	// 1 means clean O(log n) scaling.
+	RatioLogSpread float64
+	// RatioLogLogSpread is max/min of rounds/(log2 n · log2 log2 n).
+	RatioLogLogSpread float64
+	FitLog            LinearFit
+}
+
+// JudgeScaling computes the verdict from parallel slices of sizes and
+// mean rounds.
+func JudgeScaling(sizes []int, rounds []float64) (ScalingVerdict, error) {
+	if len(sizes) != len(rounds) || len(sizes) < 2 {
+		return ScalingVerdict{}, fmt.Errorf("exp: scaling needs matched series of >= 2 points")
+	}
+	logx := make([]float64, len(sizes))
+	minR, maxR := math.Inf(1), math.Inf(-1)
+	minRR, maxRR := math.Inf(1), math.Inf(-1)
+	for i, n := range sizes {
+		l := Log2(float64(n))
+		ll := l * LogLog2(float64(n))
+		logx[i] = l
+		r := rounds[i] / l
+		rr := rounds[i] / ll
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+		if rr < minRR {
+			minRR = rr
+		}
+		if rr > maxRR {
+			maxRR = rr
+		}
+	}
+	fit, err := FitLinear(logx, rounds)
+	if err != nil {
+		return ScalingVerdict{}, err
+	}
+	v := ScalingVerdict{FitLog: fit}
+	if minR > 0 {
+		v.RatioLogSpread = maxR / minR
+	}
+	if minRR > 0 {
+		v.RatioLogLogSpread = maxRR / minRR
+	}
+	return v, nil
+}

@@ -1,0 +1,213 @@
+package exp
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || !almostEq(s.Mean, 3) || !almostEq(s.Median, 3) ||
+		!almostEq(s.Min, 1) || !almostEq(s.Max, 5) {
+		t.Fatalf("summary %+v", s)
+	}
+	if !almostEq(s.Std, math.Sqrt(2)) {
+		t.Fatalf("std %v", s.Std)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Median != 7 || s.Std != 0 {
+		t.Fatalf("singleton summary %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if q := quantile(sorted, 0.5); !almostEq(q, 5) {
+		t.Fatalf("median of {0,10} = %v", q)
+	}
+	if q := quantile(sorted, 0.9); !almostEq(q, 9) {
+		t.Fatalf("p90 of {0,10} = %v", q)
+	}
+	if quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+}
+
+func TestLogHelpers(t *testing.T) {
+	if !almostEq(Log2(8), 3) {
+		t.Fatal("Log2(8)")
+	}
+	if Log2(1) != 1 || Log2(0) != 1 {
+		t.Fatal("Log2 clamp")
+	}
+	if !almostEq(LogLog2(256), 3) {
+		t.Fatalf("LogLog2(256) = %v", LogLog2(256))
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	fit, err := FitLinear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 2) || !almostEq(fit.Intercept, 1) || !almostEq(fit.R2, 1) {
+		t.Fatalf("fit %+v", fit)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FitLinear([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Fatal("zero x-variance accepted")
+	}
+}
+
+func TestFitLinearNoisyR2(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{2.1, 3.9, 6.2, 7.8, 10.1, 11.9} // ~2x
+	fit, err := FitLinear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 = %v for nearly-linear data", fit.R2)
+	}
+}
+
+func TestJudgeScalingFlat(t *testing.T) {
+	// rounds exactly proportional to log2 n → spread 1.
+	sizes := []int{64, 256, 1024, 4096}
+	rounds := make([]float64, len(sizes))
+	for i, n := range sizes {
+		rounds[i] = 10 * Log2(float64(n))
+	}
+	v, err := JudgeScaling(sizes, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(v.RatioLogSpread, 1) {
+		t.Fatalf("log spread %v", v.RatioLogSpread)
+	}
+	// For pure log data the over-normalized column rounds/(log·loglog)
+	// still varies by exactly the loglog ratio of the extreme sizes.
+	wantSpread := LogLog2(4096) / LogLog2(64)
+	if !almostEq(v.RatioLogLogSpread, wantSpread) {
+		t.Fatalf("loglog spread %v, want %v", v.RatioLogLogSpread, wantSpread)
+	}
+	if v.FitLog.R2 < 0.999 {
+		t.Fatalf("fit R2 %v", v.FitLog.R2)
+	}
+}
+
+func TestJudgeScalingErrors(t *testing.T) {
+	if _, err := JudgeScaling([]int{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := JudgeScaling([]int{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+// Property: Summarize bounds are consistent (min <= median <= p90 <= max,
+// mean within [min, max]).
+func TestSummarizeOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median+1e-9 && s.Median <= s.P90+1e-9 &&
+			s.P90 <= s.Max+1e-9 && s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellSeedDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for a := uint64(0); a < 10; a++ {
+		for b := uint64(0); b < 10; b++ {
+			s := cellSeed(1, a, b)
+			if seen[s] {
+				t.Fatalf("collision at (%d,%d)", a, b)
+			}
+			seen[s] = true
+		}
+	}
+	if cellSeed(1, 2, 3) != cellSeed(1, 2, 3) {
+		t.Fatal("cellSeed not deterministic")
+	}
+	if cellSeed(1, 2, 3) == cellSeed(2, 2, 3) {
+		t.Fatal("root seed ignored")
+	}
+}
+
+func TestRunTrials(t *testing.T) {
+	out := make([]int, 50)
+	err := runTrials(50, func(trial int) error {
+		out[trial] = trial * trial
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+	// Zero and one trials.
+	if err := runTrials(0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	if err := runTrials(1, func(int) error { called = true; return nil }); err != nil || !called {
+		t.Fatal("single trial not run inline")
+	}
+}
+
+func TestRunTrialsPropagatesError(t *testing.T) {
+	err := runTrials(20, func(trial int) error {
+		if trial == 7 {
+			return errSentinel
+		}
+		return nil
+	})
+	if err != errSentinel {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+var errSentinel = errors.New("sentinel")

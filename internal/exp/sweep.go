@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/beep"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// sweepSpec parameterizes the shared Theorem-style sweep used by E1, E2
+// and E3: for each (family, n, trial), build a graph, run a protocol to
+// stabilization from a given initial configuration and record rounds.
+type sweepSpec struct {
+	expID    uint64
+	families []familyGen
+	sizes    []int
+	trials   int
+	protoFor func(g *graph.Graph) beep.Protocol
+	init     core.InitMode
+	// normLabel and norm define the theorem's normalization column
+	// (e.g. rounds / log2 n); the spread of this column across sizes is
+	// the empirical scaling verdict.
+	normLabel string
+	norm      func(n int) float64
+}
+
+// sweepCell measures one (family, size) cell over trials. Trials run
+// concurrently: each derives its own seeds, so the recorded rounds are
+// identical to a sequential execution.
+func (s sweepSpec) sweepCell(cfg Config, fam familyGen, n int) ([]float64, error) {
+	rounds := make([]float64, s.trials)
+	err := runTrials(s.trials, func(trial int) error {
+		gseed := cellSeed(cfg.Seed, s.expID, uint64(n), uint64(trial), 1)
+		g := fam.build(n, rng.New(gseed))
+		res, err := core.Run(core.RunConfig{
+			Graph:    g,
+			Protocol: s.protoFor(g),
+			Seed:     cellSeed(cfg.Seed, s.expID, uint64(n), uint64(trial), 2),
+			Init:     s.init,
+		})
+		if err != nil {
+			return fmt.Errorf("%s n=%d trial=%d: %w", fam.name, n, trial, err)
+		}
+		rounds[trial] = float64(res.Rounds)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rounds, nil
+}
+
+// runSweep executes the sweep and renders its table and series.
+func runSweep(cfg Config, s sweepSpec, title string) error {
+	tab := &Table{
+		Title:   title,
+		Columns: []string{"family", "n", "trials", "rounds(mean)", "ci95", "median", "p90", "max", s.normLabel},
+	}
+	series := &Series{Title: title, XLabel: "n", YLabel: "rounds (mean)"}
+
+	type famSeries struct {
+		sizes  []int
+		rounds []float64
+	}
+	perFamily := make(map[string]*famSeries)
+
+	for _, fam := range s.families {
+		for _, n := range s.sizes {
+			rounds, err := s.sweepCell(cfg, fam, n)
+			if err != nil {
+				return err
+			}
+			sum := Summarize(rounds)
+			ci := BootstrapMeanCI(rounds, 0.95, 1000, rng.New(cellSeed(cfg.Seed, s.expID, uint64(n), 0xc1)))
+			tab.AddRow(fam.name, I(n), I(sum.N), F(sum.Mean), ci.String(), F(sum.Median), F(sum.P90), F(sum.Max), F(sum.Mean/s.norm(n)))
+			series.Add(fam.name, float64(n), sum.Mean)
+			fs := perFamily[fam.name]
+			if fs == nil {
+				fs = &famSeries{}
+				perFamily[fam.name] = fs
+			}
+			fs.sizes = append(fs.sizes, n)
+			fs.rounds = append(fs.rounds, sum.Mean)
+		}
+	}
+
+	for _, name := range sortedKeys(perFamily) {
+		fs := perFamily[name]
+		v, err := JudgeScaling(fs.sizes, fs.rounds)
+		if err != nil {
+			continue
+		}
+		tab.Notes = append(tab.Notes, fmt.Sprintf(
+			"%s: spread of rounds/log2(n) = %.2fx, of rounds/(log2 n·loglog2 n) = %.2fx, linear-in-log fit R²=%.3f",
+			name, v.RatioLogSpread, v.RatioLogLogSpread, v.FitLog.R2))
+	}
+
+	if err := cfg.Render(tab); err != nil {
+		return err
+	}
+	return cfg.Render(series)
+}

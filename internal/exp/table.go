@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a paper-style results table rendered as aligned text.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes are printed below the table, one per line.
+	Notes []string
+}
+
+// AddRow appends a row of pre-formatted cells; use the F and I helpers
+// to format numbers consistently.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// F formats a float cell with sensible precision for round counts and
+// ratios.
+func F(x float64) string {
+	switch {
+	case x == float64(int64(x)) && x < 1e15:
+		return fmt.Sprintf("%.0f", x)
+	case x >= 100:
+		return fmt.Sprintf("%.1f", x)
+	default:
+		return fmt.Sprintf("%.2f", x)
+	}
+}
+
+// I formats an integer cell.
+func I(x int) string { return fmt.Sprintf("%d", x) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if t.Title != "" {
+		fmt.Fprintf(bw, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				fmt.Fprint(bw, "  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(bw, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprint(bw, cell)
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if total > 2 {
+		fmt.Fprintln(bw, strings.Repeat("-", total-2))
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(bw, "note: %s\n", note)
+	}
+	fmt.Fprintln(bw)
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("render table: %w", err)
+	}
+	return nil
+}
+
+// Series is a figure-like data series (x, y pairs per labeled line),
+// rendered as a compact text block that plots shape at a glance.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Lines  map[string][]Point
+	// order preserves insertion order of line labels.
+	order []string
+}
+
+// Point is one (x, y) sample.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Add appends a point to the labeled line.
+func (s *Series) Add(label string, x, y float64) {
+	if s.Lines == nil {
+		s.Lines = make(map[string][]Point)
+	}
+	if _, ok := s.Lines[label]; !ok {
+		s.order = append(s.order, label)
+	}
+	s.Lines[label] = append(s.Lines[label], Point{X: x, Y: y})
+}
+
+// Render writes the series as labeled x→y rows.
+func (s *Series) Render(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if s.Title != "" {
+		fmt.Fprintf(bw, "%s   [%s vs %s]\n", s.Title, s.YLabel, s.XLabel)
+	}
+	for _, label := range s.order {
+		fmt.Fprintf(bw, "  %s:", label)
+		for _, p := range s.Lines[label] {
+			fmt.Fprintf(bw, "  (%s, %s)", F(p.X), F(p.Y))
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintln(bw)
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("render series: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package exp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"name", "value"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("alpha", F(3.14159))
+	tab.AddRow("a-much-longer-name", I(42))
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "name", "value", "alpha", "3.14", "a-much-longer-name", "42", "note: a note", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFFormatting(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.14159: "3.14",
+		123.456: "123.5",
+		0:       "0",
+	}
+	for in, want := range cases {
+		if got := F(in); got != want {
+			t.Errorf("F(%v)=%q want %q", in, got, want)
+		}
+	}
+	if I(-7) != "-7" {
+		t.Fatal("I wrong")
+	}
+}
+
+func TestSeriesRenderPreservesOrder(t *testing.T) {
+	s := &Series{Title: "fig", XLabel: "n", YLabel: "rounds"}
+	s.Add("zz", 1, 2)
+	s.Add("aa", 3, 4)
+	s.Add("zz", 5, 6)
+	var sb strings.Builder
+	if err := s.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "zz:") || !strings.Contains(out, "aa:") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	if strings.Index(out, "zz:") > strings.Index(out, "aa:") {
+		t.Fatal("insertion order not preserved")
+	}
+	if !strings.Contains(out, "(1, 2)  (5, 6)") {
+		t.Fatalf("points not appended in order:\n%s", out)
+	}
+}
+
+func TestLookupAndIDs(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 15 {
+		t.Fatalf("registered %d experiments, want 15", len(ids))
+	}
+	for _, id := range ids {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("experiment %s incomplete", id)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	if got := c.trials(5, 20); got != 5 {
+		t.Fatalf("quick trials %d", got)
+	}
+	c.Full = true
+	if got := c.trials(5, 20); got != 20 {
+		t.Fatalf("full trials %d", got)
+	}
+	c.Trials = 3
+	if got := c.trials(5, 20); got != 3 {
+		t.Fatalf("override trials %d", got)
+	}
+	if len((Config{}).sizes()) == 0 || len((Config{Full: true}).sizes()) == 0 {
+		t.Fatal("sizes empty")
+	}
+	if (Config{Full: true}).sizes()[4] != 65536 {
+		t.Fatal("full sizes wrong")
+	}
+}
+
+func TestTorusOfApproximatesN(t *testing.T) {
+	for _, n := range []int{64, 100, 1000} {
+		g := torusOf(n)
+		if g.N() < n || g.N() > 2*n {
+			t.Fatalf("torusOf(%d) has %d vertices", n, g.N())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTableRenderJSON(t *testing.T) {
+	tab := &Table{Title: "demo", Columns: []string{"a", "b"}, Notes: []string{"n"}}
+	tab.AddRow("1", "2")
+	var sb strings.Builder
+	if err := tab.RenderJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Kind    string     `json:"kind"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Kind != "table" || doc.Title != "demo" || len(doc.Rows) != 1 || doc.Rows[0][1] != "2" {
+		t.Fatalf("json doc %+v", doc)
+	}
+}
+
+func TestSeriesRenderJSON(t *testing.T) {
+	s := &Series{Title: "fig", XLabel: "x", YLabel: "y"}
+	s.Add("l", 1, 2)
+	var sb strings.Builder
+	if err := s.RenderJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Kind  string             `json:"kind"`
+		Lines map[string][]Point `json:"lines"`
+		Order []string           `json:"order"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Kind != "series" || len(doc.Lines["l"]) != 1 || doc.Lines["l"][0].Y != 2 {
+		t.Fatalf("json doc %+v", doc)
+	}
+	if len(doc.Order) != 1 || doc.Order[0] != "l" {
+		t.Fatalf("order %v", doc.Order)
+	}
+}
+
+func TestConfigRenderDispatch(t *testing.T) {
+	tab := &Table{Title: "t", Columns: []string{"column"}}
+	tab.AddRow("v")
+	var text, js strings.Builder
+	if err := (Config{Out: &text}).Render(tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{Out: &js, JSON: true}).Render(tab); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "---") {
+		t.Fatal("text mode missing rule")
+	}
+	if !strings.HasPrefix(js.String(), "{") {
+		t.Fatal("json mode not json")
+	}
+}

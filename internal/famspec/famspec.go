@@ -1,0 +1,172 @@
+// Package famspec parses compact graph-family specifications of the
+// form "family:arg1:arg2" used by the command-line tools, e.g.
+// "cycle:64", "gnp:256:0.05", "grid:8:8", "ba:500:2", "udg:200:0.1".
+package famspec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Help is the usage text listing supported specifications.
+const Help = `graph family specs:
+  empty:N            N isolated vertices
+  path:N             path on N vertices
+  cycle:N            cycle on N vertices
+  complete:N         complete graph K_N
+  star:N             star K_{1,N-1}
+  bipartite:A:B      complete bipartite K_{A,B}
+  grid:R:C           R x C grid
+  torus:R:C          R x C torus
+  bintree:N          complete binary tree
+  hypercube:D        D-dimensional hypercube (2^D vertices)
+  caterpillar:N      caterpillar tree
+  lollipop:N:K       K-clique plus a path, N vertices total
+  cliquechain:K:S    K cliques of size S in a chain
+  gnp:N:P            Erdős–Rényi G(N, P)
+  gnpavg:N:D         G(N, p) with expected average degree D
+  regular:N:D        random D-regular graph
+  ba:N:M             preferential attachment, M edges per vertex
+  udg:N:R            unit-disk graph, N points, radius R`
+
+// Parse builds the graph described by spec, using src for the random
+// families.
+func Parse(spec string, src *rng.Source) (*graph.Graph, error) {
+	parts := strings.Split(spec, ":")
+	name := parts[0]
+	args := parts[1:]
+
+	intArg := func(i int) (int, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("famspec: %s needs at least %d arguments", name, i+1)
+		}
+		v, err := strconv.Atoi(args[i])
+		if err != nil {
+			return 0, fmt.Errorf("famspec: %s argument %d: %w", name, i+1, err)
+		}
+		return v, nil
+	}
+	floatArg := func(i int) (float64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("famspec: %s needs at least %d arguments", name, i+1)
+		}
+		v, err := strconv.ParseFloat(args[i], 64)
+		if err != nil {
+			return 0, fmt.Errorf("famspec: %s argument %d: %w", name, i+1, err)
+		}
+		return v, nil
+	}
+
+	oneInt := func(build func(int) *graph.Graph) (*graph.Graph, error) {
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("famspec: negative size %d", n)
+		}
+		return build(n), nil
+	}
+	twoInt := func(build func(a, b int) *graph.Graph) (*graph.Graph, error) {
+		a, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := intArg(1)
+		if err != nil {
+			return nil, err
+		}
+		if a < 0 || b < 0 {
+			return nil, fmt.Errorf("famspec: negative argument")
+		}
+		return build(a, b), nil
+	}
+
+	switch name {
+	case "empty":
+		return oneInt(graph.Empty)
+	case "path":
+		return oneInt(graph.Path)
+	case "cycle":
+		return oneInt(graph.Cycle)
+	case "complete":
+		return oneInt(graph.Complete)
+	case "star":
+		return oneInt(graph.Star)
+	case "bintree":
+		return oneInt(graph.BinaryTree)
+	case "hypercube":
+		return oneInt(graph.Hypercube)
+	case "caterpillar":
+		return oneInt(graph.Caterpillar)
+	case "bipartite":
+		return twoInt(graph.CompleteBipartite)
+	case "grid":
+		return twoInt(graph.Grid)
+	case "torus":
+		return twoInt(graph.Torus)
+	case "lollipop":
+		return twoInt(graph.Lollipop)
+	case "cliquechain":
+		return twoInt(graph.CliqueChain)
+	case "gnp":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		p, err := floatArg(1)
+		if err != nil {
+			return nil, err
+		}
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("famspec: gnp probability %v out of [0,1]", p)
+		}
+		return graph.GNP(n, p, src), nil
+	case "gnpavg":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		d, err := floatArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.GNPAvgDegree(n, d, src), nil
+	case "regular":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		d, err := intArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.RandomRegular(n, d, src)
+	case "ba":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		m, err := intArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.PreferentialAttachment(n, m, src), nil
+	case "udg":
+		n, err := intArg(0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := floatArg(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.UnitDisk(n, r, src), nil
+	default:
+		return nil, fmt.Errorf("famspec: unknown family %q\n%s", name, Help)
+	}
+}

@@ -1,0 +1,63 @@
+package famspec
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestParseAllFamilies(t *testing.T) {
+	src := rng.New(1)
+	specs := map[string]int{ // spec → expected N (-1 = don't check)
+		"empty:5":         5,
+		"path:6":          6,
+		"cycle:7":         7,
+		"complete:5":      5,
+		"star:8":          8,
+		"bintree:15":      15,
+		"hypercube:4":     16,
+		"caterpillar:10":  10,
+		"bipartite:3:4":   7,
+		"grid:3:4":        12,
+		"torus:3:5":       15,
+		"lollipop:12:5":   12,
+		"cliquechain:3:4": 12,
+		"gnp:20:0.3":      20,
+		"gnpavg:30:4":     30,
+		"regular:20:4":    20,
+		"ba:25:2":         25,
+		"udg:30:0.3":      30,
+	}
+	for spec, wantN := range specs {
+		g, err := Parse(spec, src)
+		if err != nil {
+			t.Errorf("%s: %v", spec, err)
+			continue
+		}
+		if wantN >= 0 && g.N() != wantN {
+			t.Errorf("%s: N=%d want %d", spec, g.N(), wantN)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", spec, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	src := rng.New(1)
+	for _, spec := range []string{
+		"nosuch:5",
+		"cycle",       // missing arg
+		"cycle:x",     // non-numeric
+		"gnp:10",      // missing p
+		"gnp:10:1.5",  // p out of range
+		"grid:3",      // missing dimension
+		"regular:5:3", // odd n*d
+		"path:-2",     // negative
+		"bipartite:-1:3",
+	} {
+		if _, err := Parse(spec, src); err == nil {
+			t.Errorf("%s: expected error", spec)
+		}
+	}
+}

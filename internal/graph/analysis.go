@@ -1,0 +1,135 @@
+package graph
+
+// BFS returns the breadth-first distances from src; unreachable
+// vertices get -1.
+func (g *Graph) BFS(src int) []int {
+	n := g.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= n {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, u := range g.Neighbors(int(v)) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the maximum BFS distance from v within its
+// component.
+func (g *Graph) Eccentricity(v int) int {
+	max := 0
+	for _, d := range g.BFS(v) {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Diameter returns the largest eccentricity over all vertices within
+// connected components (unreachable pairs are ignored), computed by
+// all-sources BFS — O(n·(n+m)), intended for experiment metadata on
+// moderate sizes. It returns 0 for graphs with no edges.
+func (g *Graph) Diameter() int {
+	diameter := 0
+	for v := 0; v < g.N(); v++ {
+		if e := g.Eccentricity(v); e > diameter {
+			diameter = e
+		}
+	}
+	return diameter
+}
+
+// DiameterApprox returns a 2-approximation lower bound of the diameter
+// via double-sweep BFS from vertex 0 (standard heuristic, O(n+m)),
+// suitable for large instances where the exact O(n·m) is too slow.
+func (g *Graph) DiameterApprox() int {
+	if g.N() == 0 {
+		return 0
+	}
+	// Sweep 1: farthest vertex from 0 inside its component.
+	far, best := 0, -1
+	for v, d := range g.BFS(0) {
+		if d > best {
+			best, far = d, v
+		}
+	}
+	// Sweep 2: eccentricity of that vertex.
+	return g.Eccentricity(far)
+}
+
+// DegreeHistogram returns counts[d] = number of vertices of degree d,
+// for d in [0, Δ].
+func (g *Graph) DegreeHistogram() []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.N(); v++ {
+		counts[g.Degree(v)]++
+	}
+	return counts
+}
+
+// Density returns 2M / (N(N-1)), in [0, 1]; 0 when N < 2.
+func (g *Graph) Density() float64 {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	return 2 * float64(g.M()) / (float64(n) * float64(n-1))
+}
+
+// IsConnected reports whether the graph has exactly one connected
+// component (the empty graph is considered connected).
+func (g *Graph) IsConnected() bool {
+	return g.N() == 0 || g.ConnectedComponents() == 1
+}
+
+// TriangleCount returns the number of triangles, counted once each, by
+// intersecting sorted adjacency lists of ordered edges. O(Σ deg²) worst
+// case, fine for the experiment sizes.
+func (g *Graph) TriangleCount() int {
+	count := 0
+	for v := 0; v < g.N(); v++ {
+		nv := g.Neighbors(v)
+		for _, u := range nv {
+			if int(u) <= v {
+				continue
+			}
+			// Count common neighbors w with w > u > v.
+			count += countCommonAbove(nv, g.Neighbors(int(u)), u)
+		}
+	}
+	return count
+}
+
+// countCommonAbove counts values present in both sorted slices that are
+// strictly greater than floor.
+func countCommonAbove(a, b []int32, floor int32) int {
+	i, j, count := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			if a[i] > floor {
+				count++
+			}
+			i++
+			j++
+		}
+	}
+	return count
+}

@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := Path(5)
+	dist := g.BFS(0)
+	for v, want := range []int{0, 1, 2, 3, 4} {
+		if dist[v] != want {
+			t.Fatalf("dist[%d]=%d want %d", v, dist[v], want)
+		}
+	}
+	// Out-of-range source yields all -1.
+	for _, d := range g.BFS(-1) {
+		if d != -1 {
+			t.Fatal("invalid source produced distances")
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := MustNew(4, []Edge{{0, 1}})
+	dist := g.BFS(0)
+	if dist[1] != 1 || dist[2] != -1 || dist[3] != -1 {
+		t.Fatalf("dist %v", dist)
+	}
+}
+
+func TestDiameterKnownGraphs(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{Path(10), 9},
+		{Cycle(10), 5},
+		{Complete(7), 1},
+		{Star(9), 2},
+		{Empty(4), 0},
+		{Hypercube(4), 4},
+		{Grid(3, 5), 6},
+	}
+	for _, tc := range cases {
+		if got := tc.g.Diameter(); got != tc.want {
+			t.Errorf("%s: diameter %d want %d", tc.g.Name(), got, tc.want)
+		}
+	}
+}
+
+func TestDiameterApproxBounds(t *testing.T) {
+	src := rng.New(11)
+	graphs := []*Graph{Path(30), Cycle(31), GNP(100, 0.08, src), BinaryTree(63)}
+	for _, g := range graphs {
+		exact := g.Diameter()
+		approx := g.DiameterApprox()
+		if approx > exact {
+			t.Errorf("%s: approx %d exceeds exact %d", g.Name(), approx, exact)
+		}
+		if 2*approx < exact {
+			t.Errorf("%s: approx %d below half of exact %d", g.Name(), approx, exact)
+		}
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := Path(5)
+	if g.Eccentricity(0) != 4 || g.Eccentricity(2) != 2 {
+		t.Fatal("eccentricity wrong")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := Star(5) // center degree 4, four leaves degree 1
+	h := g.DegreeHistogram()
+	if len(h) != 5 || h[1] != 4 || h[4] != 1 || h[0] != 0 {
+		t.Fatalf("histogram %v", h)
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != g.N() {
+		t.Fatalf("histogram total %d", total)
+	}
+}
+
+func TestDensity(t *testing.T) {
+	if d := Complete(6).Density(); d != 1 {
+		t.Fatalf("K6 density %v", d)
+	}
+	if d := Empty(6).Density(); d != 0 {
+		t.Fatalf("empty density %v", d)
+	}
+	if d := Empty(1).Density(); d != 0 {
+		t.Fatalf("singleton density %v", d)
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !Cycle(5).IsConnected() || !Empty(0).IsConnected() {
+		t.Fatal("connected graphs misreported")
+	}
+	if Empty(2).IsConnected() {
+		t.Fatal("disconnected graph misreported")
+	}
+}
+
+func TestTriangleCountKnown(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{Complete(4), 4},
+		{Complete(5), 10},
+		{Cycle(3), 1},
+		{Cycle(5), 0},
+		{Path(10), 0},
+		{CompleteBipartite(3, 3), 0},
+		{Empty(5), 0},
+	}
+	for _, tc := range cases {
+		if got := tc.g.TriangleCount(); got != tc.want {
+			t.Errorf("%s: triangles %d want %d", tc.g.Name(), got, tc.want)
+		}
+	}
+}
+
+// Property: BFS distances satisfy the triangle property along edges
+// (|d(u) - d(v)| <= 1 for every edge within the reachable set).
+func TestBFSEdgeConsistencyProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		g := GNP(n, 0.15, rng.New(seed))
+		dist := g.BFS(0)
+		for _, e := range g.Edges() {
+			du, dv := dist[e.U], dist[e.V]
+			if (du < 0) != (dv < 0) {
+				return false // one endpoint reachable, the other not
+			}
+			if du >= 0 && abs(du-dv) > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Property: triangle count of G(n,p) matches a brute-force count.
+func TestTriangleCountMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := GNP(18, 0.3, rng.New(seed))
+		brute := 0
+		n := g.N()
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if !g.HasEdge(a, b) {
+					continue
+				}
+				for c := b + 1; c < n; c++ {
+					if g.HasEdge(a, c) && g.HasEdge(b, c) {
+						brute++
+					}
+				}
+			}
+		}
+		return g.TriangleCount() == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList asserts the edge-list parser never panics and that
+// anything it accepts is a valid graph that round-trips.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("n 3\n0 1\n1 2\n")
+	f.Add("# name\nn 0\n")
+	f.Add("n 5\n")
+	f.Add("0 1\n")
+	f.Add("n x\n")
+	f.Add("n 3\n0 0\n")
+	f.Add("n 3\n0 99\n")
+	f.Add("n 2\n\n# c\n0 1")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph from %q: %v", input, err)
+		}
+		var sb strings.Builder
+		if err := WriteEdgeList(&sb, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadEdgeList(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip of accepted input failed: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d", g2.N(), g2.M(), g.N(), g.M())
+		}
+	})
+}
+
+// FuzzDecodeGraph6 asserts the graph6 decoder never panics and that
+// accepted inputs decode to valid graphs that re-encode losslessly.
+func FuzzDecodeGraph6(f *testing.F) {
+	f.Add("Bw")
+	f.Add("Ch")
+	f.Add("?")
+	f.Add("~??B")
+	f.Add("~~A")
+	f.Add("D~{")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := DecodeGraph6(input)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph from %q: %v", input, err)
+		}
+		enc, err := EncodeGraph6(g)
+		if err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		g2, err := DecodeGraph6(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("graph6 round trip changed shape")
+		}
+	})
+}

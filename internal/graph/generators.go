@@ -1,0 +1,433 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// The generators below produce the graph families used across the
+// experiment suite. Deterministic families take only sizes; random
+// families take an *rng.Source so experiments are reproducible.
+
+// Empty returns the graph with n vertices and no edges. Every vertex is
+// in the unique MIS, a useful degenerate case for algorithm tests.
+func Empty(n int) *Graph {
+	return MustNew(n, nil).WithName(fmt.Sprintf("empty-%d", n))
+}
+
+// Path returns the path P_n: 0-1-2-…-(n-1).
+func Path(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for v := 0; v+1 < n; v++ {
+		edges = append(edges, Edge{U: v, V: v + 1})
+	}
+	return MustNew(n, edges).WithName(fmt.Sprintf("path-%d", n))
+}
+
+// Cycle returns the cycle C_n (n >= 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		return Path(n).WithName(fmt.Sprintf("cycle-%d", n))
+	}
+	edges := make([]Edge, 0, n)
+	for v := 0; v < n; v++ {
+		edges = append(edges, Edge{U: v, V: (v + 1) % n})
+	}
+	return MustNew(n, edges).WithName(fmt.Sprintf("cycle-%d", n))
+}
+
+// Complete returns the complete graph K_n. Its MIS is a single vertex;
+// it maximizes contention among beeping vertices.
+func Complete(n int) *Graph {
+	edges := make([]Edge, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	return MustNew(n, edges).WithName(fmt.Sprintf("complete-%d", n))
+}
+
+// Star returns the star K_{1,n-1} with center 0. It is the extreme
+// degree-heterogeneous case for the own-degree knowledge variant.
+func Star(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, Edge{U: 0, V: v})
+	}
+	return MustNew(n, edges).WithName(fmt.Sprintf("star-%d", n))
+}
+
+// CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *Graph {
+	edges := make([]Edge, 0, a*b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			edges = append(edges, Edge{U: u, V: a + v})
+		}
+	}
+	return MustNew(a+b, edges).WithName(fmt.Sprintf("bipartite-%dx%d", a, b))
+}
+
+// Grid returns the rows×cols king-free (4-neighbor) grid graph, a proxy
+// for planar sensor deployments.
+func Grid(rows, cols int) *Graph {
+	id := func(r, c int) int { return r*cols + c }
+	edges := make([]Edge, 0, 2*rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, Edge{U: id(r, c), V: id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{U: id(r, c), V: id(r+1, c)})
+			}
+		}
+	}
+	return MustNew(rows*cols, edges).WithName(fmt.Sprintf("grid-%dx%d", rows, cols))
+}
+
+// Torus returns the rows×cols grid with wraparound edges (4-regular when
+// rows, cols >= 3).
+func Torus(rows, cols int) *Graph {
+	id := func(r, c int) int { return r*cols + c }
+	edges := make([]Edge, 0, 2*rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if cols > 1 {
+				edges = append(edges, Edge{U: id(r, c), V: id(r, (c+1)%cols)})
+			}
+			if rows > 1 {
+				edges = append(edges, Edge{U: id(r, c), V: id((r+1)%rows, c)})
+			}
+		}
+	}
+	return MustNew(rows*cols, edges).WithName(fmt.Sprintf("torus-%dx%d", rows, cols))
+}
+
+// BinaryTree returns the complete binary tree on n vertices (heap
+// numbering: children of v are 2v+1 and 2v+2).
+func BinaryTree(n int) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, Edge{U: (v - 1) / 2, V: v})
+	}
+	return MustNew(n, edges).WithName(fmt.Sprintf("bintree-%d", n))
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d vertices.
+func Hypercube(d int) *Graph {
+	n := 1 << uint(d)
+	edges := make([]Edge, 0, d*n/2)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			u := v ^ (1 << uint(b))
+			if u > v {
+				edges = append(edges, Edge{U: v, V: u})
+			}
+		}
+	}
+	return MustNew(n, edges).WithName(fmt.Sprintf("hypercube-%d", d))
+}
+
+// Caterpillar returns a caterpillar: a spine path of length n/2 with one
+// leg attached to every spine vertex. Spine vertices are 0..spine-1.
+// It mixes degree-1 and degree-3 vertices, a mildly heterogeneous family.
+func Caterpillar(n int) *Graph {
+	spine := (n + 1) / 2
+	edges := make([]Edge, 0, n-1)
+	for v := 0; v+1 < spine; v++ {
+		edges = append(edges, Edge{U: v, V: v + 1})
+	}
+	for leg := spine; leg < n; leg++ {
+		edges = append(edges, Edge{U: leg - spine, V: leg})
+	}
+	return MustNew(n, edges).WithName(fmt.Sprintf("caterpillar-%d", n))
+}
+
+// Lollipop returns a clique of size k joined by a path of length n-k:
+// a classic worst case mixing dense and sparse regions.
+func Lollipop(n, k int) *Graph {
+	if k > n {
+		k = n
+	}
+	edges := make([]Edge, 0, k*(k-1)/2+n-k)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	for v := k; v < n; v++ {
+		edges = append(edges, Edge{U: v - 1, V: v})
+	}
+	return MustNew(n, edges).WithName(fmt.Sprintf("lollipop-%d-%d", n, k))
+}
+
+// GNP returns an Erdős–Rényi G(n, p) sample.
+func GNP(n int, p float64, src *rng.Source) *Graph {
+	var edges []Edge
+	if p >= 1 {
+		return Complete(n).WithName(fmt.Sprintf("gnp-%d-1.0", n))
+	}
+	if p > 0 {
+		// Geometric skipping: iterate over the implicit edge enumeration
+		// jumping Geom(p) positions at a time, O(pn²) expected work.
+		logq := math.Log1p(-p)
+		total := int64(n) * int64(n-1) / 2
+		pos := int64(-1)
+		for {
+			u := src.Float64()
+			if u == 0 {
+				u = math.SmallestNonzeroFloat64
+			}
+			skip := int64(math.Floor(math.Log(u) / logq))
+			pos += 1 + skip
+			if pos >= total {
+				break
+			}
+			a, b := edgeFromIndex(pos)
+			edges = append(edges, Edge{U: a, V: b})
+		}
+	}
+	return MustNew(n, edges).WithName(fmt.Sprintf("gnp-%d-%.3g", n, p))
+}
+
+// edgeFromIndex maps a linear index in [0, n(n-1)/2) to the pair (a, b)
+// with a < b under the enumeration (0,1),(0,2),…,(1,2),… row by row of
+// the strict upper triangle, computed by inverting the triangular count.
+func edgeFromIndex(pos int64) (int, int) {
+	// b is the smallest integer with b(b+1)/2 > pos under the column-major
+	// enumeration (0,1),(0,2),(1,2),(0,3),… — pairs ordered by larger
+	// endpoint. This avoids needing n.
+	b := int64(math.Floor((1 + math.Sqrt(1+8*float64(pos))) / 2))
+	for b*(b-1)/2 > pos {
+		b--
+	}
+	for (b+1)*b/2 <= pos {
+		b++
+	}
+	a := pos - b*(b-1)/2
+	return int(a), int(b)
+}
+
+// GNPAvgDegree returns G(n, p) with p chosen so the expected average
+// degree is d.
+func GNPAvgDegree(n int, d float64, src *rng.Source) *Graph {
+	if n <= 1 {
+		return Empty(n)
+	}
+	p := d / float64(n-1)
+	if p > 1 {
+		p = 1
+	}
+	return GNP(n, p, src).WithName(fmt.Sprintf("gnp-%d-avg%.3g", n, d))
+}
+
+// RandomRegular returns a d-regular graph via the pairing
+// (configuration) model with edge-swap repair: d·n must be even and
+// d < n. Pairs producing self-loops or duplicate edges are repaired by
+// swapping endpoints with uniformly chosen good edges — the standard
+// technique that preserves near-uniformity while guaranteeing a simple
+// d-regular result for the d ≪ n regimes the experiments use.
+func RandomRegular(n, d int, src *rng.Source) (*Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("graph: random regular degree %d out of range for n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: random regular requires even n*d, got %d*%d", n, d)
+	}
+	if d == 0 {
+		return Empty(n).WithName(fmt.Sprintf("regular-%d-d0", n)), nil
+	}
+
+	stubs := make([]int32, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, int32(v))
+		}
+	}
+	src.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+
+	type pair = [2]int32
+	norm := func(a, b int32) pair {
+		if a > b {
+			a, b = b, a
+		}
+		return pair{a, b}
+	}
+	seen := make(map[pair]bool, n*d/2)
+	good := make([]pair, 0, n*d/2)
+	var bad []pair
+	for i := 0; i+1 < len(stubs); i += 2 {
+		a, b := stubs[i], stubs[i+1]
+		p := norm(a, b)
+		if a == b || seen[p] {
+			bad = append(bad, pair{a, b})
+			continue
+		}
+		seen[p] = true
+		good = append(good, p)
+	}
+
+	// Repair: swap each bad pair's endpoints with a random good edge
+	// such that both replacement edges are new and loop-free.
+	maxTries := 200 * (len(bad) + 1)
+	for tries := 0; len(bad) > 0 && tries < maxTries; tries++ {
+		last := bad[len(bad)-1]
+		u, v := last[0], last[1]
+		j := src.Intn(len(good))
+		a, b := good[j][0], good[j][1]
+		e1, e2 := norm(u, a), norm(v, b)
+		if u == a || v == b || seen[e1] || seen[e2] || (e1 == e2) {
+			// Try the crossed pairing too.
+			e1, e2 = norm(u, b), norm(v, a)
+			if u == b || v == a || seen[e1] || seen[e2] || (e1 == e2) {
+				continue
+			}
+		}
+		delete(seen, good[j])
+		seen[e1] = true
+		seen[e2] = true
+		good[j] = e1
+		good = append(good, e2)
+		bad = bad[:len(bad)-1]
+	}
+	if len(bad) > 0 {
+		return nil, fmt.Errorf("graph: could not repair %d conflicting pairs for a %d-regular graph on %d vertices", len(bad), d, n)
+	}
+
+	edges := make([]Edge, len(good))
+	for i, p := range good {
+		edges[i] = Edge{U: int(p[0]), V: int(p[1])}
+	}
+	return MustNew(n, edges).WithName(fmt.Sprintf("regular-%d-d%d", n, d)), nil
+}
+
+// PreferentialAttachment returns a Barabási–Albert-style graph: vertices
+// arrive one at a time and attach m edges to existing vertices chosen
+// proportionally to degree (realized by sampling uniform endpoints of the
+// running edge list). It produces the heavy-tailed degree distributions
+// that stress the own-degree knowledge variant.
+func PreferentialAttachment(n, m int, src *rng.Source) *Graph {
+	if n <= 0 {
+		return Empty(0)
+	}
+	if m < 1 {
+		m = 1
+	}
+	// Seed with a small clique of m+1 vertices.
+	seed := m + 1
+	if seed > n {
+		seed = n
+	}
+	var edges []Edge
+	// targets holds every edge endpoint; sampling a uniform element is
+	// degree-proportional sampling.
+	var targets []int32
+	for u := 0; u < seed; u++ {
+		for v := u + 1; v < seed; v++ {
+			edges = append(edges, Edge{U: u, V: v})
+			targets = append(targets, int32(u), int32(v))
+		}
+	}
+	for v := seed; v < n; v++ {
+		// Collect m distinct attachment targets in draw order; a map
+		// would do, but its iteration order is randomized by the
+		// runtime and the order feeds back into the sampling pool, so
+		// determinism requires the slice.
+		chosen := make([]int32, 0, m)
+		for len(chosen) < m {
+			var t int32
+			if len(targets) == 0 {
+				t = int32(src.Intn(v))
+			} else {
+				t = targets[src.Intn(len(targets))]
+			}
+			if int(t) == v || containsInt32(chosen, t) {
+				continue
+			}
+			chosen = append(chosen, t)
+		}
+		for _, t := range chosen {
+			edges = append(edges, Edge{U: v, V: int(t)})
+			targets = append(targets, int32(v), t)
+		}
+	}
+	return MustNew(n, edges).WithName(fmt.Sprintf("ba-%d-m%d", n, m))
+}
+
+// UnitDisk returns a random unit-disk graph: n points uniform in the unit
+// square, edges between pairs at Euclidean distance <= radius. This is
+// the standard abstraction of a wireless sensor deployment, the paper's
+// motivating scenario.
+func UnitDisk(n int, radius float64, src *rng.Source) *Graph {
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.Float64()
+		ys[i] = src.Float64()
+	}
+	// Grid-bucket the points so neighbor search is near-linear.
+	cell := radius
+	if cell <= 0 {
+		cell = 1
+	}
+	buckets := make(map[[2]int][]int32)
+	key := func(i int) [2]int {
+		return [2]int{int(xs[i] / cell), int(ys[i] / cell)}
+	}
+	for i := 0; i < n; i++ {
+		k := key(i)
+		buckets[k] = append(buckets[k], int32(i))
+	}
+	r2 := radius * radius
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		k := key(i)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range buckets[[2]int{k[0] + dx, k[1] + dy}] {
+					if int(j) <= i {
+						continue
+					}
+					ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+					if ddx*ddx+ddy*ddy <= r2 {
+						edges = append(edges, Edge{U: i, V: int(j)})
+					}
+				}
+			}
+		}
+	}
+	return MustNew(n, edges).WithName(fmt.Sprintf("udg-%d-r%.3g", n, radius))
+}
+
+// CliqueChain returns k cliques of size s connected in a chain by single
+// bridge edges, a family with uniform high degree but long diameter.
+func CliqueChain(k, s int) *Graph {
+	n := k * s
+	var edges []Edge
+	for c := 0; c < k; c++ {
+		base := c * s
+		for u := 0; u < s; u++ {
+			for v := u + 1; v < s; v++ {
+				edges = append(edges, Edge{U: base + u, V: base + v})
+			}
+		}
+		if c+1 < k {
+			edges = append(edges, Edge{U: base + s - 1, V: base + s})
+		}
+	}
+	return MustNew(n, edges).WithName(fmt.Sprintf("cliquechain-%dx%d", k, s))
+}
+
+// containsInt32 reports whether xs contains x (m is tiny, linear scan).
+func containsInt32(xs []int32, x int32) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,249 @@
+// Package graph provides the graph substrate for the beeping-model
+// simulator: a compact immutable adjacency representation, degree and
+// neighborhood queries (deg, Δ, deg₂ as defined in the paper), generators
+// for the graph families used in the experiments, maximal-independent-set
+// verification, and simple interchange formats.
+//
+// Graphs are simple (no self-loops, no parallel edges) and undirected,
+// matching the model of the paper. Vertices are identified by integers
+// 0..N-1; identifiers exist only for the simulator's bookkeeping — the
+// algorithms themselves never observe them (the network is anonymous).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph in compressed sparse row
+// (CSR) form: the neighbors of vertex v are adj[off[v]:off[v+1]], sorted
+// ascending.
+type Graph struct {
+	name string
+	off  []int32
+	adj  []int32
+}
+
+// Edge is an undirected edge between two vertices.
+type Edge struct {
+	U, V int
+}
+
+var (
+	// ErrSelfLoop reports an edge from a vertex to itself.
+	ErrSelfLoop = errors.New("graph: self-loop")
+	// ErrVertexRange reports an edge endpoint outside [0, n).
+	ErrVertexRange = errors.New("graph: vertex out of range")
+)
+
+// New builds a graph with n vertices from an edge list. Parallel edges
+// are deduplicated. It returns an error for self-loops, out-of-range
+// endpoints, or negative n.
+func New(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	deg := make([]int32, n)
+	for _, e := range edges {
+		if e.U == e.V {
+			return nil, fmt.Errorf("%w: (%d,%d)", ErrSelfLoop, e.U, e.V)
+		}
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, e.U, e.V, n)
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + deg[v]
+	}
+	adj := make([]int32, off[n])
+	cursor := make([]int32, n)
+	copy(cursor, off[:n])
+	for _, e := range edges {
+		adj[cursor[e.U]] = int32(e.V)
+		cursor[e.U]++
+		adj[cursor[e.V]] = int32(e.U)
+		cursor[e.V]++
+	}
+
+	g := &Graph{off: off, adj: adj}
+	g.sortAndDedup()
+	return g, nil
+}
+
+// MustNew is New but panics on error. It is intended for generators whose
+// edge lists are correct by construction.
+func MustNew(n int, edges []Edge) *Graph {
+	g, err := New(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// sortAndDedup sorts each adjacency list and removes duplicate entries,
+// compacting the CSR arrays in place.
+func (g *Graph) sortAndDedup() {
+	n := g.N()
+	newOff := make([]int32, n+1)
+	w := int32(0)
+	for v := 0; v < n; v++ {
+		lo, hi := g.off[v], g.off[v+1]
+		row := g.adj[lo:hi]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		newOff[v] = w
+		var prev int32 = -1
+		for _, u := range row {
+			if u != prev {
+				g.adj[w] = u
+				w++
+				prev = u
+			}
+		}
+	}
+	newOff[n] = w
+	g.off = newOff
+	g.adj = g.adj[:w]
+}
+
+// WithName returns g with its descriptive name set (used in experiment
+// tables). The underlying topology is shared, not copied.
+func (g *Graph) WithName(name string) *Graph {
+	g2 := *g
+	g2.name = name
+	return &g2
+}
+
+// Name returns the descriptive name given via WithName, or "".
+func (g *Graph) Name() string { return g.name }
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.off) - 1 }
+
+// M returns the number of (undirected) edges.
+func (g *Graph) M() int { return len(g.adj) / 2 }
+
+// Degree returns deg(v), the number of neighbors of v.
+func (g *Graph) Degree(v int) int {
+	return int(g.off[v+1] - g.off[v])
+}
+
+// Neighbors returns the sorted neighbor list of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.adj[g.off[v]:g.off[v+1]]
+}
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v int) bool {
+	row := g.Neighbors(u)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
+	return i < len(row) && row[i] == int32(v)
+}
+
+// MaxDegree returns Δ(G), the maximum degree; 0 for the empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Degree2 returns deg₂(v) = max over u in N(v) ∪ {v} of deg(u): the
+// maximum degree in the closed 1-hop neighborhood, as defined in
+// Section 3 of the paper.
+func (g *Graph) Degree2(v int) int {
+	max := g.Degree(v)
+	for _, u := range g.Neighbors(v) {
+		if d := g.Degree(int(u)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Edges returns the edge list with U < V in each edge, sorted.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.M())
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if int(u) > v {
+				edges = append(edges, Edge{U: v, V: int(u)})
+			}
+		}
+	}
+	return edges
+}
+
+// AverageDegree returns 2M/N, or 0 for the empty graph.
+func (g *Graph) AverageDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.M()) / float64(g.N())
+}
+
+// ConnectedComponents returns the number of connected components.
+func (g *Graph) ConnectedComponents() int {
+	n := g.N()
+	seen := make([]bool, n)
+	stack := make([]int32, 0, 64)
+	components := 0
+	for v := 0; v < n; v++ {
+		if seen[v] {
+			continue
+		}
+		components++
+		seen[v] = true
+		stack = append(stack[:0], int32(v))
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range g.Neighbors(int(x)) {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	return components
+}
+
+// Validate checks internal CSR invariants: offsets monotone, adjacency
+// sorted, symmetric, no self-loops. It exists to guard hand-built graphs
+// in tests and decoded interchange files.
+func (g *Graph) Validate() error {
+	n := g.N()
+	if g.off[0] != 0 || int(g.off[n]) != len(g.adj) {
+		return errors.New("graph: offset bounds corrupt")
+	}
+	for v := 0; v < n; v++ {
+		if g.off[v] > g.off[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+		row := g.Neighbors(v)
+		for i, u := range row {
+			if int(u) == v {
+				return fmt.Errorf("%w at vertex %d", ErrSelfLoop, v)
+			}
+			if u < 0 || int(u) >= n {
+				return fmt.Errorf("%w: neighbor %d of vertex %d", ErrVertexRange, u, v)
+			}
+			if i > 0 && row[i-1] >= u {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted", v)
+			}
+			if !g.HasEdge(int(u), v) {
+				return fmt.Errorf("graph: edge (%d,%d) not symmetric", v, u)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestGraph6KnownVectors(t *testing.T) {
+	// Reference encodings from the nauty documentation.
+	cases := []struct {
+		g    *Graph
+		want string
+	}{
+		{Complete(3), "Bw"},
+		{Path(4), "Ch"},
+		{Empty(0), "?"},
+		{Empty(1), "@"},
+		{Empty(5), "D??"},
+		{Complete(5), "D~{"},
+	}
+	for _, tc := range cases {
+		got, err := EncodeGraph6(tc.g)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.g.Name(), err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: encoded %q, want %q", tc.g.Name(), got, tc.want)
+		}
+	}
+}
+
+func TestGraph6RoundTrip(t *testing.T) {
+	src := rng.New(3)
+	graphs := []*Graph{
+		Empty(0), Empty(1), Empty(7),
+		Path(10), Cycle(13), Complete(8), Star(20),
+		Grid(4, 5), Hypercube(4),
+		GNP(63, 0.2, src),  // crosses the 1-byte size boundary
+		GNP(100, 0.1, src), // 4-byte size header
+	}
+	for _, g := range graphs {
+		enc, err := EncodeGraph6(g)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		dec, err := DecodeGraph6(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", g.Name(), err)
+		}
+		if dec.N() != g.N() || dec.M() != g.M() {
+			t.Fatalf("%s: round trip shape %d/%d vs %d/%d", g.Name(), dec.N(), dec.M(), g.N(), g.M())
+		}
+		for _, e := range g.Edges() {
+			if !dec.HasEdge(e.U, e.V) {
+				t.Fatalf("%s: lost edge %v", g.Name(), e)
+			}
+		}
+	}
+}
+
+func TestGraph6LargeSizeHeader(t *testing.T) {
+	g := Cycle(100)
+	enc, err := EncodeGraph6(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[0] != 126 {
+		t.Fatalf("n=100 should use the 4-byte header, got leading byte %d", enc[0])
+	}
+	dec, err := DecodeGraph6(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.N() != 100 || dec.M() != 100 {
+		t.Fatalf("decoded %d/%d", dec.N(), dec.M())
+	}
+}
+
+func TestDecodeGraph6Errors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"truncated head": "~B",
+		"truncated body": "D",
+		"bad size byte":  "\x1f",
+		"8-byte header":  "~~AAAAAAA",
+		"bad body byte":  "B\x1f",
+	}
+	for name, in := range cases {
+		if _, err := DecodeGraph6(in); err == nil {
+			t.Errorf("%s: %q accepted", name, in)
+		}
+	}
+}
+
+// Property: encode→decode is the identity on random graphs.
+func TestGraph6RoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw % 70)
+		p := float64(pRaw) / 255
+		g := GNP(n, p, rng.New(seed))
+		enc, err := EncodeGraph6(g)
+		if err != nil {
+			return false
+		}
+		dec, err := DecodeGraph6(enc)
+		if err != nil {
+			return false
+		}
+		if dec.N() != g.N() || dec.M() != g.M() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !dec.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

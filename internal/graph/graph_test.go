@@ -1,0 +1,400 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewBasic(t *testing.T) {
+	g, err := New(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("N=%d M=%d, want 4 and 4", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Fatal("HasEdge wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewDeduplicatesParallelEdges(t *testing.T) {
+	g, err := New(3, []Edge{{0, 1}, {1, 0}, {0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Fatalf("M=%d after dedup, want 2", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 2 {
+		t.Fatalf("degrees %d,%d, want 1,2", g.Degree(0), g.Degree(1))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsSelfLoop(t *testing.T) {
+	_, err := New(2, []Edge{{1, 1}})
+	if !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("err = %v, want ErrSelfLoop", err)
+	}
+}
+
+func TestNewRejectsOutOfRange(t *testing.T) {
+	_, err := New(2, []Edge{{0, 2}})
+	if !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("err = %v, want ErrVertexRange", err)
+	}
+	_, err = New(2, []Edge{{-1, 0}})
+	if !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("err = %v, want ErrVertexRange", err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := Empty(5)
+	if g.N() != 5 || g.M() != 0 || g.MaxDegree() != 0 {
+		t.Fatal("empty graph wrong shape")
+	}
+	if g.ConnectedComponents() != 5 {
+		t.Fatalf("components = %d, want 5", g.ConnectedComponents())
+	}
+}
+
+func TestDegreeQueries(t *testing.T) {
+	g := Star(6) // center 0 with 5 leaves
+	if g.Degree(0) != 5 {
+		t.Fatalf("center degree %d", g.Degree(0))
+	}
+	if g.Degree(3) != 1 {
+		t.Fatalf("leaf degree %d", g.Degree(3))
+	}
+	if g.MaxDegree() != 5 {
+		t.Fatalf("max degree %d", g.MaxDegree())
+	}
+	// deg2 of a leaf is the center's degree.
+	if g.Degree2(3) != 5 {
+		t.Fatalf("deg2(leaf) = %d, want 5", g.Degree2(3))
+	}
+	if g.Degree2(0) != 5 {
+		t.Fatalf("deg2(center) = %d, want 5", g.Degree2(0))
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := Cycle(7)
+	edges := g.Edges()
+	g2, err := New(7, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != g.M() {
+		t.Fatalf("edge list round trip lost edges: %d != %d", g2.M(), g.M())
+	}
+	for _, e := range edges {
+		if !g2.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	src := rng.New(1)
+	cases := []struct {
+		g       *Graph
+		n, m    int
+		maxDeg  int
+		conn    int
+		skipDeg bool
+	}{
+		{g: Path(10), n: 10, m: 9, maxDeg: 2, conn: 1},
+		{g: Cycle(10), n: 10, m: 10, maxDeg: 2, conn: 1},
+		{g: Complete(6), n: 6, m: 15, maxDeg: 5, conn: 1},
+		{g: Star(8), n: 8, m: 7, maxDeg: 7, conn: 1},
+		{g: CompleteBipartite(3, 4), n: 7, m: 12, maxDeg: 4, conn: 1},
+		{g: Grid(3, 4), n: 12, m: 17, maxDeg: 4, conn: 1},
+		{g: Torus(3, 4), n: 12, m: 24, maxDeg: 4, conn: 1},
+		{g: BinaryTree(15), n: 15, m: 14, maxDeg: 3, conn: 1},
+		{g: Hypercube(4), n: 16, m: 32, maxDeg: 4, conn: 1},
+		{g: Caterpillar(12), n: 12, m: 11, maxDeg: 3, conn: 1},
+		{g: Lollipop(12, 5), n: 12, m: 17, maxDeg: 5, conn: 1},
+		{g: CliqueChain(3, 4), n: 12, m: 20, maxDeg: 4, conn: 1},
+		{g: UnitDisk(50, 0.3, src), n: 50, m: -1, conn: -1, skipDeg: true},
+	}
+	for _, tc := range cases {
+		name := tc.g.Name()
+		if err := tc.g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if tc.g.N() != tc.n {
+			t.Errorf("%s: N=%d want %d", name, tc.g.N(), tc.n)
+		}
+		if tc.m >= 0 && tc.g.M() != tc.m {
+			t.Errorf("%s: M=%d want %d", name, tc.g.M(), tc.m)
+		}
+		if !tc.skipDeg && tc.g.MaxDegree() != tc.maxDeg {
+			t.Errorf("%s: Δ=%d want %d", name, tc.g.MaxDegree(), tc.maxDeg)
+		}
+		if tc.conn >= 0 && tc.g.ConnectedComponents() != tc.conn {
+			t.Errorf("%s: components=%d want %d", name, tc.g.ConnectedComponents(), tc.conn)
+		}
+	}
+}
+
+func TestTorusIsRegular(t *testing.T) {
+	g := Torus(5, 7)
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus vertex %d has degree %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestGNPEdgeCases(t *testing.T) {
+	src := rng.New(2)
+	if g := GNP(20, 0, src); g.M() != 0 {
+		t.Fatalf("GNP(p=0) has %d edges", g.M())
+	}
+	if g := GNP(10, 1, src); g.M() != 45 {
+		t.Fatalf("GNP(p=1) has %d edges, want 45", g.M())
+	}
+}
+
+func TestGNPEdgeCountConcentrates(t *testing.T) {
+	src := rng.New(3)
+	const n = 400
+	p := 0.05
+	g := GNP(n, p, src)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	expected := p * float64(n) * float64(n-1) / 2
+	if f := float64(g.M()); f < 0.8*expected || f > 1.2*expected {
+		t.Fatalf("GNP edges %v, expected about %v", f, expected)
+	}
+}
+
+func TestGNPAvgDegree(t *testing.T) {
+	src := rng.New(4)
+	g := GNPAvgDegree(500, 8, src)
+	if d := g.AverageDegree(); d < 6 || d > 10 {
+		t.Fatalf("average degree %v, want about 8", d)
+	}
+}
+
+func TestEdgeFromIndexEnumeratesAllPairs(t *testing.T) {
+	seen := map[[2]int]bool{}
+	const n = 8
+	total := int64(n * (n - 1) / 2)
+	for pos := int64(0); pos < total; pos++ {
+		a, b := edgeFromIndex(pos)
+		if a < 0 || b <= a || b >= n {
+			t.Fatalf("index %d gave invalid pair (%d,%d)", pos, a, b)
+		}
+		key := [2]int{a, b}
+		if seen[key] {
+			t.Fatalf("index %d repeated pair (%d,%d)", pos, a, b)
+		}
+		seen[key] = true
+	}
+	if len(seen) != int(total) {
+		t.Fatalf("enumerated %d pairs, want %d", len(seen), total)
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	src := rng.New(5)
+	g, err := RandomRegular(100, 4, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("vertex %d degree %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestRandomRegularRejectsOddProduct(t *testing.T) {
+	if _, err := RandomRegular(5, 3, rng.New(6)); err == nil {
+		t.Fatal("odd n*d accepted")
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	src := rng.New(7)
+	g := PreferentialAttachment(300, 2, src)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 300 {
+		t.Fatalf("N=%d", g.N())
+	}
+	if g.ConnectedComponents() != 1 {
+		t.Fatalf("BA graph disconnected: %d components", g.ConnectedComponents())
+	}
+	// Degree distribution should be heterogeneous: max well above the
+	// attachment parameter.
+	if g.MaxDegree() < 8 {
+		t.Fatalf("BA max degree %d suspiciously low", g.MaxDegree())
+	}
+}
+
+func TestUnitDiskMatchesBruteForce(t *testing.T) {
+	src := rng.New(8)
+	// Re-derive points with the same stream the generator uses so we can
+	// brute-force check edges: instead, just verify symmetry+validate and
+	// check the triangle inequality property indirectly via Validate.
+	g := UnitDisk(120, 0.2, src)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 120 {
+		t.Fatalf("N=%d", g.N())
+	}
+}
+
+func TestGreedyMISIsMIS(t *testing.T) {
+	src := rng.New(9)
+	graphs := []*Graph{
+		Empty(10), Path(17), Cycle(16), Complete(9), Star(12),
+		Grid(5, 5), BinaryTree(31), Hypercube(5),
+		GNP(200, 0.05, src), PreferentialAttachment(150, 3, src),
+	}
+	for _, g := range graphs {
+		mis := g.GreedyMIS()
+		if err := g.VerifyMIS(mis); err != nil {
+			t.Errorf("%s: greedy MIS invalid: %v", g.Name(), err)
+		}
+	}
+}
+
+func TestVerifyMISDetectsViolations(t *testing.T) {
+	g := Path(4) // 0-1-2-3
+	// Adjacent pair: not independent.
+	if err := g.VerifyMIS([]bool{true, true, false, true}); err == nil {
+		t.Fatal("independence violation not detected")
+	}
+	// Not maximal: {0} leaves 2,3 undominated.
+	if err := g.VerifyMIS([]bool{true, false, false, false}); err == nil {
+		t.Fatal("maximality violation not detected")
+	}
+	// Valid MIS {0, 2}.
+	if err := g.VerifyMIS([]bool{true, false, true, false}); err != nil {
+		t.Fatalf("valid MIS rejected: %v", err)
+	}
+	// Wrong mask length.
+	if err := g.VerifyMIS([]bool{true}); err == nil {
+		t.Fatal("mask length mismatch not detected")
+	}
+}
+
+func TestIsIndependentEmptySetIsIndependentNotMaximal(t *testing.T) {
+	g := Path(3)
+	none := make([]bool, 3)
+	if !g.IsIndependent(none) {
+		t.Fatal("empty set should be independent")
+	}
+	if g.IsMaximalIndependent(none) {
+		t.Fatal("empty set should not be maximal on a nonempty graph")
+	}
+}
+
+// Property: greedy MIS on random graphs is always a valid MIS.
+func TestGreedyMISProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		p := float64(pRaw) / 255
+		g := GNP(n, p, rng.New(seed))
+		return g.VerifyMIS(g.GreedyMIS()) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: New never produces a graph failing Validate.
+func TestNewValidatesProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, mRaw uint16) bool {
+		n := int(nRaw%40) + 2
+		src := rng.New(seed)
+		m := int(mRaw % 300)
+		edges := make([]Edge, 0, m)
+		for i := 0; i < m; i++ {
+			u, v := src.Intn(n), src.Intn(n)
+			if u != v {
+				edges = append(edges, Edge{U: u, V: v})
+			}
+		}
+		g, err := New(n, edges)
+		if err != nil {
+			return false
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountTrue(t *testing.T) {
+	if CountTrue([]bool{true, false, true, true}) != 3 {
+		t.Fatal("CountTrue wrong")
+	}
+	if CountTrue(nil) != 0 {
+		t.Fatal("CountTrue(nil) wrong")
+	}
+}
+
+func TestWithNameDoesNotMutate(t *testing.T) {
+	g := Path(3)
+	g2 := g.WithName("renamed")
+	if g2.Name() != "renamed" {
+		t.Fatal("name not set")
+	}
+	if g.Name() != "path-3" {
+		t.Fatalf("original name mutated to %q", g.Name())
+	}
+	if g2.M() != g.M() {
+		t.Fatal("topology not shared")
+	}
+}
+
+func TestPreferentialAttachmentDeterministic(t *testing.T) {
+	a := PreferentialAttachment(200, 2, rng.New(5))
+	b := PreferentialAttachment(200, 2, rng.New(5))
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestUnitDiskDeterministic(t *testing.T) {
+	a := UnitDisk(150, 0.15, rng.New(7))
+	b := UnitDisk(150, 0.15, rng.New(7))
+	if a.M() != b.M() {
+		t.Fatalf("edge counts %d vs %d", a.M(), b.M())
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The interchange format is a minimal whitespace edge-list text format:
+//
+//	# comment
+//	n <vertex-count>
+//	<u> <v>
+//	...
+//
+// It round-trips through WriteEdgeList / ReadEdgeList and is what
+// cmd/graphgen emits and cmd/beepmis consumes.
+
+// WriteEdgeList writes g in the edge-list text format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if g.Name() != "" {
+		if _, err := fmt.Fprintf(bw, "# %s\n", g.Name()); err != nil {
+			return fmt.Errorf("write edge list: %w", err)
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
+		return fmt.Errorf("write edge list: %w", err)
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return fmt.Errorf("write edge list: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("write edge list: %w", err)
+	}
+	return nil
+}
+
+// maxParsedVertices bounds the vertex count the text parsers accept.
+// The header is untrusted input; without a bound a single short line
+// ("n 200000000", found by the fuzzer) forces multi-gigabyte
+// allocations before any edge is read. Graphs above this size can
+// still be built programmatically via New.
+const maxParsedVertices = 1 << 24
+
+// ReadEdgeList parses the edge-list text format. The "n" header is
+// required and must precede all edges, and is limited to 2^24 vertices
+// (see maxParsedVertices).
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := -1
+	name := ""
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if name == "" {
+				name = strings.TrimSpace(strings.TrimPrefix(text, "#"))
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "n" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("read edge list: line %d: malformed header %q", line, text)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("read edge list: line %d: %w", line, err)
+			}
+			if v < 0 || v > maxParsedVertices {
+				return nil, fmt.Errorf("read edge list: line %d: vertex count %d outside [0, %d]", line, v, maxParsedVertices)
+			}
+			n = v
+			continue
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("read edge list: line %d: edge before n header", line)
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("read edge list: line %d: want two endpoints, got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("read edge list: line %d: %w", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("read edge list: line %d: %w", line, err)
+		}
+		edges = append(edges, Edge{U: u, V: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read edge list: %w", err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("read edge list: missing n header")
+	}
+	g, err := New(n, edges)
+	if err != nil {
+		return nil, fmt.Errorf("read edge list: %w", err)
+	}
+	if name != "" {
+		g = g.WithName(name)
+	}
+	return g, nil
+}
+
+// WriteDOT writes g in Graphviz DOT format, optionally highlighting an
+// MIS membership mask (members drawn as filled boxes). mis may be nil.
+func WriteDOT(w io.Writer, g *Graph, mis []bool) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %q {\n", dotName(g))
+	if mis != nil {
+		for v := 0; v < g.N(); v++ {
+			if v < len(mis) && mis[v] {
+				fmt.Fprintf(bw, "  %d [shape=box style=filled fillcolor=gray];\n", v)
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "  %d -- %d;\n", e.U, e.V)
+	}
+	fmt.Fprintln(bw, "}")
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("write dot: %w", err)
+	}
+	return nil
+}
+
+func dotName(g *Graph) string {
+	if g.Name() != "" {
+		return g.Name()
+	}
+	return "G"
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	graphs := []*Graph{
+		Empty(3),
+		Path(6),
+		Cycle(8),
+		GNP(60, 0.1, rng.New(1)),
+	}
+	for _, g := range graphs {
+		var sb strings.Builder
+		if err := WriteEdgeList(&sb, g); err != nil {
+			t.Fatalf("%s: write: %v", g.Name(), err)
+		}
+		g2, err := ReadEdgeList(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("%s: read: %v", g.Name(), err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("%s: round trip changed shape: %d/%d vs %d/%d", g.Name(), g2.N(), g2.M(), g.N(), g.M())
+		}
+		for _, e := range g.Edges() {
+			if !g2.HasEdge(e.U, e.V) {
+				t.Fatalf("%s: lost edge %v", g.Name(), e)
+			}
+		}
+		if g2.Name() != g.Name() {
+			t.Fatalf("%s: name became %q", g.Name(), g2.Name())
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"edge before header": "0 1\n",
+		"missing header":     "# just a comment\n",
+		"malformed header":   "n\n",
+		"bad endpoint count": "n 3\n0 1 2\n",
+		"non-numeric":        "n 3\n0 x\n",
+		"self loop":          "n 3\n1 1\n",
+		"out of range":       "n 3\n0 5\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: no error for %q", name, input)
+		}
+	}
+}
+
+func TestReadEdgeListSkipsBlanksAndComments(t *testing.T) {
+	input := "# my graph\n\nn 3\n# edge below\n0 1\n\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("parsed shape %d/%d", g.N(), g.M())
+	}
+	if g.Name() != "my graph" {
+		t.Fatalf("name %q", g.Name())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Path(3)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, []bool{true, false, true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graph", "0 -- 1", "1 -- 2", "fillcolor"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// nil mask also works.
+	sb.Reset()
+	if err := WriteDOT(&sb, g.WithName(""), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `graph "G"`) {
+		t.Fatalf("default name missing:\n%s", sb.String())
+	}
+}
+
+func TestReadEdgeListRejectsHugeHeader(t *testing.T) {
+	// Untrusted headers must not trigger giant allocations (fuzz find).
+	if _, err := ReadEdgeList(strings.NewReader("n 200000000\n")); err == nil {
+		t.Fatal("oversized vertex count accepted")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("n -5\n")); err == nil {
+		t.Fatal("negative vertex count accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package graph
+
+import "fmt"
+
+// IsIndependent reports whether the vertex set (given as a membership
+// mask of length N) contains no adjacent pair.
+func (g *Graph) IsIndependent(in []bool) bool {
+	return g.firstViolation(in, false) < 0
+}
+
+// IsMaximalIndependent reports whether the set is an MIS: independent and
+// inclusion-maximal (every vertex outside the set has a neighbor inside).
+func (g *Graph) IsMaximalIndependent(in []bool) bool {
+	return g.firstViolation(in, true) < 0
+}
+
+// VerifyMIS returns nil if the set is an MIS, otherwise an error naming
+// the first violating vertex, for use in tests and the experiment harness.
+func (g *Graph) VerifyMIS(in []bool) error {
+	if len(in) != g.N() {
+		return fmt.Errorf("graph: membership mask length %d, want %d", len(in), g.N())
+	}
+	v := g.firstViolation(in, true)
+	if v < 0 {
+		return nil
+	}
+	if in[v] {
+		return fmt.Errorf("graph: vertex %d in the set has a neighbor in the set (independence violated)", v)
+	}
+	return fmt.Errorf("graph: vertex %d outside the set has no neighbor in the set (maximality violated)", v)
+}
+
+// firstViolation returns the lowest-numbered vertex violating
+// independence, or — when checkMaximal is set — maximality; -1 if none.
+func (g *Graph) firstViolation(in []bool, checkMaximal bool) int {
+	for v := 0; v < g.N(); v++ {
+		if in[v] {
+			for _, u := range g.Neighbors(v) {
+				if in[u] {
+					return v
+				}
+			}
+			continue
+		}
+		if !checkMaximal {
+			continue
+		}
+		dominated := false
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return v
+		}
+	}
+	return -1
+}
+
+// GreedyMIS returns the lexicographically-first maximal independent set:
+// scan vertices in order, adding each vertex not adjacent to an already
+// chosen one. It is the sequential ground truth used by tests.
+func (g *Graph) GreedyMIS() []bool {
+	in := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		ok := true
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				ok = false
+				break
+			}
+		}
+		in[v] = ok
+	}
+	return in
+}
+
+// CountTrue returns the number of set entries in a membership mask.
+func CountTrue(mask []bool) int {
+	c := 0
+	for _, b := range mask {
+		if b {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,125 @@
+// Package msgnet implements a synchronous message-passing network in the
+// style of the LOCAL/CONGEST models referenced by the paper's
+// introduction: in each round every vertex broadcasts one small message
+// to all neighbors and then receives the multiset of its neighbors'
+// messages.
+//
+// It exists as the substrate for the Luby baseline, which needs to
+// exchange O(log n)-bit values — strictly more communication per round
+// than a beep — so that the experiment tables can put the beeping
+// algorithms' round counts next to a classical message-passing MIS
+// algorithm on the same topologies.
+package msgnet
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Msg is one broadcast message: a small tagged value, matching the
+// CONGEST restriction of O(log n) bits per edge per round.
+type Msg struct {
+	Kind uint8
+	Val  uint64
+}
+
+// None is the absent message: vertices broadcasting None stay silent
+// this round and do not appear in neighbors' inboxes.
+var None = Msg{}
+
+// IsNone reports whether m is the absent message.
+func (m Msg) IsNone() bool { return m == None }
+
+// Node is the per-vertex state machine of a message-passing protocol.
+type Node interface {
+	// Broadcast returns the message to send to all neighbors this round
+	// (None for silence), consuming randomness only from src.
+	Broadcast(src *rng.Source) Msg
+	// Receive delivers this round's own message and the messages of the
+	// neighbors that spoke, in neighbor order. The slice is reused and
+	// must not be retained.
+	Receive(own Msg, inbox []Msg)
+}
+
+// Protocol creates the node for each vertex.
+type Protocol interface {
+	NewNode(v int, g *graph.Graph) Node
+}
+
+// Network executes a protocol on a graph, mirroring the structure of
+// the beeping simulator (per-vertex split streams, synchronous rounds).
+type Network struct {
+	g     *graph.Graph
+	nodes []Node
+	srcs  []*rng.Source
+	sent  []Msg
+	round int
+	inbox []Msg
+}
+
+// NewNetwork instantiates proto on every vertex of g with per-vertex
+// streams derived from seed.
+func NewNetwork(g *graph.Graph, proto Protocol, seed uint64) (*Network, error) {
+	if g == nil {
+		return nil, fmt.Errorf("msgnet: nil graph")
+	}
+	n := g.N()
+	net := &Network{
+		g:     g,
+		nodes: make([]Node, n),
+		srcs:  make([]*rng.Source, n),
+		sent:  make([]Msg, n),
+	}
+	root := rng.New(seed)
+	for v := 0; v < n; v++ {
+		net.nodes[v] = proto.NewNode(v, g)
+		net.srcs[v] = root.Split(uint64(v))
+	}
+	return net, nil
+}
+
+// Graph returns the topology.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Round returns the number of completed rounds.
+func (n *Network) Round() int { return n.round }
+
+// Node returns the state machine of vertex v for harness inspection.
+func (n *Network) Node(v int) Node { return n.nodes[v] }
+
+// N returns the number of vertices.
+func (n *Network) N() int { return len(n.nodes) }
+
+// Step executes one synchronous round.
+func (n *Network) Step() {
+	for v, node := range n.nodes {
+		n.sent[v] = node.Broadcast(n.srcs[v])
+	}
+	for v, node := range n.nodes {
+		n.inbox = n.inbox[:0]
+		for _, u := range n.g.Neighbors(v) {
+			if !n.sent[u].IsNone() {
+				n.inbox = append(n.inbox, n.sent[u])
+			}
+		}
+		node.Receive(n.sent[v], n.inbox)
+	}
+	n.round++
+}
+
+// Run executes rounds until stop returns true or maxRounds have passed,
+// with the same contract as beep.Network.Run.
+func (n *Network) Run(maxRounds int, stop func() bool) (rounds int, ok bool) {
+	if stop != nil && stop() {
+		return 0, true
+	}
+	for r := 0; r < maxRounds; r++ {
+		n.Step()
+		if stop != nil && stop() {
+			return r + 1, true
+		}
+	}
+	return maxRounds, stop == nil
+}

@@ -1,0 +1,108 @@
+package msgnet
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// echoProtocol broadcasts a constant and records its inbox sizes.
+type echoProtocol struct{ value uint64 }
+
+func (p echoProtocol) NewNode(int, *graph.Graph) Node {
+	return &echoNode{value: p.value}
+}
+
+type echoNode struct {
+	value     uint64
+	inboxLens []int
+	heardVals []uint64
+	silent    bool
+}
+
+func (n *echoNode) Broadcast(*rng.Source) Msg {
+	if n.silent {
+		return None
+	}
+	return Msg{Kind: 1, Val: n.value}
+}
+
+func (n *echoNode) Receive(_ Msg, inbox []Msg) {
+	n.inboxLens = append(n.inboxLens, len(inbox))
+	for _, m := range inbox {
+		n.heardVals = append(n.heardVals, m.Val)
+	}
+}
+
+func TestNewNetworkNilGraph(t *testing.T) {
+	if _, err := NewNetwork(nil, echoProtocol{}, 1); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestBroadcastReachesExactlyNeighbors(t *testing.T) {
+	g := graph.Star(4) // center 0, leaves 1..3
+	net, err := NewNetwork(g, echoProtocol{value: 7}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Step()
+	center := net.Node(0).(*echoNode)
+	if center.inboxLens[0] != 3 {
+		t.Fatalf("center inbox %d, want 3", center.inboxLens[0])
+	}
+	leaf := net.Node(2).(*echoNode)
+	if leaf.inboxLens[0] != 1 {
+		t.Fatalf("leaf inbox %d, want 1", leaf.inboxLens[0])
+	}
+	for _, v := range leaf.heardVals {
+		if v != 7 {
+			t.Fatalf("leaf heard %d", v)
+		}
+	}
+}
+
+func TestNoneIsInvisible(t *testing.T) {
+	g := graph.Path(3)
+	net, err := NewNetwork(g, echoProtocol{value: 9}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Node(1).(*echoNode).silent = true
+	net.Step()
+	end := net.Node(0).(*echoNode)
+	if end.inboxLens[0] != 0 {
+		t.Fatalf("silent neighbor delivered %d messages", end.inboxLens[0])
+	}
+	mid := net.Node(1).(*echoNode)
+	if mid.inboxLens[0] != 2 {
+		t.Fatalf("silent vertex still hears: got %d, want 2", mid.inboxLens[0])
+	}
+}
+
+func TestRunContract(t *testing.T) {
+	g := graph.Cycle(5)
+	net, err := NewNetwork(g, echoProtocol{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, ok := net.Run(4, nil)
+	if rounds != 4 || !ok || net.Round() != 4 {
+		t.Fatalf("Run: %d %v %d", rounds, ok, net.Round())
+	}
+	rounds, ok = net.Run(4, func() bool { return true })
+	if rounds != 0 || !ok {
+		t.Fatalf("pre-satisfied: %d %v", rounds, ok)
+	}
+	rounds, ok = net.Run(3, func() bool { return false })
+	if rounds != 3 || ok {
+		t.Fatalf("exhausted: %d %v", rounds, ok)
+	}
+}
+
+func TestIsNone(t *testing.T) {
+	if !None.IsNone() || (Msg{Kind: 1}).IsNone() {
+		t.Fatal("IsNone wrong")
+	}
+}

@@ -1,0 +1,312 @@
+package rng
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// A Source must be usable as a math/rand source in tools and tests.
+var _ rand.Source64 = (*Source)(nil)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: sources with equal seeds diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestNewDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("sources with different seeds produced %d identical words out of 100", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	s := New(0)
+	var acc uint64
+	for i := 0; i < 100; i++ {
+		acc |= s.Uint64()
+	}
+	if acc == 0 {
+		t.Fatal("seed 0 produced an all-zero stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	c0 := root.Split(0)
+	c1 := root.Split(1)
+	c0again := root.Split(0)
+
+	for i := 0; i < 100; i++ {
+		v0, v0b := c0.Uint64(), c0again.Uint64()
+		if v0 != v0b {
+			t.Fatalf("Split(0) not reproducible at draw %d", i)
+		}
+		if v0 == c1.Uint64() {
+			t.Fatalf("Split(0) and Split(1) coincided at draw %d", i)
+		}
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.Split(3)
+	_ = a.Split(4)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split advanced the parent stream")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestUint64Uniformity(t *testing.T) {
+	// Chi-square over 16 buckets of the top 4 bits; loose bound.
+	s := New(13)
+	const n = 1 << 16
+	var buckets [16]int
+	for i := 0; i < n; i++ {
+		buckets[s.Uint64()>>60]++
+	}
+	expected := float64(n) / 16
+	chi2 := 0.0
+	for _, c := range buckets {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom; 99.9th percentile is ~37.7.
+	if chi2 > 45 {
+		t.Fatalf("chi-square too large: %v (buckets %v)", chi2, buckets)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(17)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(19)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Intn(n)]++
+	}
+	expected := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-expected) > 5*math.Sqrt(expected) {
+			t.Fatalf("Intn(%d): value %d count %d deviates from expected %v", n, v, c, expected)
+		}
+	}
+}
+
+func TestBernoulli2PowClampedToOne(t *testing.T) {
+	s := New(23)
+	for _, l := range []int{0, -1, -5, -100} {
+		for i := 0; i < 100; i++ {
+			if !s.Bernoulli2Pow(l) {
+				t.Fatalf("Bernoulli2Pow(%d) returned false; probability must be 1", l)
+			}
+		}
+	}
+}
+
+func TestBernoulli2PowRates(t *testing.T) {
+	s := New(29)
+	for _, l := range []int{1, 2, 3, 5, 8} {
+		const trials = 200000
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if s.Bernoulli2Pow(l) {
+				hits++
+			}
+		}
+		p := math.Pow(2, -float64(l))
+		mean := p * trials
+		sd := math.Sqrt(trials * p * (1 - p))
+		if math.Abs(float64(hits)-mean) > 6*sd {
+			t.Fatalf("Bernoulli2Pow(%d): %d hits, expected %v±%v", l, hits, mean, 6*sd)
+		}
+	}
+}
+
+func TestBernoulli2PowLargeL(t *testing.T) {
+	// Probability 2^-100 should essentially never fire but must not hang
+	// or mis-handle the multi-word path.
+	s := New(31)
+	for i := 0; i < 10000; i++ {
+		if s.Bernoulli2Pow(100) {
+			t.Fatal("Bernoulli2Pow(100) fired; probability ~7.9e-31")
+		}
+	}
+	// l = 64 and l = 65 exercise the word boundary.
+	for i := 0; i < 1000; i++ {
+		s.Bernoulli2Pow(64)
+		s.Bernoulli2Pow(65)
+	}
+}
+
+func TestCoinRate(t *testing.T) {
+	s := New(37)
+	const trials = 100000
+	heads := 0
+	for i := 0; i < trials; i++ {
+		if s.Coin() {
+			heads++
+		}
+	}
+	if math.Abs(float64(heads)-trials/2) > 5*math.Sqrt(trials/4) {
+		t.Fatalf("Coin heads = %d out of %d", heads, trials)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(41)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := s.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	s := New(43)
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	got := 0
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("Shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	s := New(47)
+	const n, trials = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Perm(n)[0]]++
+	}
+	expected := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("Perm first element %d count %d, expected %v", v, c, expected)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkBernoulli2Pow8(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Bernoulli2Pow(8)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	a := New(5)
+	for i := 0; i < 17; i++ {
+		a.Uint64()
+	}
+	saved := a.State()
+	want := []uint64{a.Uint64(), a.Uint64(), a.Uint64()}
+
+	b := New(12345)
+	b.SetState(saved)
+	for i, w := range want {
+		if got := b.Uint64(); got != w {
+			t.Fatalf("draw %d after restore: %d != %d", i, got, w)
+		}
+	}
+}
+
+func TestMathRandAdapter(t *testing.T) {
+	// Int63 and Seed exist so a Source can back math/rand.
+	s := New(3)
+	r := rand.New(s)
+	for i := 0; i < 100; i++ {
+		if v := r.Int63(); v < 0 {
+			t.Fatalf("Int63 negative: %d", v)
+		}
+	}
+	s.Seed(99) // no-op by contract
+	if r.Intn(10) < 0 {
+		t.Fatal("adapter broken after Seed")
+	}
+}
+
+func TestBoundedUint64NearMaxBound(t *testing.T) {
+	// A bound just below a power of two exercises the rejection branch.
+	s := New(5)
+	const bound = (1 << 62) + 3
+	for i := 0; i < 1000; i++ {
+		if v := s.boundedUint64(bound); v >= bound {
+			t.Fatalf("bounded draw %d >= %d", v, bound)
+		}
+	}
+}

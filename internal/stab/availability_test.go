@@ -1,0 +1,110 @@
+package stab
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestMeasureAvailabilityBasics(t *testing.T) {
+	g := graph.GNPAvgDegree(80, 6, rng.New(3))
+	res, err := MeasureAvailability(AvailabilityConfig{
+		Graph:    g,
+		Protocol: alg1(),
+		Seed:     5,
+		Fault:    RandomFault{K: 4},
+		Period:   100,
+		Window:   1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injections != 10 {
+		t.Fatalf("injections %d, want 10", res.Injections)
+	}
+	if res.Availability <= 0 || res.Availability > 1 {
+		t.Fatalf("availability %v out of (0,1]", res.Availability)
+	}
+	// With sparse small faults and a long period, the system should be
+	// legal most of the time.
+	if res.Availability < 0.5 {
+		t.Fatalf("availability %v suspiciously low", res.Availability)
+	}
+	if res.MeanRecovery <= 0 {
+		t.Fatalf("mean recovery %v", res.MeanRecovery)
+	}
+	if res.LongestOutage <= 0 || res.LongestOutage >= 1000 {
+		t.Fatalf("longest outage %d", res.LongestOutage)
+	}
+}
+
+func TestMeasureAvailabilityHighPressure(t *testing.T) {
+	// Faults every other round: availability should be visibly lower
+	// than with a relaxed period on the same instance.
+	g := graph.Cycle(60)
+	relaxed, err := MeasureAvailability(AvailabilityConfig{
+		Graph: g, Protocol: alg1(), Seed: 7,
+		Fault: RandomFault{K: 6}, Period: 200, Window: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pressured, err := MeasureAvailability(AvailabilityConfig{
+		Graph: g, Protocol: alg1(), Seed: 7,
+		Fault: RandomFault{K: 6}, Period: 5, Window: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pressured.Availability >= relaxed.Availability {
+		t.Fatalf("pressure did not reduce availability: %v vs %v",
+			pressured.Availability, relaxed.Availability)
+	}
+}
+
+func TestMeasureAvailabilityValidation(t *testing.T) {
+	if _, err := MeasureAvailability(AvailabilityConfig{}); err == nil {
+		t.Fatal("nil config accepted")
+	}
+	g := graph.Path(5)
+	if _, err := MeasureAvailability(AvailabilityConfig{Graph: g, Protocol: alg1(), Period: 0}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestMeasureAvailabilityNoFaultIsPerfect(t *testing.T) {
+	g := graph.Cycle(40)
+	res, err := MeasureAvailability(AvailabilityConfig{
+		Graph: g, Protocol: alg1(), Seed: 9,
+		Fault: nil, Period: 50, Window: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Availability != 1 {
+		t.Fatalf("fault-free availability %v, want 1 (closure)", res.Availability)
+	}
+	if res.LongestOutage != 0 || res.Injections != 0 {
+		t.Fatalf("fault-free outage %d injections %d", res.LongestOutage, res.Injections)
+	}
+}
+
+func TestMeasureAvailabilityWithAlg2(t *testing.T) {
+	g := graph.GNPAvgDegree(60, 6, rng.New(11))
+	res, err := MeasureAvailability(AvailabilityConfig{
+		Graph:    g,
+		Protocol: core.NewAlg2(core.NeighborhoodMaxDegree(core.DefaultC1TwoHop)),
+		Seed:     13,
+		Fault:    MISFault{K: 2},
+		Period:   80,
+		Window:   800,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Availability <= 0 {
+		t.Fatalf("availability %v", res.Availability)
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteLevelHeatmapSVG renders the recorded per-vertex level history as
+// an SVG heatmap: one column per vertex, one row per round. Cell color
+// encodes the level relative to the vertex's cap:
+//
+//	deep blue  ℓ = -ℓmax  (committed MIS member)
+//	white      ℓ ≈ 0      (actively beeping band)
+//	deep red   ℓ = +ℓmax  (silent / stabilized non-member)
+//
+// The characteristic pattern of a stabilizing run is vertical blue and
+// red stripes emerging out of noise. Requires KeepLevels; caps supplies
+// ℓmax(v) per vertex (from the snapshot that produced the history).
+func (r *Recorder) WriteLevelHeatmapSVG(w io.Writer, caps []int, cell int) error {
+	if !r.KeepLevels {
+		return fmt.Errorf("trace: level history not recorded (set KeepLevels before running)")
+	}
+	if len(r.levels) == 0 {
+		return fmt.Errorf("trace: empty level history")
+	}
+	n := len(r.levels[0])
+	if len(caps) != n {
+		return fmt.Errorf("trace: caps length %d, want %d", len(caps), n)
+	}
+	if cell <= 0 {
+		cell = 4
+	}
+	rounds := len(r.levels)
+	width := n * cell
+	height := rounds * cell
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", width, height)
+	for t, row := range r.levels {
+		for v, l := range row {
+			fill := levelColor(l, caps[v])
+			fmt.Fprintf(bw, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+				v*cell, t*cell, cell, cell, fill)
+		}
+	}
+	fmt.Fprintln(bw, `</svg>`)
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace svg: %w", err)
+	}
+	return nil
+}
+
+// levelColor maps a level in [-cap, cap] to a blue-white-red ramp.
+func levelColor(level, cap int) string {
+	if cap < 1 {
+		cap = 1
+	}
+	// ratio in [-1, 1].
+	ratio := float64(level) / float64(cap)
+	if ratio < -1 {
+		ratio = -1
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	var rC, gC, bC int
+	if ratio < 0 {
+		// White → blue as ratio goes 0 → -1.
+		f := -ratio
+		rC = int(255 * (1 - f))
+		gC = int(255 * (1 - f*0.7))
+		bC = 255
+	} else {
+		// White → red as ratio goes 0 → 1.
+		f := ratio
+		rC = 255
+		gC = int(255 * (1 - f*0.7))
+		bC = int(255 * (1 - f))
+	}
+	return fmt.Sprintf("#%02x%02x%02x", rC, gC, bC)
+}

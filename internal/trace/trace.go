@@ -1,0 +1,180 @@
+// Package trace records the round-by-round evolution of a beeping
+// execution for analysis and export: per-round aggregate metrics
+// (beeping vertices, prominent vertices, stabilized vertices, level
+// statistics) and optional full per-vertex level histories, with CSV
+// output consumed by the CLI tools.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/beep"
+	"repro/internal/core"
+)
+
+// RoundStats are the aggregate metrics of one round.
+type RoundStats struct {
+	Round int
+	// Beeping is the number of vertices that transmitted on any channel.
+	Beeping int
+	// Chan2 is the number of vertices that transmitted on channel 2
+	// (Algorithm 2's MIS announcements); 0 for single-channel runs.
+	Chan2 int
+	// Prominent is |PM_t| (vertices with ℓ <= 0, Definition 3.3).
+	Prominent int
+	// Stable is |S_t| (vertices whose output has stabilized).
+	Stable int
+	// InMIS is |I_t|.
+	InMIS int
+	// MeanLevel and MinLevel/MaxLevel summarize the level field.
+	MeanLevel float64
+	MinLevel  int
+	MaxLevel  int
+}
+
+// Recorder observes a network and accumulates per-round statistics.
+// Attach with Observer() at network construction and call Capture after
+// each round (or use Observe's automatic capture).
+type Recorder struct {
+	net   *beep.Network
+	stats []RoundStats
+	// KeepLevels enables full per-vertex level histories (memory grows
+	// as rounds × n).
+	KeepLevels bool
+	levels     [][]int
+
+	lastSent []beep.Signal
+}
+
+// NewRecorder creates a recorder for net. The recorder snapshots levels
+// through the core.Leveled interface, so it works with Algorithm 1 and
+// Algorithm 2 machines.
+func NewRecorder(net *beep.Network) *Recorder {
+	return &Recorder{net: net}
+}
+
+// Observer returns the beep.WithObserver callback that feeds the
+// recorder; install it when building the network.
+func (r *Recorder) Observer() func(round int, sent, heard []beep.Signal) {
+	return func(_ int, sent, _ []beep.Signal) {
+		r.lastSent = append(r.lastSent[:0], sent...)
+		r.capture()
+	}
+}
+
+// capture computes this round's statistics from the network state.
+func (r *Recorder) capture() {
+	st, err := core.Snapshot(r.net)
+	if err != nil {
+		// Non-core protocols have no levels; record signal stats only.
+		s := RoundStats{Round: r.net.Round()}
+		for _, sig := range r.lastSent {
+			if sig != beep.Silent {
+				s.Beeping++
+			}
+			if sig.Has(beep.Chan2) {
+				s.Chan2++
+			}
+		}
+		r.stats = append(r.stats, s)
+		return
+	}
+	n := r.net.N()
+	s := RoundStats{
+		Round:    r.net.Round(),
+		Stable:   st.StableCount(),
+		MinLevel: 1 << 30,
+		MaxLevel: -(1 << 30),
+	}
+	sum := 0
+	var levelRow []int
+	if r.KeepLevels {
+		levelRow = make([]int, n)
+	}
+	for v := 0; v < n; v++ {
+		l := st.Level(v)
+		sum += l
+		if l < s.MinLevel {
+			s.MinLevel = l
+		}
+		if l > s.MaxLevel {
+			s.MaxLevel = l
+		}
+		if st.Prominent(v) {
+			s.Prominent++
+		}
+		if st.InMIS(v) {
+			s.InMIS++
+		}
+		if levelRow != nil {
+			levelRow[v] = l
+		}
+	}
+	for _, sig := range r.lastSent {
+		if sig != beep.Silent {
+			s.Beeping++
+		}
+		if sig.Has(beep.Chan2) {
+			s.Chan2++
+		}
+	}
+	if n > 0 {
+		s.MeanLevel = float64(sum) / float64(n)
+	} else {
+		s.MinLevel, s.MaxLevel = 0, 0
+	}
+	r.stats = append(r.stats, s)
+	if levelRow != nil {
+		r.levels = append(r.levels, levelRow)
+	}
+}
+
+// Stats returns the recorded per-round statistics.
+func (r *Recorder) Stats() []RoundStats { return r.stats }
+
+// Levels returns the per-vertex level history (only populated with
+// KeepLevels).
+func (r *Recorder) Levels() [][]int { return r.levels }
+
+// WriteCSV writes the aggregate statistics as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "round,beeping,chan2,prominent,stable,inmis,mean_level,min_level,max_level"); err != nil {
+		return fmt.Errorf("trace csv: %w", err)
+	}
+	for _, s := range r.stats {
+		_, err := fmt.Fprintf(bw, "%d,%d,%d,%d,%d,%d,%s,%d,%d\n",
+			s.Round, s.Beeping, s.Chan2, s.Prominent, s.Stable, s.InMIS,
+			strconv.FormatFloat(s.MeanLevel, 'g', 6, 64), s.MinLevel, s.MaxLevel)
+		if err != nil {
+			return fmt.Errorf("trace csv: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace csv: %w", err)
+	}
+	return nil
+}
+
+// WriteLevelsCSV writes the per-vertex level history as CSV (one row
+// per round, one column per vertex). Requires KeepLevels.
+func (r *Recorder) WriteLevelsCSV(w io.Writer) error {
+	if !r.KeepLevels {
+		return fmt.Errorf("trace: level history not recorded (set KeepLevels before running)")
+	}
+	bw := bufio.NewWriter(w)
+	for i, row := range r.levels {
+		fmt.Fprintf(bw, "%d", r.stats[i].Round)
+		for _, l := range row {
+			fmt.Fprintf(bw, ",%d", l)
+		}
+		fmt.Fprintln(bw)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace levels csv: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/beep"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func buildRecorded(t *testing.T, keepLevels bool) (*beep.Network, *Recorder) {
+	t.Helper()
+	g := graph.Cycle(12)
+	proto := core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))
+	var rec *Recorder
+	net, err := beep.NewNetwork(g, proto, 5, beep.WithObserver(func(round int, sent, heard []beep.Signal) {
+		rec.Observer()(round, sent, heard)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = NewRecorder(net)
+	rec.KeepLevels = keepLevels
+	net.RandomizeAll()
+	return net, rec
+}
+
+func TestRecorderCapturesEveryRound(t *testing.T) {
+	net, rec := buildRecorded(t, false)
+	defer net.Close()
+	const rounds = 25
+	for i := 0; i < rounds; i++ {
+		net.Step()
+	}
+	stats := rec.Stats()
+	if len(stats) != rounds {
+		t.Fatalf("recorded %d rounds, want %d", len(stats), rounds)
+	}
+	for i, s := range stats {
+		if s.Round != i+1 {
+			t.Fatalf("row %d has round %d", i, s.Round)
+		}
+		if s.Stable < 0 || s.Stable > net.N() || s.Beeping < 0 || s.Beeping > net.N() {
+			t.Fatalf("row %d out of range: %+v", i, s)
+		}
+		if s.MinLevel > s.MaxLevel {
+			t.Fatalf("row %d: min %d > max %d", i, s.MinLevel, s.MaxLevel)
+		}
+		if float64(s.MinLevel) > s.MeanLevel || s.MeanLevel > float64(s.MaxLevel) {
+			t.Fatalf("row %d: mean outside min/max: %+v", i, s)
+		}
+	}
+}
+
+func TestRecorderStableMonotoneAfterStabilization(t *testing.T) {
+	net, rec := buildRecorded(t, false)
+	defer net.Close()
+	stop := func() bool {
+		st, err := core.Snapshot(net)
+		return err == nil && st.Stabilized()
+	}
+	if _, ok := net.Run(100000, stop); !ok {
+		t.Fatal("did not stabilize")
+	}
+	stats := rec.Stats()
+	last := stats[len(stats)-1]
+	if last.Stable != net.N() {
+		t.Fatalf("final stable count %d, want %d", last.Stable, net.N())
+	}
+	if last.InMIS == 0 {
+		t.Fatal("no MIS members at stabilization")
+	}
+}
+
+func TestRecorderLevelHistory(t *testing.T) {
+	net, rec := buildRecorded(t, true)
+	defer net.Close()
+	for i := 0; i < 10; i++ {
+		net.Step()
+	}
+	levels := rec.Levels()
+	if len(levels) != 10 {
+		t.Fatalf("history rows %d", len(levels))
+	}
+	for _, row := range levels {
+		if len(row) != net.N() {
+			t.Fatalf("history row width %d", len(row))
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	net, rec := buildRecorded(t, true)
+	defer net.Close()
+	for i := 0; i < 5; i++ {
+		net.Step()
+	}
+	var sb strings.Builder
+	if err := rec.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("csv lines %d, want header + 5", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "round,beeping,") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,") {
+		t.Fatalf("first data row %q", lines[1])
+	}
+
+	sb.Reset()
+	if err := rec.WriteLevelsCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(rows) != 5 {
+		t.Fatalf("level rows %d", len(rows))
+	}
+	if cols := strings.Count(rows[0], ","); cols != net.N() {
+		t.Fatalf("level columns %d, want %d", cols, net.N())
+	}
+}
+
+func TestWriteLevelsCSVRequiresKeep(t *testing.T) {
+	net, rec := buildRecorded(t, false)
+	defer net.Close()
+	net.Step()
+	var sb strings.Builder
+	if err := rec.WriteLevelsCSV(&sb); err == nil {
+		t.Fatal("WriteLevelsCSV without KeepLevels accepted")
+	}
+}
+
+// levelLessProto exercises the non-core fallback path.
+type levelLessProto struct{}
+
+func (levelLessProto) Channels() int { return 1 }
+func (levelLessProto) NewMachine(int, *graph.Graph) beep.Machine {
+	return &levelLessMachine{}
+}
+
+type levelLessMachine struct{}
+
+func (*levelLessMachine) Emit(*rng.Source) beep.Signal { return beep.Chan1 }
+func (*levelLessMachine) Update(_, _ beep.Signal)      {}
+func (*levelLessMachine) Randomize(*rng.Source)        {}
+
+func TestRecorderWithoutLevels(t *testing.T) {
+	g := graph.Path(4)
+	var rec *Recorder
+	net, err := beep.NewNetwork(g, levelLessProto{}, 1, beep.WithObserver(func(round int, sent, heard []beep.Signal) {
+		rec.Observer()(round, sent, heard)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	rec = NewRecorder(net)
+	net.Step()
+	stats := rec.Stats()
+	if len(stats) != 1 || stats[0].Beeping != 4 {
+		t.Fatalf("fallback stats %+v", stats)
+	}
+}
+
+func TestWriteLevelHeatmapSVG(t *testing.T) {
+	net, rec := buildRecorded(t, true)
+	defer net.Close()
+	const rounds = 8
+	for i := 0; i < rounds; i++ {
+		net.Step()
+	}
+	caps := make([]int, net.N())
+	for v := range caps {
+		caps[v] = net.Machine(v).(core.Leveled).Cap()
+	}
+	var sb strings.Builder
+	if err := rec.WriteLevelHeatmapSVG(&sb, caps, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg ") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not well-formed SVG")
+	}
+	// One background rect plus rounds×n cells.
+	if got, want := strings.Count(out, "<rect "), 1+rounds*net.N(); got != want {
+		t.Fatalf("rect count %d, want %d", got, want)
+	}
+}
+
+func TestWriteLevelHeatmapSVGErrors(t *testing.T) {
+	net, rec := buildRecorded(t, false)
+	defer net.Close()
+	net.Step()
+	var sb strings.Builder
+	if err := rec.WriteLevelHeatmapSVG(&sb, make([]int, net.N()), 4); err == nil {
+		t.Fatal("missing KeepLevels accepted")
+	}
+	net2, rec2 := buildRecorded(t, true)
+	defer net2.Close()
+	if err := rec2.WriteLevelHeatmapSVG(&sb, nil, 4); err == nil {
+		t.Fatal("empty history accepted")
+	}
+	net2.Step()
+	if err := rec2.WriteLevelHeatmapSVG(&sb, []int{1}, 4); err == nil {
+		t.Fatal("caps length mismatch accepted")
+	}
+}
+
+func TestLevelColorEndpoints(t *testing.T) {
+	if levelColor(-8, 8) != "#004cff" && levelColor(-8, 8) != "#004dff" {
+		t.Fatalf("committed color %s", levelColor(-8, 8))
+	}
+	if got := levelColor(0, 8); got != "#ffffff" {
+		t.Fatalf("neutral color %s", got)
+	}
+	if got := levelColor(8, 8); got != "#ff4c00" && got != "#ff4d00" {
+		t.Fatalf("cap color %s", got)
+	}
+	// Degenerate cap does not divide by zero.
+	_ = levelColor(0, 0)
+}
