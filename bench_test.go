@@ -1,7 +1,9 @@
 package repro
 
 import (
+	"fmt"
 	"io"
+	"math"
 	"testing"
 
 	"repro/internal/baseline"
@@ -187,6 +189,93 @@ func BenchmarkPublicSolveCycle256(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Detector micro-benchmarks: the per-round cost of the stabilization
+// stop check — Refresh (level capture) and Stabilized (legality
+// detection) — across sizes and graph families. These are the
+// benchmarks tracked in BENCH_baseline.json; the stop check runs once
+// per simulated round in every experiment, so its cost bounds the
+// sweep sizes the harness can reach.
+
+func detectorBenchGraph(family string, n int) *graph.Graph {
+	switch family {
+	case "path":
+		return graph.Path(n)
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		return graph.Grid(side, side)
+	case "rgg":
+		// Radius chosen for expected average degree ≈ 8.
+		r := math.Sqrt(8 / (math.Pi * float64(n)))
+		return graph.UnitDisk(n, r, rng.New(uint64(n)))
+	}
+	panic("unknown detector bench family " + family)
+}
+
+func benchDetectorCases(b *testing.B, fn func(b *testing.B, net *beep.Network)) {
+	b.Helper()
+	for _, family := range []string{"path", "grid", "rgg"} {
+		for _, n := range []int{256, 4096, 16384} {
+			b.Run(fmt.Sprintf("%s/n=%d", family, n), func(b *testing.B) {
+				g := detectorBenchGraph(family, n)
+				proto := core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))
+				net, err := beep.NewNetwork(g, proto, 11)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer net.Close()
+				net.RandomizeAll()
+				// A few rounds toward (but not at) stabilization: the
+				// state a mid-run stop check actually sees.
+				for i := 0; i < 8; i++ {
+					net.Step()
+				}
+				fn(b, net)
+			})
+		}
+	}
+}
+
+// BenchmarkRefresh measures capturing the network's levels into a
+// reused State (the first half of the per-round stop closure).
+func BenchmarkRefresh(b *testing.B) {
+	benchDetectorCases(b, func(b *testing.B, net *beep.Network) {
+		var st core.State
+		if err := st.Refresh(net); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.Refresh(net); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStabilizedDetector measures the full per-round stop check:
+// Refresh followed by Stabilized, exactly what core.Run evaluates after
+// every round. Levels do not change between iterations, so this is the
+// steady-state ("nothing changed this round") cost that dominates long
+// executions.
+func BenchmarkStabilizedDetector(b *testing.B) {
+	benchDetectorCases(b, func(b *testing.B, net *beep.Network) {
+		var st core.State
+		if err := st.Refresh(net); err != nil {
+			b.Fatal(err)
+		}
+		_ = st.Stabilized()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.Refresh(net); err != nil {
+				b.Fatal(err)
+			}
+			_ = st.Stabilized()
+		}
+	})
 }
 
 // BenchmarkRoundDenseK2k measures one round on a complete graph, the

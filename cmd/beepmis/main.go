@@ -124,9 +124,9 @@ func run(args []string) error {
 		if err := applyInitCLI(net, initMode); err != nil {
 			return err
 		}
+		var probe core.State
 		stop := func() bool {
-			st, serr := core.Snapshot(net)
-			return serr == nil && st.Stabilized()
+			return probe.Refresh(net) == nil && probe.Stabilized()
 		}
 		budget := *maxRounds
 		if budget <= 0 {
@@ -257,9 +257,9 @@ func recoverFromFaults(g *graph.Graph, proto beep.Protocol, seed uint64, k, maxR
 	if maxRounds <= 0 {
 		maxRounds = 1000000
 	}
+	var probe core.State
 	stop := func() bool {
-		st, serr := core.Snapshot(net)
-		return serr == nil && st.Stabilized()
+		return probe.Refresh(net) == nil && probe.Stabilized()
 	}
 	if _, ok := net.Run(maxRounds, stop); !ok {
 		return fmt.Errorf("no stabilization before fault injection")

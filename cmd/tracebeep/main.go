@@ -111,14 +111,15 @@ func run(args []string) error {
 	fmt.Printf("graph %s  n=%d m=%d  alg=%s init=%s seed=%d\n", g.Name(), g.N(), g.M(), *alg, *init, *seed)
 	fmt.Println("per round: level[beep-marker]; * = in MIS, . = stable non-MIS")
 
+	var st core.State
+	stable := make([]bool, g.N())
 	for r := 0; r <= *rounds; r++ {
-		st, err := core.Snapshot(net)
-		if err != nil {
+		if err := st.Refresh(net); err != nil {
 			return err
 		}
 		var sb strings.Builder
 		fmt.Fprintf(&sb, "r%-4d", net.Round())
-		stable := st.StableMask()
+		st.FillStableMask(stable)
 		for v := 0; v < g.N(); v++ {
 			mark := " "
 			if r > 0 && v < len(lastSent) && lastSent[v] != beep.Silent {

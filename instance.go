@@ -18,6 +18,10 @@ import (
 type Instance struct {
 	net      *beep.Network
 	faultSrc *rng.Source
+	// probe is the reused level snapshot behind the legality queries;
+	// refreshing it per call keeps the incremental stabilization
+	// detector warm, so per-round Stabilized polls are cheap.
+	probe core.State
 }
 
 // NewInstance builds a steppable execution on g with the given options.
@@ -69,33 +73,30 @@ func (i *Instance) Rounds() int { return i.net.Round() }
 // the claimed set is a maximal independent set and every vertex is
 // stable.
 func (i *Instance) Stabilized() (bool, error) {
-	st, err := core.Snapshot(i.net)
-	if err != nil {
+	if err := i.probe.Refresh(i.net); err != nil {
 		return false, err
 	}
-	return st.Stabilized(), nil
+	return i.probe.Stabilized(), nil
 }
 
 // StableVertices returns |S_t|, the number of vertices whose output has
 // stabilized — a convergence progress measure.
 func (i *Instance) StableVertices() (int, error) {
-	st, err := core.Snapshot(i.net)
-	if err != nil {
+	if err := i.probe.Refresh(i.net); err != nil {
 		return 0, err
 	}
-	return st.StableCount(), nil
+	return i.probe.StableCount(), nil
 }
 
 // MIS returns the current claimed MIS vertices in ascending order. The
 // set is only guaranteed maximal and independent once Stabilized
 // reports true.
 func (i *Instance) MIS() ([]int, error) {
-	st, err := core.Snapshot(i.net)
-	if err != nil {
+	if err := i.probe.Refresh(i.net); err != nil {
 		return nil, err
 	}
 	var out []int
-	for v, in := range st.MISMask() {
+	for v, in := range i.probe.MISMask() {
 		if in {
 			out = append(out, v)
 		}

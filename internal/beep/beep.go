@@ -90,6 +90,22 @@ type Protocol interface {
 	Channels() int
 }
 
+// BatchProtocol is an optional Protocol extension for protocols that can
+// build all machines of a network in one call. Implementations may back
+// the machines with shared flat storage and return an opaque bulk-state
+// handle, which the Network exposes via BulkState; analysts (e.g. the
+// stabilization detector in internal/core) type-assert the handle to a
+// bulk accessor and read whole-network state without per-vertex
+// interface dispatch. Machines returned by NewMachines must behave
+// exactly like the ones NewMachine would build, so the fast path is
+// observationally identical.
+type BatchProtocol interface {
+	Protocol
+	// NewMachines returns one machine per vertex of g (in vertex order)
+	// and an optional bulk-state handle (may be nil).
+	NewMachines(g *graph.Graph) (ms []Machine, bulk any)
+}
+
 // Engine selects the execution strategy for rounds.
 type Engine int
 

@@ -266,18 +266,37 @@ func TestCloseIdempotentAndSequentialNoop(t *testing.T) {
 	netP.Close()
 }
 
-func TestParallelAfterCloseRestartsPool(t *testing.T) {
-	net, err := NewNetwork(graph.Cycle(8), probeProtocol{}, 3, WithEngine(Parallel))
-	if err != nil {
-		t.Fatal(err)
-	}
-	net.Step()
-	net.Close()
-	// Stepping again lazily rebuilds the pool rather than deadlocking.
-	net.Step()
-	net.Close()
-	if net.Round() != 2 {
-		t.Fatalf("rounds %d, want 2", net.Round())
+// TestStepAfterCloseIsTerminal pins the lifecycle contract: Close is
+// terminal, and Step on a closed network panics instead of silently
+// re-spawning a worker pool (the old behavior leaked goroutine pools
+// whenever a caller stepped a closed network). Regression test for the
+// concurrent and sequential engines alike.
+func TestStepAfterCloseIsTerminal(t *testing.T) {
+	for _, engine := range []Engine{Sequential, Parallel, PerVertex} {
+		net, err := NewNetwork(graph.Cycle(8), probeProtocol{}, 3, WithEngine(engine))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Step()
+		if net.Closed() {
+			t.Fatalf("%v: network reports closed before Close", engine)
+		}
+		net.Close()
+		if !net.Closed() {
+			t.Fatalf("%v: network not closed after Close", engine)
+		}
+		net.Close() // idempotent
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%v: Step after Close did not panic", engine)
+				}
+			}()
+			net.Step()
+		}()
+		if net.Round() != 1 {
+			t.Fatalf("%v: rounds %d, want 1", engine, net.Round())
+		}
 	}
 }
 

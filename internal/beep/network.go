@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -33,7 +34,12 @@ type Network struct {
 
 	observer func(round int, sent, heard []Signal)
 
+	// bulk is the opaque bulk-state handle returned by a BatchProtocol,
+	// nil otherwise. See BulkState.
+	bulk any
+
 	workers *workerPool
+	closed  bool
 }
 
 // Option configures a Network.
@@ -76,8 +82,19 @@ func NewNetwork(g *graph.Graph, proto Protocol, seed uint64, opts ...Option) (*N
 		sleepSrc: rng.New(seed ^ 0x736c656570), // "sleep"
 	}
 	root := rng.New(seed)
+	if bp, ok := proto.(BatchProtocol); ok {
+		ms, bulk := bp.NewMachines(g)
+		if len(ms) != n {
+			return nil, fmt.Errorf("beep: BatchProtocol %T built %d machines for %d vertices", proto, len(ms), n)
+		}
+		net.machines = ms
+		net.bulk = bulk
+	} else {
+		for v := 0; v < n; v++ {
+			net.machines[v] = proto.NewMachine(v, g)
+		}
+	}
 	for v := 0; v < n; v++ {
-		net.machines[v] = proto.NewMachine(v, g)
 		net.srcs[v] = root.Split(uint64(v))
 	}
 	for _, opt := range opts {
@@ -129,6 +146,12 @@ func (n *Network) Round() int { return n.round }
 // harness (legality checks) and the fault injector.
 func (n *Network) Machine(v int) Machine { return n.machines[v] }
 
+// BulkState returns the opaque bulk-state handle provided by a
+// BatchProtocol, or nil. Callers type-assert it to the protocol's bulk
+// accessor (for example core.LevelExporter) to read whole-network state
+// without n interface dispatches.
+func (n *Network) BulkState() any { return n.bulk }
+
 // N returns the number of vertices.
 func (n *Network) N() int { return len(n.machines) }
 
@@ -153,8 +176,14 @@ func (n *Network) Corrupt(vertices []int) error {
 	return nil
 }
 
-// Step executes one synchronous round on the configured engine.
+// Step executes one synchronous round on the configured engine. It
+// panics if the network has been closed: Close is terminal (it tears
+// down the worker goroutines of the concurrent engines), and silently
+// resurrecting a pool after Close hid lifecycle bugs in callers.
 func (n *Network) Step() {
+	if n.closed {
+		panic("beep: Step on closed Network (Close is terminal)")
+	}
 	switch n.engine {
 	case Parallel, PerVertex:
 		n.stepParallel()
@@ -222,28 +251,47 @@ func (n *Network) deliverRange(lo, hi int) {
 	}
 }
 
-// Close releases the worker goroutines of the concurrent engines. It is
-// a no-op for the sequential engine and safe to call multiple times.
+// Close releases the worker goroutines of the concurrent engines and
+// makes the network terminal: any subsequent Step panics. It is safe to
+// call multiple times (later calls are no-ops); for the sequential
+// engine it only marks the network closed.
 func (n *Network) Close() {
 	if n.workers != nil {
 		n.workers.close()
 		n.workers = nil
 	}
+	n.closed = true
 }
 
+// Closed reports whether Close has been called.
+func (n *Network) Closed() bool { return n.closed }
+
 // workerPool runs the three phases of a round (emit, deliver, update)
-// over vertex shards with persistent goroutines and a barrier between
-// phases (the start/done channel pattern). The Parallel engine uses one
-// shard per CPU; the PerVertex engine uses one single-vertex shard per
-// vertex, i.e. a long-lived goroutine per simulated processor, the direct
-// Go realization of the model. Because every vertex consumes only its own
-// random stream and phases are barrier-separated, all engines produce
-// identical traces for a fixed seed.
+// over vertex shards with persistent goroutines and a generation-based
+// (sense-reversing) barrier between phases: the coordinator publishes
+// each phase by bumping a generation counter and broadcasting once, and
+// each worker joins the barrier with a single atomic decrement — the
+// last one signals completion. That is one wakeup plus one atomic join
+// per worker per phase, replacing the previous three channel operations
+// per shard per phase, which dominated round cost for fine shards.
+//
+// The Parallel engine uses one shard per CPU; the PerVertex engine uses
+// one single-vertex shard per vertex, i.e. a long-lived goroutine per
+// simulated processor, the direct Go realization of the model. Because
+// every vertex consumes only its own random stream and phases are
+// barrier-separated, all engines produce identical traces for a fixed
+// seed.
 type workerPool struct {
 	net    *Network
 	shards [][2]int
-	start  []chan int // phase number
-	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	gen   uint64 // generation: incremented to publish the next phase
+	phase int32  // phase command of the current generation
+
+	pending atomic.Int32  // workers that have not yet joined the barrier
+	done    chan struct{} // signaled by the last worker to join
 }
 
 const (
@@ -254,7 +302,8 @@ const (
 )
 
 func newWorkerPool(net *Network, workers int) *workerPool {
-	p := &workerPool{net: net}
+	p := &workerPool{net: net, done: make(chan struct{})}
+	p.cond = sync.NewCond(&p.mu)
 	n := net.N()
 	per := (n + workers - 1) / workers
 	for lo := 0; lo < n; lo += per {
@@ -264,18 +313,28 @@ func newWorkerPool(net *Network, workers int) *workerPool {
 		}
 		p.shards = append(p.shards, [2]int{lo, hi})
 	}
-	p.start = make([]chan int, len(p.shards))
 	for i := range p.shards {
-		p.start[i] = make(chan int)
 		go p.worker(i)
 	}
 	return p
 }
 
+// worker waits (blocking, not spinning — the PerVertex engine runs far
+// more shards than CPUs) for each new generation, executes its shard's
+// slice of the published phase, and joins the barrier.
 func (p *workerPool) worker(i int) {
 	lo, hi := p.shards[i][0], p.shards[i][1]
 	net := p.net
-	for phase := range p.start[i] {
+	var seen uint64
+	for {
+		p.mu.Lock()
+		for p.gen == seen {
+			p.cond.Wait()
+		}
+		seen = p.gen
+		phase := p.phase
+		p.mu.Unlock()
+
 		switch phase {
 		case phaseEmit:
 			for v := lo; v < hi; v++ {
@@ -294,34 +353,39 @@ func (p *workerPool) worker(i int) {
 				}
 				net.machines[v].Update(net.sent[v], net.heard[v])
 			}
-		case phaseExit:
-			p.wg.Done()
+		}
+
+		if p.pending.Add(-1) == 0 {
+			p.done <- struct{}{}
+		}
+		if phase == phaseExit {
 			return
 		}
-		p.wg.Done()
 	}
 }
 
-// runPhase dispatches one phase to all workers and waits for the barrier.
+// runPhase publishes one phase to all workers (one broadcast) and waits
+// for the barrier. The atomic join chain plus the done send establish
+// the happens-before edge from every worker's writes back to the
+// coordinator, so the next phase observes all shard results.
 func (p *workerPool) runPhase(phase int) {
-	p.wg.Add(len(p.start))
-	for _, ch := range p.start {
-		ch <- phase
+	if len(p.shards) == 0 {
+		return
 	}
-	p.wg.Wait()
+	p.pending.Store(int32(len(p.shards)))
+	p.mu.Lock()
+	p.phase = int32(phase)
+	p.gen++
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	<-p.done
 }
 
 func (p *workerPool) close() {
 	p.runPhase(phaseExit)
-	for _, ch := range p.start {
-		close(ch)
-	}
 }
 
 func (n *Network) stepParallel() {
-	if n.workers == nil {
-		n.workers = newWorkerPool(n, n.poolSize())
-	}
 	n.drawSleep()
 	n.workers.runPhase(phaseEmit)
 	n.workers.runPhase(phaseDeliver)

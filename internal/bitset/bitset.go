@@ -1,0 +1,121 @@
+// Package bitset provides a minimal dense bitset used by the legality
+// detector: membership masks (I_t, S_t) stored one bit per vertex in
+// uint64 words, so whole-graph predicates ("is every vertex stable?")
+// become word-at-a-time scans instead of per-vertex boolean loops, and
+// mask storage shrinks 8×.
+package bitset
+
+import "math/bits"
+
+// Set is a dense bitset. The zero value is an empty set of capacity 0;
+// grow it with Resize. Bits beyond the logical length must be kept zero
+// by all mutating operations (Resize and Reset guarantee it).
+type Set struct {
+	words []uint64
+	n     int
+}
+
+const wordBits = 64
+
+// Resize sets the logical length to n bits, reusing storage when
+// possible. Newly exposed bits are zero; shrinking clears the tail so
+// a later re-grow also sees zeros.
+func (s *Set) Resize(n int) {
+	w := (n + wordBits - 1) / wordBits
+	if cap(s.words) < w {
+		s.words = make([]uint64, w)
+	} else {
+		s.words = s.words[:w]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.n = n
+}
+
+// Len returns the logical length in bits.
+func (s *Set) Len() int { return s.n }
+
+// Reset clears all bits without changing the length.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Get reports whether bit i is set.
+func (s *Set) Get(i int) bool {
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Set1 sets bit i.
+func (s *Set) Set1(i int) {
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// SetTo sets bit i to v and reports whether the bit changed.
+func (s *Set) SetTo(i int, v bool) bool {
+	w, m := i/wordBits, uint64(1)<<(uint(i)%wordBits)
+	old := s.words[w]&m != 0
+	if old == v {
+		return false
+	}
+	if v {
+		s.words[w] |= m
+	} else {
+		s.words[w] &^= m
+	}
+	return true
+}
+
+// OnesCount returns the number of set bits.
+func (s *Set) OnesCount() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// All reports whether every bit in [0, Len) is set, scanning a word at
+// a time: full words compare against ^0, the tail against its mask.
+func (s *Set) All() bool {
+	full := s.n / wordBits
+	for i := 0; i < full; i++ {
+		if s.words[i] != ^uint64(0) {
+			return false
+		}
+	}
+	if tail := s.n % wordBits; tail != 0 {
+		if s.words[full] != (uint64(1)<<uint(tail))-1 {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendBools appends the bits of [0, Len) as booleans to dst and
+// returns the extended slice (pass dst[:0] to fill a reused buffer).
+func (s *Set) AppendBools(dst []bool) []bool {
+	for i := 0; i < s.n; i++ {
+		dst = append(dst, s.Get(i))
+	}
+	return dst
+}
+
+// FillBools writes the bits of [0, Len) into dst, which must have
+// length at least Len.
+func (s *Set) FillBools(dst []bool) {
+	if s.n == 0 {
+		return
+	}
+	_ = dst[s.n-1]
+	for i := 0; i < s.n; i++ {
+		dst[i] = s.Get(i)
+	}
+}

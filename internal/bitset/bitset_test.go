@@ -1,0 +1,135 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	var s Set
+	s.Resize(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", s.Len())
+	}
+	if s.OnesCount() != 0 {
+		t.Fatal("fresh set not empty")
+	}
+	s.Set1(0)
+	s.Set1(63)
+	s.Set1(64)
+	s.Set1(129)
+	for _, i := range []int{0, 63, 64, 129} {
+		if !s.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if s.Get(1) || s.Get(65) || s.Get(128) {
+		t.Fatal("unexpected bit set")
+	}
+	if s.OnesCount() != 4 {
+		t.Fatalf("OnesCount = %d, want 4", s.OnesCount())
+	}
+	s.Clear(63)
+	if s.Get(63) || s.OnesCount() != 3 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestSetToReportsChange(t *testing.T) {
+	var s Set
+	s.Resize(70)
+	if !s.SetTo(69, true) {
+		t.Fatal("0→1 should report change")
+	}
+	if s.SetTo(69, true) {
+		t.Fatal("1→1 should not report change")
+	}
+	if !s.SetTo(69, false) {
+		t.Fatal("1→0 should report change")
+	}
+	if s.SetTo(69, false) {
+		t.Fatal("0→0 should not report change")
+	}
+}
+
+func TestAll(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 128, 130} {
+		var s Set
+		s.Resize(n)
+		for i := 0; i < n; i++ {
+			s.Set1(i)
+		}
+		if !s.All() {
+			t.Fatalf("n=%d: All false on full set", n)
+		}
+		s.Clear(n - 1)
+		if s.All() {
+			t.Fatalf("n=%d: All true with a cleared bit", n)
+		}
+		s.Set1(n - 1)
+		s.Clear(0)
+		if s.All() {
+			t.Fatalf("n=%d: All true with bit 0 cleared", n)
+		}
+	}
+	var empty Set
+	empty.Resize(0)
+	if !empty.All() {
+		t.Fatal("empty set should be vacuously full")
+	}
+}
+
+func TestResizeReuseClearsTail(t *testing.T) {
+	var s Set
+	s.Resize(128)
+	for i := 0; i < 128; i++ {
+		s.Set1(i)
+	}
+	s.Resize(64) // shrink within capacity: must clear
+	if s.OnesCount() != 0 {
+		t.Fatal("Resize reuse left stale bits")
+	}
+	s.Resize(128)
+	if s.OnesCount() != 0 {
+		t.Fatal("re-grow exposed stale bits")
+	}
+}
+
+func TestBoolsRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for _, n := range []int{5, 64, 100} {
+		ref := make([]bool, n)
+		var s Set
+		s.Resize(n)
+		for i := range ref {
+			ref[i] = rnd.Intn(2) == 1
+			if ref[i] {
+				s.Set1(i)
+			}
+		}
+		got := s.AppendBools(nil)
+		if len(got) != n {
+			t.Fatalf("AppendBools length %d, want %d", len(got), n)
+		}
+		fill := make([]bool, n)
+		s.FillBools(fill)
+		for i := range ref {
+			if got[i] != ref[i] || fill[i] != ref[i] {
+				t.Fatalf("n=%d: mismatch at %d", n, i)
+			}
+		}
+		if s.OnesCount() != countTrue(ref) {
+			t.Fatal("OnesCount mismatch")
+		}
+	}
+}
+
+func countTrue(b []bool) int {
+	c := 0
+	for _, v := range b {
+		if v {
+			c++
+		}
+	}
+	return c
+}

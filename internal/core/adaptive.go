@@ -44,7 +44,10 @@ type AdaptiveAlg1 struct {
 	CollisionThreshold int
 }
 
-var _ beep.Protocol = AdaptiveAlg1{}
+var (
+	_ beep.Protocol      = AdaptiveAlg1{}
+	_ beep.BatchProtocol = AdaptiveAlg1{}
+)
 
 // NewAdaptiveAlg1 returns the heuristic with default parameters.
 func NewAdaptiveAlg1() AdaptiveAlg1 {
@@ -56,6 +59,14 @@ func (AdaptiveAlg1) Channels() int { return 1 }
 
 // NewMachine builds a machine with no topology knowledge at all.
 func (p AdaptiveAlg1) NewMachine(int, *graph.Graph) beep.Machine {
+	m := &adaptiveMachine{}
+	p.initMachine(m)
+	return m
+}
+
+// initMachine applies the defaulted parameters, shared by the
+// per-vertex and batch construction paths.
+func (p AdaptiveAlg1) initMachine(m *adaptiveMachine) {
 	initial := p.InitialCap
 	if initial < 1 {
 		initial = 4
@@ -68,12 +79,53 @@ func (p AdaptiveAlg1) NewMachine(int, *graph.Graph) beep.Machine {
 	if threshold < 1 {
 		threshold = 8
 	}
-	return &adaptiveMachine{
-		alg1Machine: alg1Machine{level: initial, lmax: initial},
+	*m = adaptiveMachine{
+		alg1Machine: alg1Machine{level: int32(initial), lmax: int32(initial)},
 		maxCap:      maxCap,
 		threshold:   threshold,
 	}
 }
+
+// NewMachines builds the whole cohort at once (beep.BatchProtocol) with
+// a contiguous slab exposing the bulk level accessor, so experiment E10
+// rides the same fast detector path as the paper's algorithms. Note the
+// adaptive caps are mutable state, which is why ExportLevels re-reads
+// both ℓ and ℓmax every call.
+func (p AdaptiveAlg1) NewMachines(g *graph.Graph) ([]beep.Machine, any) {
+	n := g.N()
+	slab := &adaptiveSlab{ms: make([]adaptiveMachine, n)}
+	ms := make([]beep.Machine, n)
+	for v := 0; v < n; v++ {
+		m := &slab.ms[v]
+		p.initMachine(m)
+		ms[v] = m
+	}
+	return ms, slab
+}
+
+// adaptiveSlab is the contiguous machine storage of one adaptive
+// network and its bulk level accessor.
+type adaptiveSlab struct{ ms []adaptiveMachine }
+
+var _ LevelExporter = (*adaptiveSlab)(nil)
+
+// ExportLevels copies every machine's (ℓ, ℓmax) into the destination
+// slices in one pass over the contiguous slab.
+// caps is never nil here: MutableCaps is true, so callers must always
+// re-export the caps.
+func (s *adaptiveSlab) ExportLevels(levels, caps []int32) {
+	for i := range s.ms {
+		levels[i] = s.ms[i].level
+		caps[i] = s.ms[i].lmax
+	}
+}
+
+// MutableCaps reports that the adaptive heuristic grows ℓmax during the
+// execution, so caps must be re-exported and re-diffed every round.
+func (s *adaptiveSlab) MutableCaps() bool { return true }
+
+// TwoChannel reports single-channel (Algorithm 1) semantics.
+func (s *adaptiveSlab) TwoChannel() bool { return false }
 
 // adaptiveMachine extends the Algorithm 1 state with the cap-growth
 // counter. It reuses the level dynamics verbatim and adds only the
@@ -99,11 +151,11 @@ func (m *adaptiveMachine) Update(sent, heard beep.Signal) {
 		return
 	}
 	m.collisions = 0
-	newCap := 2 * m.lmax
+	newCap := 2 * int(m.lmax)
 	if newCap > m.maxCap {
 		newCap = m.maxCap
 	}
-	m.lmax = newCap
+	m.lmax = int32(newCap)
 	// Levels stay valid under a growing cap; nothing to clamp.
 }
 
@@ -118,7 +170,7 @@ func (m *adaptiveMachine) Randomize(src *rng.Source) {
 	if len(caps) == 0 {
 		caps = []int{m.maxCap}
 	}
-	m.lmax = caps[src.Intn(len(caps))]
-	m.level = src.Intn(2*m.lmax+1) - m.lmax
+	m.lmax = int32(caps[src.Intn(len(caps))])
+	m.level = int32(src.Intn(int(2*m.lmax+1))) - m.lmax
 	m.collisions = src.Intn(m.threshold)
 }

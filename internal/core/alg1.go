@@ -32,7 +32,10 @@ type Alg1 struct {
 	initLevel func(v int) int
 }
 
-var _ beep.Protocol = (*Alg1)(nil)
+var (
+	_ beep.Protocol      = (*Alg1)(nil)
+	_ beep.BatchProtocol = (*Alg1)(nil)
+)
 
 // NewAlg1 returns the protocol with the given knowledge variant.
 func NewAlg1(cap LevelCap) *Alg1 {
@@ -52,7 +55,15 @@ func (p *Alg1) Channels() int { return 1 }
 // NewMachine builds the vertex machine with ℓmax(v) from the knowledge
 // variant.
 func (p *Alg1) NewMachine(v int, g *graph.Graph) beep.Machine {
-	m := &alg1Machine{lmax: p.cap(v, g)}
+	m := &alg1Machine{}
+	p.initMachine(m, v, g)
+	return m
+}
+
+// initMachine installs ℓmax(v) and the initial level, shared by the
+// per-vertex and batch construction paths.
+func (p *Alg1) initMachine(m *alg1Machine, v int, g *graph.Graph) {
+	m.lmax = int32(p.cap(v, g))
 	if m.lmax < 1 {
 		m.lmax = 1
 	}
@@ -61,14 +72,65 @@ func (p *Alg1) NewMachine(v int, g *graph.Graph) beep.Machine {
 	} else {
 		m.level = m.lmax
 	}
-	return m
 }
 
+// NewMachines builds the whole cohort at once (beep.BatchProtocol): the
+// machines live in one contiguous slab, and the slab doubles as the
+// network's bulk-state handle implementing LevelExporter, so the
+// stabilization detector captures all levels in one linear pass instead
+// of n interface dispatches.
+func (p *Alg1) NewMachines(g *graph.Graph) ([]beep.Machine, any) {
+	n := g.N()
+	slab := &alg1Slab{ms: make([]alg1Machine, n)}
+	ms := make([]beep.Machine, n)
+	for v := 0; v < n; v++ {
+		m := &slab.ms[v]
+		p.initMachine(m, v, g)
+		ms[v] = m
+	}
+	return ms, slab
+}
+
+// alg1Slab is the contiguous machine storage of one Algorithm 1 network
+// and its bulk level accessor.
+type alg1Slab struct{ ms []alg1Machine }
+
+var _ LevelExporter = (*alg1Slab)(nil)
+
+// ExportLevels copies every machine's (ℓ, ℓmax) into the destination
+// slices in one pass over the contiguous slab.
+// A nil caps skips the ℓmax export (the caller has already captured the
+// immutable caps).
+func (s *alg1Slab) ExportLevels(levels, caps []int32) {
+	if caps == nil {
+		for i := range s.ms {
+			levels[i] = s.ms[i].level
+		}
+		return
+	}
+	for i := range s.ms {
+		levels[i] = s.ms[i].level
+		caps[i] = s.ms[i].lmax
+	}
+}
+
+// MutableCaps reports that Algorithm 1 caps are fixed at construction:
+// ℓmax is a pure function of (vertex, graph, knowledge variant) and no
+// transition, fault injector, or checkpoint restore (which requires the
+// same graph and protocol) changes it.
+func (s *alg1Slab) MutableCaps() bool { return false }
+
+// TwoChannel reports single-channel (Algorithm 1) semantics.
+func (s *alg1Slab) TwoChannel() bool { return false }
+
 // alg1Machine is the per-vertex state of Algorithm 1: a single integer
-// level in {-ℓmax, …, ℓmax}.
+// level in {-ℓmax, …, ℓmax}. The fields are int32 so a slab of machines
+// packs 8 bytes per vertex, which halves the memory traffic of both the
+// simulation loop and the bulk level export (levels are O(log n), so
+// int32 is never a restriction).
 type alg1Machine struct {
-	level int
-	lmax  int
+	level int32
+	lmax  int32
 }
 
 var _ Leveled = (*alg1Machine)(nil)
@@ -76,7 +138,7 @@ var _ Leveled = (*alg1Machine)(nil)
 // Emit beeps with probability min{2^-ℓ, 1} while ℓ < ℓmax, exactly the
 // first branch of Algorithm 1.
 func (m *alg1Machine) Emit(src *rng.Source) beep.Signal {
-	if m.level < m.lmax && src.Bernoulli2Pow(m.level) {
+	if m.level < m.lmax && src.Bernoulli2Pow(int(m.level)) {
 		return beep.Chan1
 	}
 	return beep.Silent
@@ -109,22 +171,22 @@ func (m *alg1Machine) Update(sent, heard beep.Signal) {
 // Randomize draws a uniform level from {-ℓmax, …, ℓmax}: an arbitrary
 // RAM state after a transient fault.
 func (m *alg1Machine) Randomize(src *rng.Source) {
-	m.level = src.Intn(2*m.lmax+1) - m.lmax
+	m.level = int32(src.Intn(int(2*m.lmax+1))) - m.lmax
 }
 
 // Level returns ℓ_t(v).
-func (m *alg1Machine) Level() int { return m.level }
+func (m *alg1Machine) Level() int { return int(m.level) }
 
 // Cap returns ℓmax(v).
-func (m *alg1Machine) Cap() int { return m.lmax }
+func (m *alg1Machine) Cap() int { return int(m.lmax) }
 
 // SetLevel clamps l into {-ℓmax, …, ℓmax} and installs it.
 func (m *alg1Machine) SetLevel(l int) {
-	if l < -m.lmax {
-		l = -m.lmax
+	if l < int(-m.lmax) {
+		l = int(-m.lmax)
 	}
-	if l > m.lmax {
-		l = m.lmax
+	if l > int(m.lmax) {
+		l = int(m.lmax)
 	}
-	m.level = l
+	m.level = int32(l)
 }

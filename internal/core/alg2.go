@@ -15,7 +15,10 @@ type Alg2 struct {
 	initLevel func(v int) int
 }
 
-var _ beep.Protocol = (*Alg2)(nil)
+var (
+	_ beep.Protocol      = (*Alg2)(nil)
+	_ beep.BatchProtocol = (*Alg2)(nil)
+)
 
 // NewAlg2 returns the two-channel protocol with the given knowledge
 // variant (Corollary 2.3 uses NeighborhoodMaxDegree).
@@ -36,7 +39,15 @@ func (p *Alg2) Channels() int { return 2 }
 // NewMachine builds the vertex machine with ℓmax(v) from the knowledge
 // variant.
 func (p *Alg2) NewMachine(v int, g *graph.Graph) beep.Machine {
-	m := &alg2Machine{lmax: p.cap(v, g)}
+	m := &alg2Machine{}
+	p.initMachine(m, v, g)
+	return m
+}
+
+// initMachine installs ℓmax(v) and the initial level, shared by the
+// per-vertex and batch construction paths.
+func (p *Alg2) initMachine(m *alg2Machine, v int, g *graph.Graph) {
+	m.lmax = int32(p.cap(v, g))
 	if m.lmax < 1 {
 		m.lmax = 1
 	}
@@ -45,14 +56,58 @@ func (p *Alg2) NewMachine(v int, g *graph.Graph) beep.Machine {
 	} else {
 		m.level = m.lmax
 	}
-	return m
 }
 
+// NewMachines builds the whole cohort at once (beep.BatchProtocol); see
+// Alg1.NewMachines. The slab is the bulk-state handle implementing
+// LevelExporter with Algorithm 2 (two-channel) semantics.
+func (p *Alg2) NewMachines(g *graph.Graph) ([]beep.Machine, any) {
+	n := g.N()
+	slab := &alg2Slab{ms: make([]alg2Machine, n)}
+	ms := make([]beep.Machine, n)
+	for v := 0; v < n; v++ {
+		m := &slab.ms[v]
+		p.initMachine(m, v, g)
+		ms[v] = m
+	}
+	return ms, slab
+}
+
+// alg2Slab is the contiguous machine storage of one Algorithm 2 network
+// and its bulk level accessor.
+type alg2Slab struct{ ms []alg2Machine }
+
+var _ LevelExporter = (*alg2Slab)(nil)
+
+// ExportLevels copies every machine's (ℓ, ℓmax) into the destination
+// slices in one pass over the contiguous slab.
+// A nil caps skips the ℓmax export (the caller has already captured the
+// immutable caps).
+func (s *alg2Slab) ExportLevels(levels, caps []int32) {
+	if caps == nil {
+		for i := range s.ms {
+			levels[i] = s.ms[i].level
+		}
+		return
+	}
+	for i := range s.ms {
+		levels[i] = s.ms[i].level
+		caps[i] = s.ms[i].lmax
+	}
+}
+
+// MutableCaps reports that Algorithm 2 caps are fixed at construction.
+func (s *alg2Slab) MutableCaps() bool { return false }
+
+// TwoChannel reports two-channel (Algorithm 2) semantics.
+func (s *alg2Slab) TwoChannel() bool { return true }
+
 // alg2Machine is the per-vertex state of Algorithm 2: a level in
-// {0, …, ℓmax}.
+// {0, …, ℓmax}. As for Algorithm 1, int32 fields pack a slab of
+// machines 8 bytes per vertex.
 type alg2Machine struct {
-	level int
-	lmax  int
+	level int32
+	lmax  int32
 }
 
 var _ Leveled = (*alg2Machine)(nil)
@@ -64,7 +119,7 @@ func (m *alg2Machine) Emit(src *rng.Source) beep.Signal {
 	if m.level == 0 {
 		return beep.Chan2
 	}
-	if m.level < m.lmax && src.Bernoulli2Pow(m.level) {
+	if m.level < m.lmax && src.Bernoulli2Pow(int(m.level)) {
 		return beep.Chan1
 	}
 	return beep.Silent
@@ -101,22 +156,22 @@ func (m *alg2Machine) Update(sent, heard beep.Signal) {
 
 // Randomize draws a uniform level from {0, …, ℓmax}.
 func (m *alg2Machine) Randomize(src *rng.Source) {
-	m.level = src.Intn(m.lmax + 1)
+	m.level = int32(src.Intn(int(m.lmax + 1)))
 }
 
 // Level returns ℓ_t(v).
-func (m *alg2Machine) Level() int { return m.level }
+func (m *alg2Machine) Level() int { return int(m.level) }
 
 // Cap returns ℓmax(v).
-func (m *alg2Machine) Cap() int { return m.lmax }
+func (m *alg2Machine) Cap() int { return int(m.lmax) }
 
 // SetLevel clamps l into {0, …, ℓmax} and installs it.
 func (m *alg2Machine) SetLevel(l int) {
 	if l < 0 {
 		l = 0
 	}
-	if l > m.lmax {
-		l = m.lmax
+	if l > int(m.lmax) {
+		l = int(m.lmax)
 	}
-	m.level = l
+	m.level = int32(l)
 }

@@ -29,7 +29,7 @@ func (m *alg1Machine) DecodeState(state []int64) error {
 	if lmax < 1 || level < -lmax || level > lmax {
 		return fmt.Errorf("core: alg1 state (level=%d, ℓmax=%d) out of range", level, lmax)
 	}
-	m.level, m.lmax = level, lmax
+	m.level, m.lmax = int32(level), int32(lmax)
 	return nil
 }
 
@@ -47,7 +47,7 @@ func (m *alg2Machine) DecodeState(state []int64) error {
 	if lmax < 1 || level < 0 || level > lmax {
 		return fmt.Errorf("core: alg2 state (level=%d, ℓmax=%d) out of range", level, lmax)
 	}
-	m.level, m.lmax = level, lmax
+	m.level, m.lmax = int32(level), int32(lmax)
 	return nil
 }
 
@@ -66,7 +66,7 @@ func (m *adaptiveMachine) DecodeState(state []int64) error {
 	if lmax < 1 || level < -lmax || level > lmax || maxCap < lmax || threshold < 1 || collisions < 0 {
 		return fmt.Errorf("core: adaptive state %v inconsistent", state)
 	}
-	m.level, m.lmax = level, lmax
+	m.level, m.lmax = int32(level), int32(lmax)
 	m.collisions, m.maxCap, m.threshold = collisions, maxCap, threshold
 	return nil
 }

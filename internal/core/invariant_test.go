@@ -14,14 +14,14 @@ import (
 func TestAlg1TransitionInvariantProperty(t *testing.T) {
 	f := func(seed uint64, capRaw uint8, steps []byte) bool {
 		cap := int(capRaw%30) + 1
-		m := &alg1Machine{lmax: cap}
+		m := &alg1Machine{lmax: int32(cap)}
 		m.Randomize(rng.New(seed))
 		for _, b := range steps {
 			sent := beep.Signal(b & 1)
 			heard := beep.Signal((b >> 1) & 1)
 			before := m.level
 			m.Update(sent, heard)
-			if m.level < -cap || m.level > cap {
+			if int(m.level) < -cap || int(m.level) > cap {
 				return false
 			}
 			// Only the solo-beep branch may move the level below 1
@@ -46,7 +46,7 @@ func TestAlg1TransitionInvariantProperty(t *testing.T) {
 func TestAlg2TransitionInvariantProperty(t *testing.T) {
 	f := func(seed uint64, capRaw uint8, steps []byte) bool {
 		cap := int(capRaw%30) + 1
-		m := &alg2Machine{lmax: cap}
+		m := &alg2Machine{lmax: int32(cap)}
 		m.Randomize(rng.New(seed))
 		for _, b := range steps {
 			var sent beep.Signal
@@ -59,10 +59,10 @@ func TestAlg2TransitionInvariantProperty(t *testing.T) {
 			heard := beep.Signal((b >> 2) & 3)
 			before := m.level
 			m.Update(sent, heard)
-			if m.level < 0 || m.level > cap {
+			if m.level < 0 || int(m.level) > cap {
 				return false
 			}
-			if heard.Has(beep.Chan2) && m.level != cap {
+			if heard.Has(beep.Chan2) && int(m.level) != cap {
 				return false
 			}
 			if before > 0 && m.level == 0 && !(sent.Has(beep.Chan1) && heard == beep.Silent) {
@@ -108,14 +108,14 @@ func TestEmitChannelDisciplineProperty(t *testing.T) {
 	f := func(seed uint64, capRaw uint8) bool {
 		cap := int(capRaw%20) + 1
 		src := rng.New(seed)
-		m1 := &alg1Machine{lmax: cap}
+		m1 := &alg1Machine{lmax: int32(cap)}
 		m1.Randomize(src)
 		for i := 0; i < 50; i++ {
 			if m1.Emit(src).Has(beep.Chan2) {
 				return false
 			}
 		}
-		m2 := &alg2Machine{lmax: cap}
+		m2 := &alg2Machine{lmax: int32(cap)}
 		m2.Randomize(src)
 		for i := 0; i < 50; i++ {
 			s := m2.Emit(src)

@@ -5,26 +5,94 @@ import (
 	"math"
 
 	"repro/internal/beep"
+	"repro/internal/bitset"
 	"repro/internal/graph"
 )
 
-// State is an analyst's snapshot of one execution instant: the levels and
-// caps of all vertices. It supports the Section 3 machinery (I_t, S_t,
-// μ_t, η_t, prominent vertices) used for stabilization detection and the
-// lemma-level experiments.
+// LevelExporter is the bulk level accessor implemented by the machine
+// slabs of the core protocols (Alg1, Alg2, AdaptiveAlg1). A network
+// built from a beep.BatchProtocol exposes it through Network.BulkState,
+// and State.Refresh uses it to capture all (ℓ, ℓmax) pairs in one
+// linear pass over contiguous storage — replacing one interface
+// assertion plus two virtual calls per vertex per round in the
+// stabilization stop check.
+type LevelExporter interface {
+	// ExportLevels writes ℓ(v) and ℓmax(v) of every vertex v into the
+	// destination slices, which must have length n. When MutableCaps
+	// reports false, callers that have already captured the caps may
+	// pass a nil caps slice to export levels only.
+	ExportLevels(levels, caps []int32)
+	// TwoChannel reports Algorithm 2 (two-channel) semantics, under
+	// which MIS membership is ℓ = 0 rather than ℓ = -ℓmax.
+	TwoChannel() bool
+	// MutableCaps reports whether ℓmax values can change during an
+	// execution (true only for the adaptive heuristic). When false,
+	// ℓmax must be a pure function of (vertex, graph, protocol), so
+	// callers may capture caps once and skip re-exporting and
+	// re-diffing them on every round.
+	MutableCaps() bool
+}
+
+// State is an analyst's snapshot of one execution instant: the levels
+// and caps of all vertices. It supports the Section 3 machinery (I_t,
+// S_t, μ_t, η_t, prominent vertices) used for stabilization detection
+// and the lemma-level experiments.
+//
+// A State that is Refreshed every round doubles as an *incremental*
+// stabilization detector: Stabilized diffs the flat level array against
+// the previous snapshot and re-derives I_t/S_t only around the vertices
+// that changed, so the common "nothing changed" round costs O(n) cheap
+// integer compares instead of a full O(n+m) mask recompute. The
+// detector is purely observational — its answers are bit-identical to
+// the full recompute for every snapshot.
 type State struct {
 	g      *graph.Graph
-	levels []int
-	caps   []int
+	levels []int32
+	caps   []int32
 	// twoChannel marks Algorithm 2 semantics: MIS membership is ℓ = 0
 	// with no ℓ = 0 neighbor, rather than ℓ = -ℓmax with all-cap
 	// neighbors.
 	twoChannel bool
+	// capsValid remembers the exporter whose (immutable) caps are
+	// already in s.caps, so steady-state Refreshes export levels only —
+	// half the memory traffic of the per-round snapshot.
+	capsValid LevelExporter
+	// capsMutable records whether the caps of the current source can
+	// change between Refreshes; when false the detector skips the caps
+	// half of its per-round diff as well.
+	capsMutable bool
 
-	// misBuf and stableBuf are scratch masks reused by the per-round
-	// legality check so snapshot-every-round loops stay allocation-free.
-	misBuf    []bool
-	stableBuf []bool
+	det detector
+}
+
+// detector is the incremental I_t/S_t maintenance state. The masks are
+// uint64 bitsets (one bit per vertex, word-at-a-time scans); unstable
+// counts |V \ S_t| so the stabilization predicate is a single integer
+// comparison once the masks are synchronized.
+type detector struct {
+	g   *graph.Graph
+	two bool
+	n   int
+	// capsMut mirrors State.capsMutable at rebuild time; when false the
+	// per-round diff compares levels only.
+	capsMut bool
+	// prevLevels/prevCaps are the levels the masks were last derived
+	// from; the per-round diff against them yields the dirty set.
+	prevLevels []int32
+	prevCaps   []int32
+
+	mis      bitset.Set // I_t membership
+	stable   bitset.Set // S_t = I_t ∪ N(I_t)
+	unstable int        // |V| - |S_t|
+
+	// Scratch for the incremental update: dirty vertices, dedup'd
+	// candidate lists, and epoch marks (mark[v] == epoch ⇔ v already
+	// queued this pass).
+	dirty []int32
+	cand  []int32
+	flips []int32
+	mark  []uint32
+	epoch uint32
 }
 
 // Snapshot captures the current levels of a network running Algorithm 1
@@ -41,24 +109,45 @@ func Snapshot(net *beep.Network) (*State, error) {
 // Refresh re-captures the network's current levels into the receiver,
 // reusing its buffers. It is the allocation-free path for callers that
 // snapshot every round (the stabilization detector); a zero State is a
-// valid receiver.
+// valid receiver. Networks built from a BatchProtocol (all core
+// protocols) take the bulk-export fast path: one linear pass over the
+// machine slab, no per-vertex interface dispatch.
 func (s *State) Refresh(net *beep.Network) error {
 	n := net.N()
 	s.g = net.Graph()
 	if cap(s.levels) < n {
-		s.levels = make([]int, n)
-		s.caps = make([]int, n)
+		s.levels = make([]int32, n)
+		s.caps = make([]int32, n)
+		s.capsValid = nil
 	}
 	s.levels = s.levels[:n]
 	s.caps = s.caps[:n]
+	if le, ok := net.BulkState().(LevelExporter); ok {
+		mut := le.MutableCaps()
+		if !mut && s.capsValid == le {
+			le.ExportLevels(s.levels, nil)
+		} else {
+			le.ExportLevels(s.levels, s.caps)
+			if mut {
+				s.capsValid = nil
+			} else {
+				s.capsValid = le
+			}
+		}
+		s.capsMutable = mut
+		s.twoChannel = le.TwoChannel()
+		return nil
+	}
+	s.capsValid = nil
+	s.capsMutable = true
 	s.twoChannel = false
 	for v := 0; v < n; v++ {
 		m, ok := net.Machine(v).(Leveled)
 		if !ok {
 			return fmt.Errorf("core: machine of vertex %d (%T) does not expose levels", v, net.Machine(v))
 		}
-		s.levels[v] = m.Level()
-		s.caps[v] = m.Cap()
+		s.levels[v] = int32(m.Level())
+		s.caps[v] = int32(m.Cap())
 		if _, is2 := net.Machine(v).(*alg2Machine); is2 {
 			s.twoChannel = true
 		}
@@ -67,34 +156,37 @@ func (s *State) Refresh(net *beep.Network) error {
 }
 
 // NewState builds a snapshot directly from level and cap slices
-// (single-channel semantics), for tests and analytical tooling.
+// (single-channel semantics), for tests and analytical tooling. The
+// slices are copied.
 func NewState(g *graph.Graph, levels, caps []int) *State {
-	return &State{g: g, levels: levels, caps: caps}
+	s := &State{g: g, levels: make([]int32, len(levels)), caps: make([]int32, len(caps)), capsMutable: true}
+	for i, l := range levels {
+		s.levels[i] = int32(l)
+	}
+	for i, c := range caps {
+		s.caps[i] = int32(c)
+	}
+	return s
 }
 
 // Level returns ℓ(v) in this snapshot.
-func (s *State) Level(v int) int { return s.levels[v] }
+func (s *State) Level(v int) int { return int(s.levels[v]) }
 
 // Cap returns ℓmax(v).
-func (s *State) Cap(v int) int { return s.caps[v] }
+func (s *State) Cap(v int) int { return int(s.caps[v]) }
 
 // InMIS reports whether v is in the stabilized-MIS set I_t of the
-// snapshot: for Algorithm 1, ℓ(v) = -ℓmax(v) and every neighbor u is at
-// ℓmax(u) (equivalently μ_t(v) = 1); for Algorithm 2, ℓ(v) = 0 and no
-// neighbor has ℓ = 0 while all neighbors are at cap.
+// snapshot: ℓ(v) at the algorithm's membership value (-ℓmax(v) for
+// Algorithm 1, 0 for Algorithm 2) and every neighbor u at ℓmax(u)
+// (equivalently μ_t(v) = 1). Under Algorithm 2 an all-cap neighborhood
+// in particular contains no ℓ = 0 neighbor, so the membership arms
+// share one all-neighbors-at-cap scan.
 func (s *State) InMIS(v int) bool {
+	want := -s.caps[v]
 	if s.twoChannel {
-		if s.levels[v] != 0 {
-			return false
-		}
-		for _, u := range s.g.Neighbors(v) {
-			if s.levels[u] != s.caps[u] {
-				return false
-			}
-		}
-		return true
+		want = 0
 	}
-	if s.levels[v] != -s.caps[v] {
+	if s.levels[v] != want {
 		return false
 	}
 	for _, u := range s.g.Neighbors(v) {
@@ -108,72 +200,212 @@ func (s *State) InMIS(v int) bool {
 // MISMask returns the membership mask of I_t. The returned slice is
 // freshly allocated and safe to retain.
 func (s *State) MISMask() []bool {
+	s.sync()
 	mask := make([]bool, len(s.levels))
-	s.misMaskInto(mask)
+	s.det.mis.FillBools(mask)
 	return mask
 }
 
-// misMaskInto fills mask (length n) with I_t membership.
-func (s *State) misMaskInto(mask []bool) {
-	for v := range mask {
-		mask[v] = s.InMIS(v)
-	}
+// FillMISMask writes the membership mask of I_t into dst (length ≥ n),
+// the allocation-free sibling of MISMask for per-round callers.
+func (s *State) FillMISMask(dst []bool) {
+	s.sync()
+	s.det.mis.FillBools(dst)
 }
 
 // StableMask returns the mask of S_t = I_t ∪ N(I_t), the vertices whose
 // output has stabilized. The returned slice is freshly allocated and
 // safe to retain.
 func (s *State) StableMask() []bool {
-	stable := make([]bool, len(s.levels))
-	s.stableMaskInto(stable, make([]bool, len(s.levels)))
-	return stable
+	s.sync()
+	mask := make([]bool, len(s.levels))
+	s.det.stable.FillBools(mask)
+	return mask
 }
 
-// stableMaskInto fills stable with S_t, using misScratch as the I_t
-// working mask; both must have length n.
-func (s *State) stableMaskInto(stable, misScratch []bool) {
-	s.misMaskInto(misScratch)
-	copy(stable, misScratch)
-	for v, in := range misScratch {
-		if !in {
-			continue
-		}
-		for _, u := range s.g.Neighbors(v) {
-			stable[u] = true
-		}
-	}
-}
-
-// scratchMasks returns the reusable mis/stable scratch buffers sized n.
-func (s *State) scratchMasks() (mis, stable []bool) {
-	n := len(s.levels)
-	if cap(s.misBuf) < n {
-		s.misBuf = make([]bool, n)
-		s.stableBuf = make([]bool, n)
-	}
-	return s.misBuf[:n], s.stableBuf[:n]
+// FillStableMask writes the mask of S_t into dst (length ≥ n), the
+// allocation-free sibling of StableMask for per-round callers.
+func (s *State) FillStableMask(dst []bool) {
+	s.sync()
+	s.det.stable.FillBools(dst)
 }
 
 // Stabilized reports whether every vertex is stable (S_t = V), the
 // paper's stabilization condition. In that case MISMask is a maximal
-// independent set. It reuses internal scratch buffers, so it performs
-// no allocations after the first call on a given State.
+// independent set. After the first call on a given State it is
+// incremental: the cost is proportional to the number of vertices whose
+// level changed since the last call (plus one cheap linear diff), not
+// to n+m, and it performs no allocations in the steady state.
 func (s *State) Stabilized() bool {
-	mis, stable := s.scratchMasks()
-	s.stableMaskInto(stable, mis)
-	for _, ok := range stable {
-		if !ok {
-			return false
-		}
-	}
-	return true
+	s.sync()
+	return s.det.unstable == 0
 }
 
 // StableCount returns |S_t|, useful for convergence progress curves.
 func (s *State) StableCount() int {
-	mis, stable := s.scratchMasks()
-	s.stableMaskInto(stable, mis)
-	return graph.CountTrue(stable)
+	s.sync()
+	return len(s.levels) - s.det.unstable
+}
+
+// sync brings the detector masks in line with the current levels: a
+// full O(n+m) rebuild the first time (or when the snapshot switched
+// graph or semantics), an O(dirty · deg²) incremental update afterward.
+func (s *State) sync() {
+	d := &s.det
+	if d.g != s.g || d.n != len(s.levels) || d.two != s.twoChannel || d.capsMut != s.capsMutable {
+		s.rebuildDetector()
+		return
+	}
+	s.updateDetector()
+}
+
+// rebuildDetector recomputes I_t and S_t from scratch and records the
+// level snapshot the masks correspond to.
+func (s *State) rebuildDetector() {
+	d := &s.det
+	n := len(s.levels)
+	d.g, d.n, d.two, d.capsMut = s.g, n, s.twoChannel, s.capsMutable
+	d.mis.Resize(n)
+	d.stable.Resize(n)
+	for v := 0; v < n; v++ {
+		if s.InMIS(v) {
+			d.mis.Set1(v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if d.mis.Get(v) {
+			d.stable.Set1(v)
+			continue
+		}
+		for _, u := range s.g.Neighbors(v) {
+			if d.mis.Get(int(u)) {
+				d.stable.Set1(v)
+				break
+			}
+		}
+	}
+	if d.stable.All() { // word-at-a-time scan against ^0
+		d.unstable = 0
+	} else {
+		d.unstable = n - d.stable.OnesCount()
+	}
+	d.prevLevels = append(d.prevLevels[:0], s.levels...)
+	d.prevCaps = append(d.prevCaps[:0], s.caps...)
+	if cap(d.mark) < n {
+		d.mark = make([]uint32, n)
+	} else {
+		d.mark = d.mark[:n]
+		for i := range d.mark {
+			d.mark[i] = 0
+		}
+	}
+	d.epoch = 0
+}
+
+// bumpEpoch starts a new dedup pass; on the (rare) wraparound it clears
+// the marks so stale epochs can never alias.
+func (d *detector) bumpEpoch() {
+	d.epoch++
+	if d.epoch == 0 {
+		for i := range d.mark {
+			d.mark[i] = 0
+		}
+		d.epoch = 1
+	}
+}
+
+// push appends v to the candidate list unless it was already queued in
+// this epoch.
+func (d *detector) push(v int32) {
+	if d.mark[v] != d.epoch {
+		d.mark[v] = d.epoch
+		d.cand = append(d.cand, v)
+	}
+}
+
+// updateDetector is the dirty-set incremental step. Correctness rests
+// on two locality facts: InMIS(v) reads only the levels of N⁺(v), so it
+// can change only for v in N⁺(dirty); and Stable(v) reads only the
+// I_t bits of N⁺(v), so it can change only for v in N⁺(flipped). The
+// amortized cost is O(Σ_{v dirty} deg(v) + Σ_{v flipped} Σ_{u∈N⁺(v)}
+// deg(u)); a round in which no level changed costs one linear int32
+// compare over the level array and nothing else.
+func (s *State) updateDetector() {
+	d := &s.det
+	// Phase 0: diff against the snapshot the masks were derived from.
+	// With immutable caps (Alg1/Alg2) the scan touches levels only; the
+	// adaptive protocol mutates caps too, so those are diffed as well.
+	d.dirty = d.dirty[:0]
+	if d.capsMut {
+		cur, prev := s.levels[:d.n], d.prevLevels[:d.n]
+		curC, prevC := s.caps[:d.n], d.prevCaps[:d.n]
+		for v := range cur {
+			if cur[v] != prev[v] || curC[v] != prevC[v] {
+				d.dirty = append(d.dirty, int32(v))
+				prev[v] = cur[v]
+				prevC[v] = curC[v]
+			}
+		}
+	} else {
+		cur, prev := s.levels[:d.n], d.prevLevels[:d.n]
+		for v := range cur {
+			if cur[v] != prev[v] {
+				d.dirty = append(d.dirty, int32(v))
+				prev[v] = cur[v]
+			}
+		}
+	}
+	if len(d.dirty) == 0 {
+		return
+	}
+	// Phase 1: re-evaluate I_t membership on N⁺(dirty), collecting the
+	// vertices whose membership flipped.
+	d.bumpEpoch()
+	d.cand = d.cand[:0]
+	for _, vi := range d.dirty {
+		d.push(vi)
+		for _, u := range s.g.Neighbors(int(vi)) {
+			d.push(u)
+		}
+	}
+	d.flips = d.flips[:0]
+	for _, vi := range d.cand {
+		if d.mis.SetTo(int(vi), s.InMIS(int(vi))) {
+			d.flips = append(d.flips, vi)
+		}
+	}
+	if len(d.flips) == 0 {
+		return
+	}
+	// Phase 2: re-evaluate stability on N⁺(flipped), maintaining the
+	// global unstable count.
+	d.bumpEpoch()
+	d.cand = d.cand[:0]
+	for _, vi := range d.flips {
+		d.push(vi)
+		for _, u := range s.g.Neighbors(int(vi)) {
+			d.push(u)
+		}
+	}
+	for _, vi := range d.cand {
+		v := int(vi)
+		now := d.mis.Get(v)
+		if !now {
+			for _, u := range s.g.Neighbors(v) {
+				if d.mis.Get(int(u)) {
+					now = true
+					break
+				}
+			}
+		}
+		if d.stable.SetTo(v, now) {
+			if now {
+				d.unstable--
+			} else {
+				d.unstable++
+			}
+		}
+	}
 }
 
 // Mu returns μ_t(v) = min over u ∈ N(v) of ℓ(u)/ℓmax(u), in [-1, 1];
@@ -224,7 +456,7 @@ func (s *State) BeepProbOf(v int) float64 {
 	if s.twoChannel && s.levels[v] == 0 {
 		return 0
 	}
-	return BeepProb(s.levels[v], s.caps[v])
+	return BeepProb(int(s.levels[v]), int(s.caps[v]))
 }
 
 // ExpectedBeepingNeighbors returns d_t(v) = Σ_{u ∈ N(v)} p_t(u), the

@@ -61,9 +61,9 @@ func RunE11(cfg Config) error {
 			net.Close()
 			return err
 		}
+		var probe core.State
 		stop := func() bool {
-			st, serr := core.Snapshot(net)
-			return serr == nil && st.Stabilized()
+			return probe.Refresh(net) == nil && probe.Stabilized()
 		}
 		if _, ok := net.Run(100000, stop); !ok {
 			net.Close()

@@ -74,9 +74,9 @@ func RunE13(cfg Config) error {
 			}
 			var stop func() bool
 			if a.selfStab {
+				var probe core.State
 				stop = func() bool {
-					st, serr := core.Snapshot(net)
-					return serr == nil && st.Stabilized()
+					return probe.Refresh(net) == nil && probe.Stabilized()
 				}
 			} else {
 				stop = func() bool {

@@ -56,20 +56,19 @@ func RunE9(cfg Config) error {
 			}
 			net.RandomizeAll()
 
+			var probe core.State
 			functionalMIS := func() ([]bool, bool) {
-				st, serr := core.Snapshot(net)
-				if serr != nil {
+				if probe.Refresh(net) != nil {
 					return nil, false
 				}
 				mask := make([]bool, n)
 				for v := 0; v < n; v++ {
-					mask[v] = st.Prominent(v)
+					mask[v] = probe.Prominent(v)
 				}
 				return mask, g.VerifyMIS(mask) == nil
 			}
 			strictNow := func() bool {
-				st, serr := core.Snapshot(net)
-				return serr == nil && st.Stabilized()
+				return probe.Refresh(net) == nil && probe.Stabilized()
 			}
 
 			stop := func() bool {
@@ -160,9 +159,9 @@ func RunE10(cfg Config) error {
 					return err
 				}
 				net.RandomizeAll()
+				var probe core.State
 				stop := func() bool {
-					st, serr := core.Snapshot(net)
-					return serr == nil && st.Stabilized()
+					return probe.Refresh(net) == nil && probe.Stabilized()
 				}
 				r, ok := net.Run(200000, stop)
 				if ok {

@@ -74,9 +74,9 @@ func RunE6(cfg Config) error {
 	}
 	defer net.Close()
 	net.RandomizeAll()
+	var probe core.State
 	stop := func() bool {
-		st, serr := core.Snapshot(net)
-		return serr == nil && st.Stabilized()
+		return probe.Refresh(net) == nil && probe.Stabilized()
 	}
 	if _, ok := net.Run(1000000, stop); !ok {
 		return fmt.Errorf("E6 closure: instance did not stabilize")
@@ -225,12 +225,13 @@ func instrumentLemmasFrom(g *graph.Graph, proto beep.Protocol, seed uint64, skip
 		prominentSince[v] = -1
 	}
 	const horizon = 4000
+	var st core.State
+	stable := make([]bool, n)
 	for r := 0; r < horizon; r++ {
-		st, err := core.Snapshot(net)
-		if err != nil {
+		if err := st.Refresh(net); err != nil {
 			return out, err
 		}
-		stable := st.StableMask()
+		st.FillStableMask(stable)
 		for v := 0; v < n; v++ {
 			if stable[v] {
 				continue

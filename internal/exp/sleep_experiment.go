@@ -46,20 +46,19 @@ func RunE12(cfg Config) error {
 			}
 			net.RandomizeAll()
 
+			var probe core.State
 			functionalMIS := func() ([]bool, bool) {
-				st, serr := core.Snapshot(net)
-				if serr != nil {
+				if probe.Refresh(net) != nil {
 					return nil, false
 				}
 				mask := make([]bool, n)
 				for v := 0; v < n; v++ {
-					mask[v] = st.Prominent(v)
+					mask[v] = probe.Prominent(v)
 				}
 				return mask, g.VerifyMIS(mask) == nil
 			}
 			strictNow := func() bool {
-				st, serr := core.Snapshot(net)
-				return serr == nil && st.Stabilized()
+				return probe.Refresh(net) == nil && probe.Stabilized()
 			}
 			stop := func() bool {
 				_, ok := functionalMIS()

@@ -77,6 +77,7 @@ func MeasureAvailability(cfg AvailabilityConfig) (*AvailabilityResult, error) {
 	pendingSince := -1 // round index of the oldest unrecovered injection
 	recoverySum, recoveries := 0, 0
 
+	var probe core.State // reused across rounds: incremental stop check
 	for r := 0; r < window; r++ {
 		if r%cfg.Period == 0 && cfg.Fault != nil {
 			if err := cfg.Fault.Apply(net, faultSrc); err != nil {
@@ -88,11 +89,10 @@ func MeasureAvailability(cfg AvailabilityConfig) (*AvailabilityResult, error) {
 			}
 		}
 		net.Step()
-		st, err := core.Snapshot(net)
-		if err != nil {
+		if err := probe.Refresh(net); err != nil {
 			return nil, err
 		}
-		if st.Stabilized() {
+		if probe.Stabilized() {
 			legalRounds++
 			if outage > res.LongestOutage {
 				res.LongestOutage = outage

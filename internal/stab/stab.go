@@ -199,20 +199,21 @@ func MeasureRecovery(cfg RecoveryConfig) (*RecoveryResult, error) {
 }
 
 // stabilizeWithin steps net to a legal configuration, verifying the MIS.
+// The stop check reuses one State probe across rounds, so the per-round
+// cost is the incremental detector's, not a fresh snapshot's.
 func stabilizeWithin(net *beep.Network, maxRounds int) (int, error) {
+	var probe core.State
 	stop := func() bool {
-		st, err := core.Snapshot(net)
-		return err == nil && st.Stabilized()
+		return probe.Refresh(net) == nil && probe.Stabilized()
 	}
 	rounds, ok := net.Run(maxRounds, stop)
 	if !ok {
 		return rounds, fmt.Errorf("%w: %d rounds on %s", ErrNoRecovery, rounds, net.Graph().Name())
 	}
-	st, err := core.Snapshot(net)
-	if err != nil {
+	if err := probe.Refresh(net); err != nil {
 		return rounds, err
 	}
-	if err := st.VerifyMIS(); err != nil {
+	if err := probe.VerifyMIS(); err != nil {
 		return rounds, fmt.Errorf("stab: stabilized illegally: %w", err)
 	}
 	return rounds, nil
@@ -230,16 +231,16 @@ func CheckClosure(net *beep.Network, extraRounds int) error {
 		return fmt.Errorf("stab: closure check requires a stabilized network")
 	}
 	ref := st.MISMask()
+	mis := make([]bool, len(ref))
 	for r := 1; r <= extraRounds; r++ {
 		net.Step()
-		st, err := core.Snapshot(net)
-		if err != nil {
+		if err := st.Refresh(net); err != nil {
 			return err
 		}
 		if !st.Stabilized() {
 			return fmt.Errorf("stab: legality lost %d rounds after stabilization", r)
 		}
-		mis := st.MISMask()
+		st.FillMISMask(mis)
 		for v := range mis {
 			if mis[v] != ref[v] {
 				return fmt.Errorf("stab: MIS membership of vertex %d changed %d rounds after stabilization", v, r)

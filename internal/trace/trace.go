@@ -47,6 +47,10 @@ type Recorder struct {
 	levels     [][]int
 
 	lastSent []beep.Signal
+	// probe is the reused snapshot buffer: Refresh per round instead of
+	// a fresh Snapshot allocation, and its incremental detector makes
+	// StableCount cheap on quiet rounds.
+	probe core.State
 }
 
 // NewRecorder creates a recorder for net. The recorder snapshots levels
@@ -67,8 +71,8 @@ func (r *Recorder) Observer() func(round int, sent, heard []beep.Signal) {
 
 // capture computes this round's statistics from the network state.
 func (r *Recorder) capture() {
-	st, err := core.Snapshot(r.net)
-	if err != nil {
+	st := &r.probe
+	if err := st.Refresh(r.net); err != nil {
 		// Non-core protocols have no levels; record signal stats only.
 		s := RoundStats{Round: r.net.Round()}
 		for _, sig := range r.lastSent {
