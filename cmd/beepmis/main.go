@@ -7,6 +7,8 @@
 //	beepmis -family cycle:64 -alg alg1-known-delta -init random
 //	beepmis -graph topology.edges -alg alg2-two-channel -seed 7
 //	beepmis -family gnp:256:0.05 -faults 20        # inject and recover
+//	beepmis -family gnp:128:0.1 -churn flap:3:8    # live-rewiring storm
+//	beepmis -family star:16 -adversaries 0 -adversary-policy jammer
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/baseline"
@@ -22,6 +25,7 @@ import (
 	"repro/internal/famspec"
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/stab"
 	"repro/internal/trace"
 )
 
@@ -70,6 +74,9 @@ func run(args []string) error {
 	noise := fs.Float64("noise", 0, "listening-noise probability ε (applied as both loss and false-positive rate)")
 	csvPath := fs.String("csv", "", "write per-round aggregate statistics (CSV) to this file")
 	printMIS := fs.Bool("print-mis", false, "print the MIS vertex list")
+	churnSpec := fs.String("churn", "", "run a topology-churn storm: flap:EVENTS:TOGGLES | growth:EVENTS:JOINS:ATTACH | crash:EVENTS:CRASHES | partition:CYCLES")
+	advList := fs.String("adversaries", "", "comma-separated non-cooperating vertex ids (e.g. \"0,5,9\")")
+	advPolicy := fs.String("adversary-policy", "jammer", "adversary behavior: jammer | babbler | mute (requires -adversaries)")
 	helpFams := fs.Bool("help-families", false, "list graph family specs and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +94,9 @@ func run(args []string) error {
 
 	switch *alg {
 	case "jeavons", "afek", "luby":
+		if *churnSpec != "" || *advList != "" {
+			return fmt.Errorf("-churn and -adversaries apply to the self-stabilizing algorithms only, not %q", *alg)
+		}
 		return runBaseline(g, *alg, *seed, *maxRounds, *init, *printMIS)
 	}
 
@@ -97,6 +107,29 @@ func run(args []string) error {
 	initMode, err := initFor(*init)
 	if err != nil {
 		return err
+	}
+	if *advList == "" && *advPolicy != "jammer" {
+		return fmt.Errorf("-adversary-policy %q requires -adversaries", *advPolicy)
+	}
+	advVerts, advPol, err := parseAdversarySpec(*advList, *advPolicy, g.N())
+	if err != nil {
+		return err
+	}
+	if *churnSpec != "" {
+		if *csvPath != "" || *faults > 0 {
+			return fmt.Errorf("-churn cannot be combined with -csv or -faults")
+		}
+		var opts []beep.Option
+		if len(advVerts) > 0 {
+			opts = append(opts, beep.WithAdversaries(advPol, advVerts))
+		}
+		return runChurn(g, proto, *seed, *churnSpec, *maxRounds, opts)
+	}
+	if len(advVerts) > 0 {
+		if *csvPath != "" || *faults > 0 {
+			return fmt.Errorf("-adversaries cannot be combined with -csv or -faults")
+		}
+		return runAdversarial(g, proto, *seed, advPol, advVerts, *maxRounds, initMode, *printMIS)
 	}
 	runCfg := core.RunConfig{
 		Graph:     g,
@@ -285,6 +318,189 @@ func recoverFromFaults(g *graph.Graph, proto beep.Protocol, seed uint64, k, maxR
 	}
 	fmt.Printf("fault recovery: corrupted=%d recovery-rounds=%d (verified)\n", k, net.Round()-before)
 	return nil
+}
+
+// parseAdversarySpec validates the -adversaries / -adversary-policy
+// pair against the loaded graph. An empty list means no adversaries.
+func parseAdversarySpec(list, policy string, n int) ([]int, beep.AdversaryPolicy, error) {
+	if list == "" {
+		return nil, 0, nil
+	}
+	pol, err := beep.ParseAdversaryPolicy(policy)
+	if err != nil {
+		return nil, 0, err
+	}
+	verts, err := parseVertexList(list, n)
+	if err != nil {
+		return nil, 0, err
+	}
+	return verts, pol, nil
+}
+
+// parseVertexList parses a comma-separated list of vertex ids and
+// range-checks each against [0, n).
+func parseVertexList(s string, n int) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("adversary list: %q is not a vertex id", tok)
+		}
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("adversary vertex %d out of range [0,%d)", v, n)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("adversary list %q names no vertices", s)
+	}
+	return out, nil
+}
+
+// parseChurnSpec builds the churn schedule named by a
+// "kind:arg:arg" spec against the loaded graph.
+func parseChurnSpec(spec string, g *graph.Graph, src *rng.Source) ([]graph.ChurnEvent, error) {
+	parts := strings.Split(spec, ":")
+	ints := func(want int) ([]int, error) {
+		if len(parts)-1 != want {
+			return nil, fmt.Errorf("churn spec %q: %s takes %d integer argument(s), got %d", spec, parts[0], want, len(parts)-1)
+		}
+		out := make([]int, want)
+		for i, p := range parts[1:] {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("churn spec %q: %q is not an integer", spec, p)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch parts[0] {
+	case "flap":
+		a, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return graph.FlapSchedule(g, a[0], a[1], src)
+	case "growth":
+		a, err := ints(3)
+		if err != nil {
+			return nil, err
+		}
+		return graph.GrowthSchedule(g, a[0], a[1], a[2], src)
+	case "crash":
+		a, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return graph.CrashSchedule(g, a[0], a[1], src)
+	case "partition":
+		a, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return graph.PartitionHealSchedule(g, a[0], src)
+	default:
+		return nil, fmt.Errorf("churn spec %q: unknown kind %q (want flap | growth | crash | partition)", spec, parts[0])
+	}
+}
+
+// runChurn stabilizes the network, replays the scheduled storm through
+// live rewiring, and reports per-event recovery, the superstabilization
+// adjustment measure, and overall availability.
+func runChurn(g *graph.Graph, proto beep.Protocol, seed uint64, spec string, maxRounds int, opts []beep.Option) error {
+	sched, err := parseChurnSpec(spec, g, rng.New(seed^0xc4a91))
+	if err != nil {
+		return err
+	}
+	res, err := stab.MeasureChurn(stab.ChurnConfig{
+		Graph:          g,
+		Protocol:       proto,
+		Seed:           seed,
+		Schedule:       sched,
+		RecoveryBudget: maxRounds,
+		Dwell:          20,
+		Options:        opts,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("churn storm %q: warmup=%d rounds, %d events\n", spec, res.InitialRounds, len(res.Events))
+	for _, ev := range res.Events {
+		status := fmt.Sprintf("recovered in %d rounds", ev.RecoveryRounds)
+		if !ev.Recovered {
+			status = fmt.Sprintf("NOT recovered within %d rounds", ev.RecoveryRounds)
+		}
+		fmt.Printf("  %-14s survivors=%-4d joiners=%-3d %-26s adjust=%d\n",
+			ev.Label, ev.Survivors, ev.Joiners, status, ev.Adjustment)
+	}
+	fmt.Printf("churn summary: recovered=%d/%d availability=%.3f final-n=%d\n",
+		res.Recovered, len(res.Events), res.Availability, res.FinalN)
+	return nil
+}
+
+// runAdversarial runs the protocol with non-cooperating vertices and
+// reports the behavior of the correct induced subgraph: a verified
+// masked MIS when it stabilizes, or the stable fraction of correct
+// vertices at the horizon when it cannot (the expected outcome around
+// jammers, which deny their neighbors every silent round).
+func runAdversarial(g *graph.Graph, proto beep.Protocol, seed uint64, policy beep.AdversaryPolicy, verts []int, maxRounds int, init core.InitMode, printMIS bool) error {
+	net, err := beep.NewNetwork(g, proto, seed, beep.WithAdversaries(policy, verts))
+	if err != nil {
+		return err
+	}
+	defer net.Close()
+	if err := applyInitCLI(net, init); err != nil {
+		return err
+	}
+	mask := make([]bool, net.N())
+	net.FillAdversaryMask(mask)
+	var probe core.State
+	probe.SetExcluded(mask)
+
+	budget := maxRounds
+	if budget <= 0 {
+		budget = 400 * (log2ceil(g.N()) + 2)
+	}
+	for r := 0; r < budget; r++ {
+		net.Step()
+		if err := probe.Refresh(net); err != nil {
+			return err
+		}
+		if probe.Stabilized() {
+			if err := probe.VerifyMIS(); err != nil {
+				return err
+			}
+			mis := probe.MISMask()
+			fmt.Printf("stabilized (correct subgraph): rounds=%d |MIS|=%d adversaries=%d policy=%s (verified)\n",
+				net.Round(), graph.CountTrue(mis), net.AdversaryCount(), policy)
+			if printMIS {
+				printMask(mis)
+			}
+			return nil
+		}
+	}
+	correct := net.N() - net.AdversaryCount()
+	frac := 0.0
+	if correct > 0 {
+		frac = float64(probe.StableCount()-net.AdversaryCount()) / float64(correct)
+	}
+	fmt.Printf("no stabilization within %d rounds (expected around jammers): stable correct fraction=%.3f adversaries=%d policy=%s\n",
+		budget, frac, net.AdversaryCount(), policy)
+	return nil
+}
+
+// log2ceil returns ⌈log2 n⌉ for n ≥ 1.
+func log2ceil(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
 }
 
 func printMask(mask []bool) {

@@ -91,6 +91,60 @@ func TestHelpFamilies(t *testing.T) {
 	}
 }
 
+func TestRunChurnStorms(t *testing.T) {
+	for _, spec := range []string{"flap:2:3", "growth:2:2:2", "crash:2:2", "partition:1"} {
+		if err := run([]string{"-family", "gnp:24:0.2", "-churn", spec, "-seed", "5"}); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+	}
+}
+
+func TestRunChurnWithMuteAdversaries(t *testing.T) {
+	if err := run([]string{"-family", "gnp:30:0.15", "-churn", "flap:2:3",
+		"-adversaries", "0,7", "-adversary-policy", "mute", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAdversaries(t *testing.T) {
+	// Mute adversaries: the correct subgraph stabilizes and verifies.
+	if err := run([]string{"-family", "gnp:30:0.15", "-adversaries", "2,11",
+		"-adversary-policy", "mute", "-seed", "4", "-print-mis"}); err != nil {
+		t.Fatal(err)
+	}
+	// A jammer at a star's center denies every leaf its silent rounds, so
+	// the correct subgraph can never stabilize; the run must still
+	// complete gracefully with a stable-fraction report.
+	if err := run([]string{"-family", "star:12", "-adversaries", "0",
+		"-adversary-policy", "jammer", "-max-rounds", "300"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunChurnAndAdversaryErrors(t *testing.T) {
+	cases := [][]string{
+		{"-family", "cycle:8", "-churn", "bogus:1"},                            // unknown kind
+		{"-family", "cycle:8", "-churn", "flap:0:2"},                           // non-positive events
+		{"-family", "cycle:8", "-churn", "flap:2"},                             // wrong arity
+		{"-family", "cycle:8", "-churn", "flap:x:2"},                           // non-integer
+		{"-family", "cycle:8", "-adversaries", "99"},                           // out of range
+		{"-family", "cycle:8", "-adversaries", "-1"},                           // negative id
+		{"-family", "cycle:8", "-adversaries", "1,x"},                          // not an id
+		{"-family", "cycle:8", "-adversaries", ","},                            // empty list
+		{"-family", "cycle:8", "-adversary-policy", "mute"},                    // policy without set
+		{"-family", "cycle:8", "-adversaries", "1", "-adversary-policy", "ba"}, // unknown policy
+		{"-family", "cycle:8", "-churn", "flap:1:2", "-faults", "2"},           // churn + faults
+		{"-family", "cycle:8", "-adversaries", "1", "-csv", "x.csv"},           // adversaries + csv
+		{"-family", "cycle:8", "-alg", "luby", "-churn", "flap:1:2"},           // baseline + churn
+		{"-family", "cycle:8", "-alg", "afek", "-adversaries", "1"},            // baseline + adversaries
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
 func TestRunGraph6File(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "g.g6")

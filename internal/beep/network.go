@@ -16,9 +16,17 @@ import (
 // the concurrent engines synchronize internally.
 type Network struct {
 	g        *graph.Graph
+	proto    Protocol
 	machines []Machine
 	srcs     []*rng.Source
 	engine   Engine
+
+	// root is the stream the per-vertex streams were split from;
+	// nextStream is the next unused child index. Vertices that join
+	// through Rewire draw fresh child streams from here, so joiner
+	// streams never collide with any stream handed out before.
+	root       *rng.Source
+	nextStream uint64
 
 	sent  []Signal
 	heard []Signal
@@ -31,6 +39,19 @@ type Network struct {
 	sleep    Sleep
 	sleepSrc *rng.Source
 	asleep   []bool
+
+	// Adversary state (see adversary.go): per-vertex policy byte
+	// (advNone = cooperating), the pre-drawn signals of the coming
+	// round, the babbler indices, the dedicated stream, and a counter
+	// bumped whenever the adversary set or the topology changes so
+	// observers (core.State) know to re-capture the mask.
+	adv         []uint8
+	advSent     []Signal
+	advBabblers []int32
+	advSrc      *rng.Source
+	advCount    int
+	advEpoch    uint64
+	advPending  []advSpec
 
 	observer func(round int, sent, heard []Signal)
 
@@ -70,18 +91,22 @@ func NewNetwork(g *graph.Graph, proto Protocol, seed uint64, opts ...Option) (*N
 	}
 	n := g.N()
 	net := &Network{
-		g:        g,
-		machines: make([]Machine, n),
-		srcs:     make([]*rng.Source, n),
-		engine:   Sequential,
-		sent:     make([]Signal, n),
-		heard:    make([]Signal, n),
-		channels: proto.Channels(),
-		fullMask: Signal(1<<uint(proto.Channels())) - 1,
-		noiseSrc: noiseSeed(seed),
-		sleepSrc: rng.New(seed ^ 0x736c656570), // "sleep"
+		g:          g,
+		proto:      proto,
+		machines:   make([]Machine, n),
+		srcs:       make([]*rng.Source, n),
+		engine:     Sequential,
+		nextStream: uint64(n),
+		sent:       make([]Signal, n),
+		heard:      make([]Signal, n),
+		channels:   proto.Channels(),
+		fullMask:   Signal(1<<uint(proto.Channels())) - 1,
+		noiseSrc:   noiseSeed(seed),
+		sleepSrc:   rng.New(seed ^ 0x736c656570), // "sleep"
+		advSrc:     rng.New(seed ^ 0x61647673),   // "advs"
 	}
 	root := rng.New(seed)
+	net.root = root
 	if bp, ok := proto.(BatchProtocol); ok {
 		ms, bulk := bp.NewMachines(g)
 		if len(ms) != n {
@@ -104,6 +129,9 @@ func NewNetwork(g *graph.Graph, proto Protocol, seed uint64, opts ...Option) (*N
 		return nil, err
 	}
 	if err := net.sleep.validate(); err != nil {
+		return nil, err
+	}
+	if err := net.installAdversaries(); err != nil {
 		return nil, err
 	}
 	if net.engine != Sequential {
@@ -165,12 +193,16 @@ func (n *Network) RandomizeAll() {
 }
 
 // Corrupt randomizes the states of the given vertices, modeling a
-// transient fault hitting exactly those RAMs.
+// transient fault hitting exactly those RAMs. The injection is atomic:
+// every index is validated before any machine is touched, so an
+// out-of-range entry can never leave a half-injected fault behind.
 func (n *Network) Corrupt(vertices []int) error {
 	for _, v := range vertices {
 		if v < 0 || v >= n.N() {
-			return fmt.Errorf("beep: corrupt vertex %d out of range", v)
+			return fmt.Errorf("beep: corrupt vertex %d out of range (no state modified)", v)
 		}
+	}
+	for _, v := range vertices {
 		n.machines[v].Randomize(n.srcs[v])
 	}
 	return nil
@@ -215,7 +247,12 @@ func (n *Network) Run(maxRounds int, stop func() bool) (rounds int, ok bool) {
 
 func (n *Network) stepSequential() {
 	n.drawSleep()
+	n.drawAdversaries()
 	for v, m := range n.machines {
+		if n.adversarial(v) {
+			n.sent[v] = n.advSent[v]
+			continue
+		}
 		if n.sleeping(v) {
 			n.sent[v] = Silent
 			continue
@@ -225,7 +262,7 @@ func (n *Network) stepSequential() {
 	n.deliverRange(0, n.N())
 	n.applyNoise()
 	for v, m := range n.machines {
-		if n.sleeping(v) {
+		if n.adversarial(v) || n.sleeping(v) {
 			continue
 		}
 		m.Update(n.sent[v], n.heard[v])
@@ -338,6 +375,10 @@ func (p *workerPool) worker(i int) {
 		switch phase {
 		case phaseEmit:
 			for v := lo; v < hi; v++ {
+				if net.adversarial(v) {
+					net.sent[v] = net.advSent[v]
+					continue
+				}
 				if net.sleeping(v) {
 					net.sent[v] = Silent
 					continue
@@ -348,7 +389,7 @@ func (p *workerPool) worker(i int) {
 			net.deliverRange(lo, hi)
 		case phaseUpdate:
 			for v := lo; v < hi; v++ {
-				if net.sleeping(v) {
+				if net.adversarial(v) || net.sleeping(v) {
 					continue
 				}
 				net.machines[v].Update(net.sent[v], net.heard[v])
@@ -387,6 +428,7 @@ func (p *workerPool) close() {
 
 func (n *Network) stepParallel() {
 	n.drawSleep()
+	n.drawAdversaries()
 	n.workers.runPhase(phaseEmit)
 	n.workers.runPhase(phaseDeliver)
 	n.applyNoise()

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/beep"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TestMaskedLegalityStarJammer pins the correct-subgraph legality
+// semantics on the sharpest example: a star whose center is a jammer.
+// No leaf can ever commit under a jammer center (it never hears a silent
+// round), so without masking the configuration below would be illegal —
+// but on the correct induced subgraph (the n-1 isolated leaves) the
+// all-leaves set is exactly the unique MIS.
+func TestMaskedLegalityStarJammer(t *testing.T) {
+	const n = 8
+	g := graph.Star(n)
+	levels := make([]int, n)
+	caps := make([]int, n)
+	for v := 0; v < n; v++ {
+		caps[v] = 10
+		levels[v] = -10 // every vertex at the membership level
+	}
+	levels[0] = 3 // the center is mid-range: not at cap, not at -cap
+	s := NewState(g, levels, caps)
+
+	// Unmasked, the center blocks every leaf's membership (it is not at
+	// cap) and is itself unstable.
+	if s.Stabilized() {
+		t.Fatal("unmasked star with mid-level center reported stabilized")
+	}
+
+	mask := make([]bool, n)
+	mask[0] = true
+	s.SetExcluded(mask)
+	if s.InMIS(0) {
+		t.Fatal("excluded center reported in MIS")
+	}
+	for v := 1; v < n; v++ {
+		if !s.InMIS(v) {
+			t.Fatalf("leaf %d not in MIS under masked center", v)
+		}
+	}
+	if !s.Stabilized() {
+		t.Fatal("masked star not stabilized")
+	}
+	if got := s.StableCount(); got != n {
+		t.Fatalf("StableCount = %d, want %d (excluded vertices are vacuously stable)", got, n)
+	}
+	if err := s.VerifyMIS(); err != nil {
+		t.Fatalf("masked VerifyMIS: %v", err)
+	}
+	mis := s.MISMask()
+	if mis[0] || graph.CountTrue(mis) != n-1 {
+		t.Fatalf("masked MIS mask = %v", mis)
+	}
+
+	// Clearing the mask must re-seed the detector and restore the
+	// unmasked verdict.
+	s.SetExcluded(nil)
+	if s.Stabilized() {
+		t.Fatal("verdict did not change after clearing the exclusion mask")
+	}
+}
+
+// TestVerifyMISOn exercises the induced-subgraph verifier directly.
+func TestVerifyMISOn(t *testing.T) {
+	g := graph.Path(4) // 0-1-2-3
+	active := []bool{true, false, true, true}
+	// With vertex 1 inactive, {0, 2} is an MIS of the induced subgraph
+	// (0 is isolated there).
+	if err := g.VerifyMISOn(active, []bool{true, false, true, false}); err != nil {
+		t.Fatalf("valid masked MIS rejected: %v", err)
+	}
+	// {2} leaves the now-isolated 0 undominated.
+	if err := g.VerifyMISOn(active, []bool{false, false, true, false}); err == nil {
+		t.Fatal("maximality violation through an inactive cut vertex not caught")
+	}
+	// Inactive vertices cannot be members.
+	if err := g.VerifyMISOn(active, []bool{true, true, true, false}); err == nil {
+		t.Fatal("inactive member not caught")
+	}
+	// Active adjacent members are still a violation.
+	if err := g.VerifyMISOn(active, []bool{true, false, true, true}); err == nil {
+		t.Fatal("independence violation between active vertices not caught")
+	}
+	// Mask length is validated.
+	if err := g.VerifyMISOn([]bool{true}, make([]bool, 4)); err == nil {
+		t.Fatal("short active mask accepted")
+	}
+	// nil active mask falls back to the plain verifier.
+	if err := g.VerifyMISOn(nil, []bool{true, false, true, false}); err != nil {
+		t.Fatalf("nil-mask fallback: %v", err)
+	}
+}
+
+// TestDetectorAcrossChurnAndAdversaries is the acceptance check for the
+// incremental detector under the full fault model: an Alg1 execution
+// with babbler and jammer adversaries is driven through a multi-event
+// churn schedule via live Rewire, and on every single round the
+// incremental probe is cross-validated against an independent
+// from-scratch Snapshot (which always rebuilds its masks). The exclusion
+// mask is re-captured whenever the network's adversary epoch moves.
+func TestDetectorAcrossChurnAndAdversaries(t *testing.T) {
+	g := graph.GNPAvgDegree(36, 5, rng.New(21))
+	sched, err := graph.FlapSchedule(g, 4, 8, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := beep.NewNetwork(g, NewAlg1(KnownMaxDegreeExact(DefaultC1KnownDelta)), 777,
+		beep.WithAdversaries(beep.AdvJammer, []int{3}),
+		beep.WithAdversaries(beep.AdvBabbler, []int{10, 17}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	net.RandomizeAll()
+
+	var inc State
+	var mask []bool
+	epoch := ^uint64(0)
+	capture := func() {
+		if e := net.AdversaryEpoch(); e != epoch {
+			mask = make([]bool, net.N())
+			net.FillAdversaryMask(mask)
+			inc.SetExcluded(mask)
+			epoch = e
+		}
+	}
+	check := func(tag string, r int) {
+		t.Helper()
+		if err := inc.Refresh(net); err != nil {
+			t.Fatal(err)
+		}
+		full, err := Snapshot(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full.SetExcluded(mask)
+		if got, want := inc.Stabilized(), full.Stabilized(); got != want {
+			t.Fatalf("%s round %d: incremental Stabilized=%v, full=%v", tag, r, got, want)
+		}
+		if got, want := inc.StableCount(), full.StableCount(); got != want {
+			t.Fatalf("%s round %d: incremental StableCount=%d, full=%d", tag, r, got, want)
+		}
+		gotMIS, wantMIS := inc.MISMask(), full.MISMask()
+		for v := range wantMIS {
+			if gotMIS[v] != wantMIS[v] {
+				t.Fatalf("%s round %d: MIS mask diverged at vertex %d", tag, r, v)
+			}
+		}
+	}
+
+	capture()
+	cur := g
+	for ei, ev := range sched {
+		tag := fmt.Sprintf("pre-%s", ev.Label)
+		for r := 0; r < 30; r++ {
+			net.Step()
+			capture() // no-op between rewires, re-captures after them
+			check(tag, r)
+		}
+		g2, mapping, err := graph.ApplyEdits(cur, ev.Edits)
+		if err != nil {
+			t.Fatalf("event %d (%s): %v", ei, ev.Label, err)
+		}
+		if err := net.Rewire(g2, mapping[:cur.N()]); err != nil {
+			t.Fatalf("event %d (%s): rewire: %v", ei, ev.Label, err)
+		}
+		cur = g2
+		capture()
+		check(fmt.Sprintf("post-%s", ev.Label), 0)
+	}
+	for r := 0; r < 60; r++ {
+		net.Step()
+		check("tail", r)
+	}
+}
+
+// TestEngineEquivalenceThroughChurn extends the engine contract to the
+// new fault model on the paper's own protocol: Sequential, Parallel, and
+// PerVertex must produce bit-identical signal traces through a scripted
+// crash-and-grow Rewire with adversaries installed, exercising the
+// BatchProtocol slab path of the survivor state transfer.
+func TestEngineEquivalenceThroughChurn(t *testing.T) {
+	g1 := graph.GNPAvgDegree(30, 5, rng.New(31))
+	g2, mapping, err := graph.ApplyEdits(g1, []graph.Edit{
+		{Kind: graph.EditDelVertex, U: 4},
+		{Kind: graph.EditDelVertex, U: 12},
+		{Kind: graph.EditAddVertex},
+		{Kind: graph.EditAddEdge, U: 30, V: 0},
+		{Kind: graph.EditAddEdge, U: 30, V: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed, pre, post = 606, 15, 25
+	run := func(engine beep.Engine) [][]beep.Signal {
+		var trace [][]beep.Signal
+		net, err := beep.NewNetwork(g1, NewAlg1(KnownMaxDegreeExact(DefaultC1KnownDelta)), seed,
+			beep.WithEngine(engine),
+			beep.WithAdversaries(beep.AdvJammer, []int{7}),
+			beep.WithAdversaries(beep.AdvBabbler, []int{2, 20}),
+			beep.WithObserver(func(_ int, sent, heard []beep.Signal) {
+				row := make([]beep.Signal, 0, 2*len(sent))
+				row = append(row, sent...)
+				row = append(row, heard...)
+				trace = append(trace, row)
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer net.Close()
+		net.RandomizeAll()
+		for r := 0; r < pre; r++ {
+			net.Step()
+		}
+		if err := net.Rewire(g2, mapping[:g1.N()]); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < post; r++ {
+			net.Step()
+		}
+		return trace
+	}
+	ref := run(beep.Sequential)
+	for _, engine := range []beep.Engine{beep.Parallel, beep.PerVertex} {
+		got := run(engine)
+		if len(got) != len(ref) {
+			t.Fatalf("engine %v recorded %d rounds, sequential %d", engine, len(got), len(ref))
+		}
+		for r := range ref {
+			for i := range ref[r] {
+				if got[r][i] != ref[r][i] {
+					t.Fatalf("engine %v diverged at round %d slot %d", engine, r, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRewireSurvivorKnowledge pins the deployed-radio semantics of the
+// Rewire state transfer on the real protocol: a survivor keeps the ℓmax
+// it was constructed with on the old topology, while a joiner's cap
+// reflects the new graph.
+func TestRewireSurvivorKnowledge(t *testing.T) {
+	g1 := graph.Star(9) // Δ = 8
+	net, err := beep.NewNetwork(g1, NewAlg1(KnownMaxDegreeExact(DefaultC1KnownDelta)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	capBefore := net.Machine(1).(Leveled).Cap()
+	// Survivors 1..8 move to a path (Δ = 2) plus one joiner.
+	g2, mapping, err := graph.ApplyEdits(g1, []graph.Edit{
+		{Kind: graph.EditDelVertex, U: 0},
+		{Kind: graph.EditAddVertex},
+		{Kind: graph.EditAddEdge, U: 9, V: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Rewire(g2, mapping[:g1.N()]); err != nil {
+		t.Fatal(err)
+	}
+	survivor := mapping[1]
+	joiner := mapping[9]
+	if got := net.Machine(survivor).(Leveled).Cap(); got != capBefore {
+		t.Fatalf("survivor cap %d, want the pre-churn knowledge %d", got, capBefore)
+	}
+	fresh, err := beep.NewNetwork(g2, NewAlg1(KnownMaxDegreeExact(DefaultC1KnownDelta)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if got, want := net.Machine(joiner).(Leveled).Cap(), fresh.Machine(joiner).(Leveled).Cap(); got != want {
+		t.Fatalf("joiner cap %d, want the fresh-knowledge cap %d", got, want)
+	}
+}

@@ -61,6 +61,16 @@ type State struct {
 	// change between Refreshes; when false the detector skips the caps
 	// half of its per-round diff as well.
 	capsMutable bool
+	// excluded masks the non-cooperating (adversarial) vertices out of
+	// the legality machinery: an excluded vertex is never in I_t, counts
+	// as vacuously stable, and is invisible to its neighbors' membership
+	// and stability scans — so Stabilized() and VerifyMIS() speak about
+	// the correct induced subgraph, the only set the self-stabilization
+	// guarantee covers. nil means every vertex cooperates.
+	excluded []bool
+	// exGen counts SetExcluded calls so the detector knows to rebuild
+	// when the mask changes (mirroring beep.Network.AdversaryEpoch).
+	exGen uint64
 
 	det detector
 }
@@ -76,6 +86,10 @@ type detector struct {
 	// capsMut mirrors State.capsMutable at rebuild time; when false the
 	// per-round diff compares levels only.
 	capsMut bool
+	// exGen mirrors State.exGen at rebuild time; a mismatch forces a
+	// full re-seed so exclusion-mask changes are never applied
+	// incrementally against stale masks.
+	exGen uint64
 	// prevLevels/prevCaps are the levels the masks were last derived
 	// from; the per-round diff against them yields the dirty set.
 	prevLevels []int32
@@ -169,6 +183,29 @@ func NewState(g *graph.Graph, levels, caps []int) *State {
 	return s
 }
 
+// SetExcluded installs the mask of non-cooperating vertices (length n,
+// true = excluded from the legality machinery), typically captured from
+// beep.Network.FillAdversaryMask. The mask is copied; nil clears it.
+// Callers that track a live network should re-capture whenever
+// Network.AdversaryEpoch changes — Rewire both renumbers the adversary
+// set and resizes the vertex space.
+func (s *State) SetExcluded(mask []bool) {
+	if mask == nil {
+		if s.excluded != nil {
+			s.excluded = nil
+			s.exGen++
+		}
+		return
+	}
+	s.excluded = append(s.excluded[:0], mask...)
+	s.exGen++
+}
+
+// Excluded reports whether v is masked out of the legality machinery.
+func (s *State) Excluded(v int) bool {
+	return s.excluded != nil && v < len(s.excluded) && s.excluded[v]
+}
+
 // Level returns ℓ(v) in this snapshot.
 func (s *State) Level(v int) int { return int(s.levels[v]) }
 
@@ -181,7 +218,14 @@ func (s *State) Cap(v int) int { return int(s.caps[v]) }
 // (equivalently μ_t(v) = 1). Under Algorithm 2 an all-cap neighborhood
 // in particular contains no ℓ = 0 neighbor, so the membership arms
 // share one all-neighbors-at-cap scan.
+//
+// Excluded vertices are never members, and are invisible to their
+// neighbors' scans: a correct vertex's membership depends only on the
+// levels of its correct neighbors.
 func (s *State) InMIS(v int) bool {
+	if s.Excluded(v) {
+		return false
+	}
 	want := -s.caps[v]
 	if s.twoChannel {
 		want = 0
@@ -190,6 +234,9 @@ func (s *State) InMIS(v int) bool {
 		return false
 	}
 	for _, u := range s.g.Neighbors(v) {
+		if s.Excluded(int(u)) {
+			continue
+		}
 		if s.levels[u] != s.caps[u] {
 			return false
 		}
@@ -252,7 +299,7 @@ func (s *State) StableCount() int {
 // graph or semantics), an O(dirty · deg²) incremental update afterward.
 func (s *State) sync() {
 	d := &s.det
-	if d.g != s.g || d.n != len(s.levels) || d.two != s.twoChannel || d.capsMut != s.capsMutable {
+	if d.g != s.g || d.n != len(s.levels) || d.two != s.twoChannel || d.capsMut != s.capsMutable || d.exGen != s.exGen {
 		s.rebuildDetector()
 		return
 	}
@@ -264,7 +311,7 @@ func (s *State) sync() {
 func (s *State) rebuildDetector() {
 	d := &s.det
 	n := len(s.levels)
-	d.g, d.n, d.two, d.capsMut = s.g, n, s.twoChannel, s.capsMutable
+	d.g, d.n, d.two, d.capsMut, d.exGen = s.g, n, s.twoChannel, s.capsMutable, s.exGen
 	d.mis.Resize(n)
 	d.stable.Resize(n)
 	for v := 0; v < n; v++ {
@@ -273,7 +320,9 @@ func (s *State) rebuildDetector() {
 		}
 	}
 	for v := 0; v < n; v++ {
-		if d.mis.Get(v) {
+		// Excluded vertices are vacuously stable: the legality predicate
+		// speaks only about the correct induced subgraph.
+		if s.Excluded(v) || d.mis.Get(v) {
 			d.stable.Set1(v)
 			continue
 		}
@@ -389,7 +438,7 @@ func (s *State) updateDetector() {
 	}
 	for _, vi := range d.cand {
 		v := int(vi)
-		now := d.mis.Get(v)
+		now := d.mis.Get(v) || s.Excluded(v)
 		if !now {
 			for _, u := range s.g.Neighbors(v) {
 				if d.mis.Get(int(u)) {
@@ -486,8 +535,16 @@ func (s *State) Eta(v int, stable []bool) float64 {
 }
 
 // VerifyMIS checks that the snapshot's I_t is a maximal independent set
-// of the graph, returning a descriptive error otherwise. It is the
+// of the graph — or, when an exclusion mask is installed, of the correct
+// induced subgraph — returning a descriptive error otherwise. It is the
 // safety check applied after every stabilized run.
 func (s *State) VerifyMIS() error {
-	return s.g.VerifyMIS(s.MISMask())
+	if s.excluded == nil {
+		return s.g.VerifyMIS(s.MISMask())
+	}
+	active := make([]bool, len(s.levels))
+	for v := range active {
+		active[v] = !s.Excluded(v)
+	}
+	return s.g.VerifyMISOn(active, s.MISMask())
 }

@@ -82,6 +82,8 @@ func registry() []Experiment {
 		{ID: "E12", Title: "Extension: duty-cycling (sleeping vertices)", Description: "stabilization and persistence when vertices miss rounds with probability p", Run: RunE12},
 		{ID: "E13", Title: "Beep (energy) complexity", Description: "convergence and steady-state transmissions: the energy price of fault detection", Run: RunE13},
 		{ID: "E14", Title: "Availability under recurring faults", Description: "fraction of legal rounds when faults arrive on a fixed period", Run: RunE14},
+		{ID: "E15", Title: "Topology churn storms", Description: "re-stabilization, availability and repair locality under live rewiring (flap/growth/crash/partition-heal)", Run: RunE15},
+		{ID: "E16", Title: "Adversarial beepers", Description: "correct-subgraph MIS quality vs adversary count, placement and policy (jammer/mute)", Run: RunE16},
 	}
 }
 

@@ -245,6 +245,41 @@ func TestRunE14Smoke(t *testing.T) {
 	}
 }
 
+func TestRunE15Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	var sb strings.Builder
+	if err := RunE15(smokeConfig(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"topology churn", "flap", "growth", "crash", "partition-heal", "adjust"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E15 output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Fatalf("E15 failed to recover within the O(log n) budget:\n%s", out)
+	}
+}
+
+func TestRunE16Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	var sb strings.Builder
+	if err := RunE16(smokeConfig(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"correct-subgraph", "jammer", "mute", "hubs", "stable-frac"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E16 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunAllSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short")

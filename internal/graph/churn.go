@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// ChurnEvent is one atomic batch of topology edits in a churn schedule.
+// The edits of event i are expressed in the id space of the graph
+// obtained by applying (and re-compacting) events 0..i-1, which is
+// exactly how stab.MeasureChurn replays them.
+type ChurnEvent struct {
+	// Label names the event in reports ("flap-3", "grow-2", …).
+	Label string
+	// Edits are applied atomically via ApplyEdits.
+	Edits []Edit
+}
+
+// advance applies one event to the evolving graph, so generators can
+// express the next event against the correct (compacted) id space.
+func advance(g *Graph, ev ChurnEvent) (*Graph, error) {
+	g2, _, err := ApplyEdits(g, ev.Edits)
+	if err != nil {
+		return nil, fmt.Errorf("graph: churn schedule self-check: %w", err)
+	}
+	return g2, nil
+}
+
+// FlapSchedule generates a deterministic link-flapping schedule: each of
+// the events toggles `toggles` uniformly chosen vertex pairs (an absent
+// pair is added, a present edge removed), the classic model of unstable
+// radio links. The schedule is a pure function of (g, events, toggles,
+// src) and every event is valid against the graph evolved through its
+// predecessors.
+func FlapSchedule(g *Graph, events, toggles int, src *rng.Source) ([]ChurnEvent, error) {
+	if g == nil || g.N() < 2 {
+		return nil, fmt.Errorf("graph: flap schedule needs at least 2 vertices")
+	}
+	if events <= 0 || toggles <= 0 {
+		return nil, fmt.Errorf("graph: flap schedule needs positive events (%d) and toggles (%d)", events, toggles)
+	}
+	cur := g
+	out := make([]ChurnEvent, 0, events)
+	for e := 0; e < events; e++ {
+		n := cur.N()
+		seen := make(map[[2]int]bool, toggles)
+		ev := ChurnEvent{Label: fmt.Sprintf("flap-%d", e)}
+		for len(seen) < toggles {
+			u := src.Intn(n)
+			v := src.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			kind := EditAddEdge
+			if cur.HasEdge(u, v) {
+				kind = EditDelEdge
+			}
+			ev.Edits = append(ev.Edits, Edit{Kind: kind, U: u, V: v})
+		}
+		g2, err := advance(cur, ev)
+		if err != nil {
+			return nil, err
+		}
+		cur = g2
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// GrowthSchedule generates a join-heavy schedule: each event adds
+// `joins` fresh vertices, each attaching to min(attach, N) distinct
+// uniformly chosen existing vertices — the radio-deployment regime in
+// which nodes keep arriving.
+func GrowthSchedule(g *Graph, events, joins, attach int, src *rng.Source) ([]ChurnEvent, error) {
+	if g == nil || g.N() < 1 {
+		return nil, fmt.Errorf("graph: growth schedule needs a non-empty base graph")
+	}
+	if events <= 0 || joins <= 0 || attach <= 0 {
+		return nil, fmt.Errorf("graph: growth schedule needs positive events (%d), joins (%d) and attach (%d)", events, joins, attach)
+	}
+	cur := g
+	out := make([]ChurnEvent, 0, events)
+	for e := 0; e < events; e++ {
+		n := cur.N()
+		ev := ChurnEvent{Label: fmt.Sprintf("grow-%d", e)}
+		for j := 0; j < joins; j++ {
+			id := n + j // builder id of the joiner within this event
+			ev.Edits = append(ev.Edits, Edit{Kind: EditAddVertex})
+			k := attach
+			if k > n {
+				k = n
+			}
+			targets := make(map[int]bool, k)
+			for len(targets) < k {
+				t := src.Intn(n) // attach to pre-event vertices only
+				if targets[t] {
+					continue
+				}
+				targets[t] = true
+				ev.Edits = append(ev.Edits, Edit{Kind: EditAddEdge, U: id, V: t})
+			}
+		}
+		g2, err := advance(cur, ev)
+		if err != nil {
+			return nil, err
+		}
+		cur = g2
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// CrashSchedule generates a leave-heavy schedule: each event removes
+// `crashes` uniformly chosen vertices with all their edges, exercising
+// vertex departure and id re-compaction. It refuses schedules that
+// would empty the graph.
+func CrashSchedule(g *Graph, events, crashes int, src *rng.Source) ([]ChurnEvent, error) {
+	if g == nil {
+		return nil, fmt.Errorf("graph: crash schedule needs a base graph")
+	}
+	if events <= 0 || crashes <= 0 {
+		return nil, fmt.Errorf("graph: crash schedule needs positive events (%d) and crashes (%d)", events, crashes)
+	}
+	if g.N() <= events*crashes {
+		return nil, fmt.Errorf("graph: crash schedule would remove %d of %d vertices", events*crashes, g.N())
+	}
+	cur := g
+	out := make([]ChurnEvent, 0, events)
+	for e := 0; e < events; e++ {
+		n := cur.N()
+		ev := ChurnEvent{Label: fmt.Sprintf("crash-%d", e)}
+		victims := make(map[int]bool, crashes)
+		for len(victims) < crashes {
+			v := src.Intn(n)
+			if victims[v] {
+				continue
+			}
+			victims[v] = true
+			ev.Edits = append(ev.Edits, Edit{Kind: EditDelVertex, U: v})
+		}
+		g2, err := advance(cur, ev)
+		if err != nil {
+			return nil, err
+		}
+		cur = g2
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// PartitionHealSchedule generates `cycles` pairs of events: a partition
+// event removes every edge crossing a uniformly random bipartition (the
+// network splits into two islands), and the matching heal event re-adds
+// exactly those edges. Bipartitions with an empty cut are re-drawn (up
+// to a bounded number of attempts), so every partition event changes
+// the topology.
+func PartitionHealSchedule(g *Graph, cycles int, src *rng.Source) ([]ChurnEvent, error) {
+	if g == nil || g.M() < 1 {
+		return nil, fmt.Errorf("graph: partition-heal schedule needs at least one edge")
+	}
+	if cycles <= 0 {
+		return nil, fmt.Errorf("graph: partition-heal schedule needs positive cycles, got %d", cycles)
+	}
+	n := g.N()
+	out := make([]ChurnEvent, 0, 2*cycles)
+	side := make([]bool, n)
+	for c := 0; c < cycles; c++ {
+		var cut []Edge
+		for attempt := 0; attempt < 64; attempt++ {
+			for v := range side {
+				side[v] = src.Coin()
+			}
+			cut = cut[:0]
+			for _, e := range g.Edges() {
+				if side[e.U] != side[e.V] {
+					cut = append(cut, e)
+				}
+			}
+			if len(cut) > 0 {
+				break
+			}
+		}
+		if len(cut) == 0 {
+			return nil, fmt.Errorf("graph: partition-heal: no non-empty cut found")
+		}
+		part := ChurnEvent{Label: fmt.Sprintf("partition-%d", c)}
+		heal := ChurnEvent{Label: fmt.Sprintf("heal-%d", c)}
+		for _, e := range cut {
+			part.Edits = append(part.Edits, Edit{Kind: EditDelEdge, U: e.U, V: e.V})
+			heal.Edits = append(heal.Edits, Edit{Kind: EditAddEdge, U: e.U, V: e.V})
+		}
+		out = append(out, part, heal)
+	}
+	// Self-check the whole schedule against the evolving graph.
+	cur := g
+	for _, ev := range out {
+		g2, err := advance(cur, ev)
+		if err != nil {
+			return nil, err
+		}
+		cur = g2
+	}
+	return out, nil
+}

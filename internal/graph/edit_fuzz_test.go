@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"testing"
+)
+
+// editRef is a naive reference model of the edit layer: vertex
+// tombstones plus an edge set keyed by builder-id pairs. It exists so
+// the fuzzer can cross-validate Builder/ApplyEdits against independent,
+// obviously-correct bookkeeping.
+type editRef struct {
+	removed []bool
+	edges   map[[2]int]bool
+}
+
+func newEditRef(g *Graph) *editRef {
+	r := &editRef{removed: make([]bool, g.N()), edges: map[[2]int]bool{}}
+	for _, e := range g.Edges() {
+		r.edges[[2]int{e.U, e.V}] = true
+	}
+	return r
+}
+
+func (r *editRef) key(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+func (r *editRef) liveVertex(v int) bool {
+	return v >= 0 && v < len(r.removed) && !r.removed[v]
+}
+
+// apply mirrors Builder.Apply and reports whether the edit is valid.
+func (r *editRef) apply(e Edit) bool {
+	switch e.Kind {
+	case EditAddEdge:
+		if e.U == e.V || !r.liveVertex(e.U) || !r.liveVertex(e.V) || r.edges[r.key(e.U, e.V)] {
+			return false
+		}
+		r.edges[r.key(e.U, e.V)] = true
+	case EditDelEdge:
+		if !r.liveVertex(e.U) || !r.liveVertex(e.V) || !r.edges[r.key(e.U, e.V)] {
+			return false
+		}
+		delete(r.edges, r.key(e.U, e.V))
+	case EditAddVertex:
+		r.removed = append(r.removed, false)
+	case EditDelVertex:
+		if !r.liveVertex(e.U) {
+			return false
+		}
+		r.removed[e.U] = true
+		for k := range r.edges {
+			if k[0] == e.U || k[1] == e.U {
+				delete(r.edges, k)
+			}
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// FuzzApplyEdits decodes an arbitrary byte string into a batch of edits
+// on a small seed graph, applies it through the production edit layer,
+// and cross-validates the accept/reject decision and the resulting
+// graph against the naive reference model. It asserts that accepted
+// batches yield validated CSR graphs whose edge set, vertex count, and
+// mapping agree with the reference.
+func FuzzApplyEdits(f *testing.F) {
+	f.Add(uint8(6), []byte{0, 0, 1})          // add edge 0-1 on a 6-cycle? (already present → reject path)
+	f.Add(uint8(6), []byte{0, 0, 3})          // add chord
+	f.Add(uint8(8), []byte{2, 0, 0, 0, 8, 0}) // add vertex, connect it
+	f.Add(uint8(5), []byte{3, 2, 0, 1, 0, 1}) // remove vertex then touch it
+	f.Add(uint8(4), []byte{1, 0, 1, 1, 0, 1}) // remove edge twice
+	f.Add(uint8(3), []byte{2, 0, 0, 2, 0, 0, 3, 0, 0, 3, 1, 0})
+	f.Fuzz(func(t *testing.T, nByte uint8, data []byte) {
+		n := 2 + int(nByte)%30
+		base := Cycle(n)
+		ref := newEditRef(base)
+
+		var edits []Edit
+		valid := true
+		for i := 0; i+2 < len(data) && len(edits) < 64; i += 3 {
+			kind := EditKind(int(data[i])%4) + 1
+			// Endpoints may range one past the current id space to
+			// exercise the range checks.
+			span := len(ref.removed) + 2
+			e := Edit{Kind: kind, U: int(data[i+1]) % span, V: int(data[i+2]) % span}
+			edits = append(edits, e)
+			if valid {
+				valid = ref.apply(e)
+			}
+		}
+
+		g2, mapping, err := ApplyEdits(base, edits)
+		if valid && err != nil {
+			t.Fatalf("reference accepts batch, ApplyEdits rejects: %v (edits %v)", err, edits)
+		}
+		if !valid {
+			if err == nil {
+				t.Fatalf("reference rejects batch, ApplyEdits accepts (edits %v)", edits)
+			}
+			return
+		}
+
+		if err := g2.Validate(); err != nil {
+			t.Fatalf("accepted batch produced invalid graph: %v", err)
+		}
+		if len(mapping) != len(ref.removed) {
+			t.Fatalf("mapping covers %d ids, reference id space %d", len(mapping), len(ref.removed))
+		}
+		live := 0
+		for id, rm := range ref.removed {
+			if rm {
+				if mapping[id] != -1 {
+					t.Fatalf("removed id %d mapped to %d", id, mapping[id])
+				}
+				continue
+			}
+			if mapping[id] != live {
+				t.Fatalf("live id %d mapped to %d, want %d", id, mapping[id], live)
+			}
+			live++
+		}
+		if g2.N() != live {
+			t.Fatalf("compacted graph has %d vertices, reference %d", g2.N(), live)
+		}
+		if g2.M() != len(ref.edges) {
+			t.Fatalf("compacted graph has %d edges, reference %d", g2.M(), len(ref.edges))
+		}
+		for k := range ref.edges {
+			if !g2.HasEdge(mapping[k[0]], mapping[k[1]]) {
+				t.Fatalf("reference edge (%d,%d) missing after compaction", k[0], k[1])
+			}
+		}
+	})
+}

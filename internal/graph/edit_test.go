@@ -1,0 +1,233 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestBuilderEditCycle(t *testing.T) {
+	g := Cycle(6)
+	b := NewBuilder(g)
+	if b.Live() != 6 || b.Edges() != 6 {
+		t.Fatalf("builder seeded with %d/%d, want 6/6", b.Live(), b.Edges())
+	}
+	if err := b.AddEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	id := b.AddVertex()
+	if id != 6 {
+		t.Fatalf("new vertex id %d, want 6", id)
+	}
+	if err := b.AddEdge(id, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RemoveVertex(5); err != nil {
+		t.Fatal(err)
+	}
+	g2, mapping, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 6 {
+		t.Fatalf("edited graph has %d vertices, want 6", g2.N())
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 4, -1, 5}
+	for i, m := range mapping {
+		if m != want[i] {
+			t.Fatalf("mapping[%d] = %d, want %d (full %v)", i, m, want[i], mapping)
+		}
+	}
+	// Edge {0,3} added, {1,2} removed, {4,5}/{5,0} dropped with vertex 5,
+	// {6,4} added: 6 - 1 + 1 - 2 + 1 = 5.
+	if g2.M() != 5 {
+		t.Fatalf("edited graph has %d edges, want 5", g2.M())
+	}
+	if !g2.HasEdge(0, 3) || g2.HasEdge(1, 2) || !g2.HasEdge(5, 4) {
+		t.Fatalf("edited adjacency wrong: %v", g2.Edges())
+	}
+}
+
+func TestBuilderRejections(t *testing.T) {
+	b := NewBuilder(Path(4))
+	cases := []struct {
+		name string
+		run  func() error
+		want error
+	}{
+		{"self-loop", func() error { return b.AddEdge(2, 2) }, ErrSelfLoop},
+		{"dup-edge", func() error { return b.AddEdge(0, 1) }, ErrEdgeExists},
+		{"missing-edge", func() error { return b.RemoveEdge(0, 2) }, ErrEdgeMissing},
+		{"range-add", func() error { return b.AddEdge(0, 9) }, ErrVertexRange},
+		{"range-del-vertex", func() error { return b.RemoveVertex(-1) }, ErrVertexRange},
+	}
+	for _, c := range cases {
+		if err := c.run(); !errors.Is(err, c.want) {
+			t.Fatalf("%s: got %v, want %v", c.name, err, c.want)
+		}
+	}
+	if err := b.RemoveVertex(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RemoveVertex(3); !errors.Is(err, ErrVertexRemoved) {
+		t.Fatalf("double remove: got %v, want ErrVertexRemoved", err)
+	}
+	if err := b.AddEdge(0, 3); !errors.Is(err, ErrVertexRemoved) {
+		t.Fatalf("edge to removed vertex: got %v, want ErrVertexRemoved", err)
+	}
+}
+
+func TestApplyEditsAtomicAndNonMutating(t *testing.T) {
+	g := Cycle(5)
+	edges := len(g.Edges())
+	_, _, err := ApplyEdits(g, []Edit{
+		{Kind: EditDelEdge, U: 0, V: 1},
+		{Kind: EditAddEdge, U: 0, V: 9}, // invalid: aborts the batch
+	})
+	if err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if g.M() != edges || !g.HasEdge(0, 1) {
+		t.Fatal("ApplyEdits mutated the input graph")
+	}
+}
+
+func TestApplyEditsMappingCoversJoiners(t *testing.T) {
+	g := Path(3)
+	g2, mapping, err := ApplyEdits(g, []Edit{
+		{Kind: EditAddVertex},
+		{Kind: EditAddVertex},
+		{Kind: EditAddEdge, U: 3, V: 0},
+		{Kind: EditDelVertex, U: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mapping) != 5 {
+		t.Fatalf("mapping over %d ids, want 5 (3 base + 2 joiners)", len(mapping))
+	}
+	if g2.N() != 4 {
+		t.Fatalf("n = %d, want 4", g2.N())
+	}
+	if mapping[1] != -1 {
+		t.Fatalf("removed vertex mapped to %d, want -1", mapping[1])
+	}
+	if mapping[0] != 0 || mapping[2] != 1 || mapping[3] != 2 || mapping[4] != 3 {
+		t.Fatalf("compaction order wrong: %v", mapping)
+	}
+	if !g2.HasEdge(mapping[3], mapping[0]) {
+		t.Fatal("joiner edge lost in compaction")
+	}
+}
+
+// TestChurnSchedulesValidAndDeterministic replays every generator's
+// schedule through ApplyEdits (each event against the evolved graph) and
+// checks that an identical seed reproduces the identical schedule.
+func TestChurnSchedulesValidAndDeterministic(t *testing.T) {
+	base := GNPAvgDegree(40, 4, rng.New(11))
+	gens := []struct {
+		name string
+		gen  func(src *rng.Source) ([]ChurnEvent, error)
+	}{
+		{"flap", func(src *rng.Source) ([]ChurnEvent, error) { return FlapSchedule(base, 5, 3, src) }},
+		{"growth", func(src *rng.Source) ([]ChurnEvent, error) { return GrowthSchedule(base, 5, 2, 3, src) }},
+		{"crash", func(src *rng.Source) ([]ChurnEvent, error) { return CrashSchedule(base, 5, 2, src) }},
+		{"partition-heal", func(src *rng.Source) ([]ChurnEvent, error) { return PartitionHealSchedule(base, 3, src) }},
+	}
+	for _, gc := range gens {
+		t.Run(gc.name, func(t *testing.T) {
+			evs, err := gc.gen(rng.New(42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(evs) == 0 {
+				t.Fatal("empty schedule")
+			}
+			cur := base
+			for i, ev := range evs {
+				if len(ev.Edits) == 0 {
+					t.Fatalf("event %d (%s) has no edits", i, ev.Label)
+				}
+				g2, mapping, err := ApplyEdits(cur, ev.Edits)
+				if err != nil {
+					t.Fatalf("event %d (%s) invalid: %v", i, ev.Label, err)
+				}
+				if err := g2.Validate(); err != nil {
+					t.Fatalf("event %d (%s) produced invalid graph: %v", i, ev.Label, err)
+				}
+				if len(mapping) < cur.N() {
+					t.Fatalf("event %d mapping covers %d ids, base graph has %d", i, len(mapping), cur.N())
+				}
+				cur = g2
+			}
+			evs2, err := gc.gen(rng.New(42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(evs2) != len(evs) {
+				t.Fatalf("rerun produced %d events, want %d", len(evs2), len(evs))
+			}
+			for i := range evs {
+				if evs[i].Label != evs2[i].Label || len(evs[i].Edits) != len(evs2[i].Edits) {
+					t.Fatalf("rerun diverged at event %d", i)
+				}
+				for j := range evs[i].Edits {
+					if evs[i].Edits[j] != evs2[i].Edits[j] {
+						t.Fatalf("rerun diverged at event %d edit %d: %+v vs %+v",
+							i, j, evs[i].Edits[j], evs2[i].Edits[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestScheduleGeneratorRejections(t *testing.T) {
+	g := Path(4)
+	if _, err := FlapSchedule(Path(1), 1, 1, rng.New(1)); err == nil {
+		t.Fatal("flap on 1 vertex accepted")
+	}
+	if _, err := FlapSchedule(g, 0, 1, rng.New(1)); err == nil {
+		t.Fatal("flap with 0 events accepted")
+	}
+	if _, err := GrowthSchedule(g, 1, 0, 1, rng.New(1)); err == nil {
+		t.Fatal("growth with 0 joins accepted")
+	}
+	if _, err := CrashSchedule(g, 2, 2, rng.New(1)); err == nil {
+		t.Fatal("crash schedule emptying the graph accepted")
+	}
+	if _, err := PartitionHealSchedule(MustNew(3, nil), 1, rng.New(1)); err == nil {
+		t.Fatal("partition-heal on edgeless graph accepted")
+	}
+}
+
+func TestPartitionHealRestoresGraph(t *testing.T) {
+	g := GNPAvgDegree(30, 5, rng.New(3))
+	evs, err := PartitionHealSchedule(g, 2, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := g
+	for _, ev := range evs {
+		g2, _, err := ApplyEdits(cur, ev.Edits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = g2
+	}
+	if cur.N() != g.N() || cur.M() != g.M() {
+		t.Fatalf("heal did not restore shape: %d/%d vs %d/%d", cur.N(), cur.M(), g.N(), g.M())
+	}
+	for _, e := range g.Edges() {
+		if !cur.HasEdge(e.U, e.V) {
+			t.Fatalf("edge (%d,%d) not restored", e.U, e.V)
+		}
+	}
+}

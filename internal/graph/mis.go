@@ -30,6 +30,56 @@ func (g *Graph) VerifyMIS(in []bool) error {
 	return fmt.Errorf("graph: vertex %d outside the set has no neighbor in the set (maximality violated)", v)
 }
 
+// VerifyMISOn checks that the set is a maximal independent set of the
+// subgraph induced by the active vertices: no two active set members are
+// adjacent, every active non-member has an active neighbor in the set,
+// and no inactive vertex is in the set at all. Edges with an inactive
+// endpoint are invisible to both conditions. A nil active mask means all
+// vertices are active (plain VerifyMIS).
+//
+// This is the legality predicate of the fault-model harness: adversarial
+// (non-cooperating) vertices are marked inactive, and the
+// self-stabilization guarantee is asserted on the correct induced
+// subgraph around them.
+func (g *Graph) VerifyMISOn(active, in []bool) error {
+	if active == nil {
+		return g.VerifyMIS(in)
+	}
+	if len(in) != g.N() {
+		return fmt.Errorf("graph: membership mask length %d, want %d", len(in), g.N())
+	}
+	if len(active) != g.N() {
+		return fmt.Errorf("graph: active mask length %d, want %d", len(active), g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if !active[v] {
+			if in[v] {
+				return fmt.Errorf("graph: inactive vertex %d is in the set", v)
+			}
+			continue
+		}
+		if in[v] {
+			for _, u := range g.Neighbors(v) {
+				if active[u] && in[u] {
+					return fmt.Errorf("graph: active vertex %d in the set has an active neighbor in the set (independence violated)", v)
+				}
+			}
+			continue
+		}
+		dominated := false
+		for _, u := range g.Neighbors(v) {
+			if active[u] && in[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return fmt.Errorf("graph: active vertex %d outside the set has no active neighbor in the set (maximality violated)", v)
+		}
+	}
+	return nil
+}
+
 // firstViolation returns the lowest-numbered vertex violating
 // independence, or — when checkMaximal is set — maximality; -1 if none.
 func (g *Graph) firstViolation(in []bool, checkMaximal bool) int {

@@ -24,6 +24,12 @@ type AvailabilityConfig struct {
 	Window int
 	// WarmupBudget bounds the initial stabilization.
 	WarmupBudget int
+	// Noise and Sleep harshen the channel for the whole run (zero
+	// values are no-ops): the storm then combines transient state
+	// corruption with ongoing communication faults, the compound regime
+	// a deployed system actually faces.
+	Noise beep.Noise
+	Sleep beep.Sleep
 }
 
 // AvailabilityResult reports a fault-storm experiment.
@@ -60,7 +66,8 @@ func MeasureAvailability(cfg AvailabilityConfig) (*AvailabilityResult, error) {
 		warmup = defaultBudget(cfg.Graph.N())
 	}
 
-	net, err := beep.NewNetwork(cfg.Graph, cfg.Protocol, cfg.Seed)
+	net, err := beep.NewNetwork(cfg.Graph, cfg.Protocol, cfg.Seed,
+		beep.WithNoise(cfg.Noise), beep.WithSleep(cfg.Sleep))
 	if err != nil {
 		return nil, fmt.Errorf("stab: %w", err)
 	}

@@ -3,6 +3,7 @@ package stab
 import (
 	"testing"
 
+	"repro/internal/beep"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -88,6 +89,101 @@ func TestMeasureAvailabilityNoFaultIsPerfect(t *testing.T) {
 	}
 	if res.LongestOutage != 0 || res.Injections != 0 {
 		t.Fatalf("fault-free outage %d injections %d", res.LongestOutage, res.Injections)
+	}
+}
+
+// nopFault satisfies Fault without touching any state, for boundary
+// accounting tests.
+type nopFault struct{}
+
+func (nopFault) Name() string                           { return "nop" }
+func (nopFault) Apply(*beep.Network, *rng.Source) error { return nil }
+
+// totalFault pins every vertex to claimed membership, guaranteeing an
+// illegal configuration on any graph with at least one edge.
+type totalFault struct{}
+
+func (totalFault) Name() string { return "total" }
+func (totalFault) Apply(net *beep.Network, _ *rng.Source) error {
+	return ClaimAllFault{K: net.N()}.Apply(net, rng.New(1))
+}
+
+// TestMeasureAvailabilityBoundaryAccounting pins the outage bookkeeping
+// at the window edges. A no-op "fault" every other round (including one
+// on the final observed round) recovers in exactly one round each time:
+// availability 1, zero outage, mean recovery 1.
+func TestMeasureAvailabilityBoundaryAccounting(t *testing.T) {
+	res, err := MeasureAvailability(AvailabilityConfig{
+		Graph: graph.Cycle(20), Protocol: alg1(), Seed: 3,
+		Fault: nopFault{}, Period: 2, Window: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injections != 3 {
+		t.Fatalf("injections %d, want 3 (rounds 0, 2, 4)", res.Injections)
+	}
+	if res.Availability != 1 {
+		t.Fatalf("availability %v, want 1 for a no-op fault", res.Availability)
+	}
+	if res.LongestOutage != 0 {
+		t.Fatalf("longest outage %d, want 0", res.LongestOutage)
+	}
+	if res.MeanRecovery != 1 {
+		t.Fatalf("mean recovery %v, want 1", res.MeanRecovery)
+	}
+}
+
+// TestMeasureAvailabilityZeroRecoveries pins the other edge: a fault
+// storm so dense the system is never legal inside the window. With zero
+// completed recoveries MeanRecovery must stay 0 (not NaN), availability
+// 0, and the single outage must span the whole window.
+func TestMeasureAvailabilityZeroRecoveries(t *testing.T) {
+	res, err := MeasureAvailability(AvailabilityConfig{
+		Graph: graph.Complete(10), Protocol: alg1(), Seed: 5,
+		Fault: totalFault{}, Period: 1, Window: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Availability != 0 {
+		t.Fatalf("availability %v, want 0", res.Availability)
+	}
+	if res.MeanRecovery != 0 {
+		t.Fatalf("mean recovery %v, want 0 with no completed recoveries", res.MeanRecovery)
+	}
+	if res.LongestOutage != 6 {
+		t.Fatalf("longest outage %d, want the whole window (6)", res.LongestOutage)
+	}
+	if res.Injections != 6 {
+		t.Fatalf("injections %d, want 6", res.Injections)
+	}
+}
+
+// TestMeasureAvailabilityUnderNoiseAndSleep combines transient state
+// corruption with persistent channel faults: the storm must still run
+// to completion and report sane numbers, with availability strictly
+// below the fault-free ideal (false beeps alone keep knocking MIS
+// members out).
+func TestMeasureAvailabilityUnderNoiseAndSleep(t *testing.T) {
+	res, err := MeasureAvailability(AvailabilityConfig{
+		Graph:    graph.GNPAvgDegree(40, 5, rng.New(15)),
+		Protocol: alg1(),
+		Seed:     17,
+		Fault:    RandomFault{K: 3},
+		Period:   150,
+		Window:   1500,
+		Noise:    beep.Noise{PLoss: 0.02, PFalse: 0.005},
+		Sleep:    beep.Sleep{P: 0.02},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Availability <= 0 || res.Availability >= 1 {
+		t.Fatalf("noisy availability %v, want strictly inside (0,1)", res.Availability)
+	}
+	if res.MeanRecovery <= 0 {
+		t.Fatalf("mean recovery %v", res.MeanRecovery)
 	}
 }
 

@@ -13,6 +13,7 @@ package stab
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/beep"
 	"repro/internal/core"
@@ -95,16 +96,44 @@ func (f ClaimAllFault) Apply(net *beep.Network, src *rng.Source) error {
 	return nil
 }
 
-// pickDistinct returns min(k, n) distinct vertices chosen uniformly.
+// pickBuf pools the index buffers behind pickDistinct so repeated fault
+// injections (every Period rounds in an availability storm) allocate
+// only the k-sized result, not an n-sized permutation per call.
+var pickBuf = sync.Pool{New: func() any { return new([]int) }}
+
+// pickDistinct returns min(k, n) distinct vertices chosen uniformly, by
+// a partial Fisher–Yates shuffle: k draws from the source instead of the
+// n-1 a full permutation costs, over a pooled buffer. Negative k is
+// rejected explicitly (it would previously have sliced a permutation it
+// had already paid for).
 func pickDistinct(n, k int, src *rng.Source) []int {
+	if k < 0 || n <= 0 {
+		return nil
+	}
 	if k > n {
 		k = n
 	}
-	if k <= 0 {
+	if k == 0 {
 		return nil
 	}
-	perm := src.Perm(n)
-	return perm[:k]
+	bufp := pickBuf.Get().(*[]int)
+	buf := *bufp
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = i
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + src.Intn(n-i)
+		buf[i], buf[j] = buf[j], buf[i]
+		out[i] = buf[i]
+	}
+	*bufp = buf
+	pickBuf.Put(bufp)
+	return out
 }
 
 // RecoveryConfig describes a fault-recovery experiment on one instance.
@@ -198,11 +227,26 @@ func MeasureRecovery(cfg RecoveryConfig) (*RecoveryResult, error) {
 	return res, nil
 }
 
+// excludeAdversaries primes a State probe with the network's adversary
+// mask, so legality is asserted on the correct induced subgraph (the
+// only set the self-stabilization guarantee covers). It is a no-op for
+// fully cooperating networks.
+func excludeAdversaries(probe *core.State, net *beep.Network) {
+	if net.AdversaryCount() == 0 {
+		return
+	}
+	mask := make([]bool, net.N())
+	net.FillAdversaryMask(mask)
+	probe.SetExcluded(mask)
+}
+
 // stabilizeWithin steps net to a legal configuration, verifying the MIS.
 // The stop check reuses one State probe across rounds, so the per-round
-// cost is the incremental detector's, not a fresh snapshot's.
+// cost is the incremental detector's, not a fresh snapshot's. Installed
+// adversaries are masked out of the legality predicate.
 func stabilizeWithin(net *beep.Network, maxRounds int) (int, error) {
 	var probe core.State
+	excludeAdversaries(&probe, net)
 	stop := func() bool {
 		return probe.Refresh(net) == nil && probe.Stabilized()
 	}
@@ -221,12 +265,16 @@ func stabilizeWithin(net *beep.Network, maxRounds int) (int, error) {
 
 // CheckClosure steps a stabilized network for extra rounds and returns
 // an error if legality is ever lost or the MIS changes: the closure half
-// of self-stabilization.
+// of self-stabilization. Legality is asserted on the correct induced
+// subgraph when adversaries are installed. Note that closure is only
+// guaranteed in the fault-free regime — under listening noise a network
+// can legitimately lose legality, which this check will report.
 func CheckClosure(net *beep.Network, extraRounds int) error {
 	st, err := core.Snapshot(net)
 	if err != nil {
 		return err
 	}
+	excludeAdversaries(st, net)
 	if !st.Stabilized() {
 		return fmt.Errorf("stab: closure check requires a stabilized network")
 	}

@@ -46,6 +46,25 @@ func TestPickDistinct(t *testing.T) {
 	if pickDistinct(5, 0, src) != nil {
 		t.Fatal("k=0 should pick none")
 	}
+	if pickDistinct(5, -3, src) != nil {
+		t.Fatal("negative k should pick none")
+	}
+	if pickDistinct(0, 4, src) != nil {
+		t.Fatal("empty universe should pick none")
+	}
+	// Distribution sanity for the partial Fisher–Yates: over many draws
+	// of 1-of-4, every vertex must appear (uniformity is exercised by the
+	// seeded determinism of the experiments; this guards against an
+	// off-by-one that pins the draw range).
+	seen2 := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		for _, v := range pickDistinct(4, 1, src) {
+			seen2[v] = true
+		}
+	}
+	if len(seen2) != 4 {
+		t.Fatalf("1-of-4 draws covered only %d vertices", len(seen2))
+	}
 }
 
 func TestMeasureRecoveryRandomFault(t *testing.T) {
@@ -151,6 +170,51 @@ func TestCheckClosureRejectsUnstable(t *testing.T) {
 	// Fresh network (everyone at cap) is not stabilized.
 	if err := CheckClosure(net, 5); err == nil {
 		t.Fatal("closure check on unstable network accepted")
+	}
+}
+
+// TestCheckClosureUnderNoise documents that closure is a fault-free
+// guarantee: under aggressive false-beep noise a stabilized network
+// eventually loses legality (a false beep knocks an MIS member off its
+// membership level), and CheckClosure must detect and report it.
+func TestCheckClosureUnderNoise(t *testing.T) {
+	g := graph.Cycle(16)
+	net, err := beep.NewNetwork(g, alg1(), 19,
+		beep.WithNoise(beep.Noise{PLoss: 0.1, PFalse: 0.2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	net.RandomizeAll()
+	if _, err := stabilizeWithin(net, defaultBudget(g.N())); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckClosure(net, 2000); err == nil {
+		t.Fatal("closure survived 2000 rounds of 20% false-beep noise")
+	}
+}
+
+// TestCheckClosureWithMuteAdversaries checks that closure holds on the
+// correct induced subgraph when the excluded vertices are crashed-silent
+// radios: a mute vertex is observationally identical to an absent one,
+// so the fault-free closure guarantee carries over to the masked
+// predicate. (Sleep, by contrast, breaks closure just like packet loss —
+// a sleeping MIS member's beep goes missing and its neighbors fall off
+// their caps — which TestMeasureAvailabilityUnderNoiseAndSleep covers.)
+func TestCheckClosureWithMuteAdversaries(t *testing.T) {
+	g := graph.GNPAvgDegree(30, 4, rng.New(23))
+	net, err := beep.NewNetwork(g, alg1(), 21,
+		beep.WithAdversaries(beep.AdvMute, []int{2, 11}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	net.RandomizeAll()
+	if _, err := stabilizeWithin(net, defaultBudget(g.N())); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckClosure(net, 500); err != nil {
+		t.Fatalf("masked closure lost: %v", err)
 	}
 }
 
