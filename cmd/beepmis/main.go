@@ -18,7 +18,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/baseline"
 	"repro/internal/beep"
 	"repro/internal/core"
@@ -77,6 +79,11 @@ func run(args []string) error {
 	churnSpec := fs.String("churn", "", "run a topology-churn storm: flap:EVENTS:TOGGLES | growth:EVENTS:JOINS:ATTACH | crash:EVENTS:CRASHES | partition:CYCLES")
 	advList := fs.String("adversaries", "", "comma-separated non-cooperating vertex ids (e.g. \"0,5,9\")")
 	advPolicy := fs.String("adversary-policy", "jammer", "adversary behavior: jammer | babbler | mute (requires -adversaries)")
+	ckPath := fs.String("checkpoint", "", "auto-checkpoint the run to this file (written atomically, integrity-hashed)")
+	ckEvery := fs.Int("checkpoint-every", 0, "auto-checkpoint every K rounds (default 100 when -checkpoint is set)")
+	resumePath := fs.String("resume", "", "resume from a checkpoint file instead of starting fresh (same -family/-seed/-alg)")
+	deadline := fs.Duration("deadline", 0, "wall-clock deadline per attempt, e.g. 30s (0 = none)")
+	maxRetries := fs.Int("max-retries", 0, "budget escalations after the first attempt (the run is extended, not restarted)")
 	helpFams := fs.Bool("help-families", false, "list graph family specs and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +92,18 @@ func run(args []string) error {
 		fmt.Println(famspec.Help)
 		return nil
 	}
+
+	if *ckEvery > 0 && *ckPath == "" {
+		return fmt.Errorf("-checkpoint-every requires -checkpoint")
+	}
+	if *ckPath != "" && *ckEvery == 0 {
+		*ckEvery = 100
+	}
+	sup := supervision{
+		ckPath: *ckPath, ckEvery: *ckEvery, resumePath: *resumePath,
+		deadline: *deadline, maxRetries: *maxRetries,
+	}
+	supervised := sup.ckPath != "" || sup.resumePath != "" || sup.deadline != 0 || sup.maxRetries > 0
 
 	g, err := loadGraph(*family, *graphFile, *seed)
 	if err != nil {
@@ -96,6 +115,9 @@ func run(args []string) error {
 	case "jeavons", "afek", "luby":
 		if *churnSpec != "" || *advList != "" {
 			return fmt.Errorf("-churn and -adversaries apply to the self-stabilizing algorithms only, not %q", *alg)
+		}
+		if supervised {
+			return fmt.Errorf("-checkpoint/-resume/-deadline/-max-retries apply to the self-stabilizing algorithms only, not %q", *alg)
 		}
 		return runBaseline(g, *alg, *seed, *maxRounds, *init, *printMIS)
 	}
@@ -119,15 +141,27 @@ func run(args []string) error {
 		if *csvPath != "" || *faults > 0 {
 			return fmt.Errorf("-churn cannot be combined with -csv or -faults")
 		}
+		if supervised {
+			return fmt.Errorf("-churn cannot be combined with -checkpoint/-resume/-deadline/-max-retries")
+		}
 		var opts []beep.Option
 		if len(advVerts) > 0 {
 			opts = append(opts, beep.WithAdversaries(advPol, advVerts))
 		}
 		return runChurn(g, proto, *seed, *churnSpec, *maxRounds, opts)
 	}
+	if supervised && (*csvPath != "" || *faults > 0) {
+		return fmt.Errorf("-checkpoint/-resume/-deadline/-max-retries cannot be combined with -csv or -faults")
+	}
 	if len(advVerts) > 0 {
 		if *csvPath != "" || *faults > 0 {
 			return fmt.Errorf("-adversaries cannot be combined with -csv or -faults")
+		}
+		if supervised {
+			// The supervisor masks adversaries out of the legality probe
+			// itself, so the supervised path covers adversarial runs too.
+			return runSupervised(g, proto, *seed, initMode, *maxRounds, sup,
+				[]beep.Option{beep.WithAdversaries(advPol, advVerts)}, *printMIS)
 		}
 		return runAdversarial(g, proto, *seed, advPol, advVerts, *maxRounds, initMode, *printMIS)
 	}
@@ -176,12 +210,7 @@ func run(args []string) error {
 		if err := st.VerifyMIS(); err != nil {
 			return err
 		}
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := rec.WriteCSV(f); err != nil {
+		if err := atomicio.WriteFile(*csvPath, rec.WriteCSV); err != nil {
 			return err
 		}
 		mis := st.MISMask()
@@ -191,16 +220,69 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	res, err := core.Run(runCfg)
-	if err != nil {
+	if err := runSupervised(g, proto, *seed, initMode, *maxRounds, sup,
+		[]beep.Option{beep.WithNoise(runCfg.Noise)}, *printMIS); err != nil {
 		return err
-	}
-	fmt.Printf("stabilized: rounds=%d |MIS|=%d (verified)\n", res.Rounds, res.MISSize)
-	if *printMIS {
-		printMask(res.MIS)
 	}
 	if *faults > 0 {
 		return recoverFromFaults(g, proto, *seed, *faults, *maxRounds)
+	}
+	return nil
+}
+
+// supervision carries the crash-safety CLI flags.
+type supervision struct {
+	ckPath     string
+	ckEvery    int
+	resumePath string
+	deadline   time.Duration
+	maxRetries int
+}
+
+// runSupervised is the supervised driver shared by the plain and
+// adversarial paths: one stab.Supervisor run with optional deadline,
+// budget escalation, auto-checkpointing and resume.
+func runSupervised(g *graph.Graph, proto beep.Protocol, seed uint64, initMode core.InitMode,
+	maxRounds int, sup supervision, opts []beep.Option, printMIS bool) error {
+	cfg := stab.SupervisorConfig{
+		Graph: g, Protocol: proto, Seed: seed, Init: initMode,
+		MaxRounds: maxRounds, MaxRetries: sup.maxRetries, Deadline: sup.deadline,
+		CheckpointEvery: sup.ckEvery, CheckpointPath: sup.ckPath,
+		Options: opts,
+	}
+	if sup.resumePath != "" {
+		cp, err := stab.ReadCheckpointFile(sup.resumePath)
+		if err != nil {
+			return err
+		}
+		cfg.Resume = cp
+		fmt.Printf("resuming from %s (round %d)\n", sup.resumePath, cp.Round)
+	}
+	s, err := stab.NewSupervisor(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := s.Run()
+	if err != nil {
+		if sup.ckPath != "" {
+			return fmt.Errorf("%w (the last auto-checkpoint, if any, is at %s; re-run with -resume %s)",
+				err, sup.ckPath, sup.ckPath)
+		}
+		return err
+	}
+	extra := ""
+	if res.Resumed {
+		extra += " resumed"
+	}
+	if res.Attempts > 1 {
+		extra += fmt.Sprintf(" attempts=%d", res.Attempts)
+	}
+	if res.Checkpoints > 0 {
+		extra += fmt.Sprintf(" checkpoints=%d", res.Checkpoints)
+	}
+	fmt.Printf("stabilized: rounds=%d |MIS|=%d (verified)%s\n", res.Rounds, res.MISSize, extra)
+	if printMIS {
+		printMask(res.MIS)
 	}
 	return nil
 }

@@ -32,6 +32,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "root random seed")
 	trials := fs.Int("trials", 0, "override per-cell trial count (0 = default)")
 	jsonOut := fs.Bool("json", false, "emit one JSON document per table/series instead of aligned text")
+	resume := fs.String("resume", "", "manifest file making the sweeps resumable: finished cells are logged (fsynced) as they complete and reused on the next run")
 	list := fs.Bool("list", false, "list the experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +54,14 @@ func run(args []string) error {
 		Trials: *trials,
 		Out:    os.Stdout,
 		JSON:   *jsonOut,
+	}
+	if *resume != "" {
+		m, err := exp.OpenManifest(*resume)
+		if err != nil {
+			return err
+		}
+		defer m.Close()
+		cfg.Manifest = m
 	}
 	if *expID == "all" {
 		return exp.RunAll(cfg)

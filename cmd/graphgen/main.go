@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/atomicio"
 	"repro/internal/famspec"
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -48,30 +49,27 @@ func run(args []string) error {
 		return err
 	}
 
-	var w io.Writer = os.Stdout
+	write := func(w io.Writer) error {
+		switch *format {
+		case "edges":
+			return graph.WriteEdgeList(w, g)
+		case "dot":
+			return graph.WriteDOT(w, g, nil)
+		case "g6":
+			enc, err := graph.EncodeGraph6(g)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintln(w, enc)
+			return err
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
+		// Atomic replace: a killed graphgen never leaves a torn file for
+		// a downstream beepmis -graph to trip over.
+		return atomicio.WriteFile(*outPath, write)
 	}
-	switch *format {
-	case "edges":
-		return graph.WriteEdgeList(w, g)
-	case "dot":
-		return graph.WriteDOT(w, g, nil)
-	case "g6":
-		enc, err := graph.EncodeGraph6(g)
-		if err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintln(w, enc); err != nil {
-			return err
-		}
-		return nil
-	default:
-		return fmt.Errorf("unknown format %q", *format)
-	}
+	return write(os.Stdout)
 }

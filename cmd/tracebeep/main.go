@@ -11,9 +11,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"repro/internal/atomicio"
 	"repro/internal/beep"
 	"repro/internal/core"
 	"repro/internal/famspec"
@@ -158,12 +160,9 @@ func writeSVG(rec *trace.Recorder, net *beep.Network, path string) error {
 		}
 		caps[v] = m.Cap()
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := rec.WriteLevelHeatmapSVG(f, caps, 6); err != nil {
+	if err := atomicio.WriteFile(path, func(w io.Writer) error {
+		return rec.WriteLevelHeatmapSVG(w, caps, 6)
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("heatmap written to %s\n", path)

@@ -1,0 +1,72 @@
+// Package atomicio provides crash-safe file writes for the experiment
+// layer: results, manifests and checkpoints are written to a temporary
+// file in the destination directory, fsynced, and renamed over the
+// target, so a kill at any instant leaves either the complete old file
+// or the complete new file — never a torn one. This is the property the
+// run supervisor's auto-checkpointing and the resumable sweeps rely on:
+// a checkpoint file that exists is always restorable.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The sequence is: create a temporary file next to path (same
+// filesystem, so the rename is atomic), stream the payload into it,
+// fsync the file, close it, rename it over path, and fsync the
+// directory so the rename itself is durable. On any error the
+// temporary file is removed and the target is untouched.
+func WriteFile(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: sync %s: %w", tmpName, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", tmpName, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("atomicio: rename %s: %w", path, err)
+	}
+	err = syncDir(dir)
+	return err
+}
+
+// WriteFileBytes is WriteFile for a ready-made payload.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// syncDir fsyncs a directory so a completed rename survives a crash.
+// Filesystems that refuse to sync directories (some network mounts) are
+// tolerated: the rename is still atomic, only its durability window is
+// wider.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

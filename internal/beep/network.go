@@ -3,6 +3,7 @@ package beep
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -59,6 +60,14 @@ type Network struct {
 	// nil otherwise. See BulkState.
 	bulk any
 
+	// seed is the root seed the network was constructed with, recorded
+	// in checkpoints for provenance.
+	seed uint64
+	// failed poisons the network after a contained machine panic: the
+	// step that produced it stopped mid-phase, so the state is not a
+	// valid round boundary and every later TryStep returns this error.
+	failed *RunError
+
 	workers *workerPool
 	closed  bool
 }
@@ -92,6 +101,7 @@ func NewNetwork(g *graph.Graph, proto Protocol, seed uint64, opts ...Option) (*N
 	n := g.N()
 	net := &Network{
 		g:          g,
+		seed:       seed,
 		proto:      proto,
 		machines:   make([]Machine, n),
 		srcs:       make([]*rng.Source, n),
@@ -211,21 +221,103 @@ func (n *Network) Corrupt(vertices []int) error {
 // Step executes one synchronous round on the configured engine. It
 // panics if the network has been closed: Close is terminal (it tears
 // down the worker goroutines of the concurrent engines), and silently
-// resurrecting a pool after Close hid lifecycle bugs in callers.
+// resurrecting a pool after Close hid lifecycle bugs in callers. If a
+// machine panics inside the round, Step re-panics with the typed
+// *RunError that TryStep would have returned — the barrier and the
+// worker goroutines are already safely parked at that point, so callers
+// that recover the panic keep a functioning process.
 func (n *Network) Step() {
 	if n.closed {
 		panic("beep: Step on closed Network (Close is terminal)")
 	}
+	if err := n.TryStep(); err != nil {
+		panic(err)
+	}
+}
+
+// TryStep executes one synchronous round like Step but converts machine
+// panics into a typed *RunError instead of unwinding: the supervised
+// execution path of stab.Supervisor. It returns ErrClosed on a closed
+// network and the original *RunError on every call after a contained
+// panic (the network is poisoned: the failing phase stopped mid-shard,
+// so the state is not a valid round boundary).
+func (n *Network) TryStep() error {
+	if n.closed {
+		return ErrClosed
+	}
+	if n.failed != nil {
+		return n.failed
+	}
+	var rerr *RunError
 	switch n.engine {
 	case Parallel, PerVertex:
-		n.stepParallel()
+		rerr = n.stepParallel()
 	default:
-		n.stepSequential()
+		rerr = n.stepSequential()
+	}
+	if rerr != nil {
+		n.failed = rerr
+		return rerr
 	}
 	n.round++
 	if n.observer != nil {
 		n.observer(n.round, n.sent, n.heard)
 	}
+	return nil
+}
+
+// Failed returns the contained machine panic that poisoned the network,
+// or nil if every round so far completed.
+func (n *Network) Failed() *RunError { return n.failed }
+
+// emitRange runs the emit phase for vertices [lo, hi), containing
+// machine panics: a panicking Emit is converted into a *RunError naming
+// the vertex and the remaining vertices of the range are skipped. The
+// recovery happens inside this frame, so concurrent-engine workers
+// return normally and still join their barrier.
+func (n *Network) emitRange(lo, hi int) (rerr *RunError) {
+	v := lo
+	defer func() {
+		if r := recover(); r != nil {
+			rerr = &RunError{
+				Vertex: v, Round: n.round + 1, Phase: "emit",
+				Engine: n.engine, Recovered: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	for ; v < hi; v++ {
+		if n.adversarial(v) {
+			n.sent[v] = n.advSent[v]
+			continue
+		}
+		if n.sleeping(v) {
+			n.sent[v] = Silent
+			continue
+		}
+		n.sent[v] = n.machines[v].Emit(n.srcs[v])
+	}
+	return nil
+}
+
+// updateRange runs the update phase for vertices [lo, hi) with the same
+// panic containment as emitRange.
+func (n *Network) updateRange(lo, hi int) (rerr *RunError) {
+	v := lo
+	defer func() {
+		if r := recover(); r != nil {
+			rerr = &RunError{
+				Vertex: v, Round: n.round + 1, Phase: "update",
+				Engine: n.engine, Recovered: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	for ; v < hi; v++ {
+		if n.adversarial(v) || n.sleeping(v) {
+			continue
+		}
+		n.machines[v].Update(n.sent[v], n.heard[v])
+	}
+	return nil
 }
 
 // Run executes rounds until stop returns true or maxRounds rounds have
@@ -245,28 +337,15 @@ func (n *Network) Run(maxRounds int, stop func() bool) (rounds int, ok bool) {
 	return maxRounds, stop == nil
 }
 
-func (n *Network) stepSequential() {
+func (n *Network) stepSequential() *RunError {
 	n.drawSleep()
 	n.drawAdversaries()
-	for v, m := range n.machines {
-		if n.adversarial(v) {
-			n.sent[v] = n.advSent[v]
-			continue
-		}
-		if n.sleeping(v) {
-			n.sent[v] = Silent
-			continue
-		}
-		n.sent[v] = m.Emit(n.srcs[v])
+	if err := n.emitRange(0, n.N()); err != nil {
+		return err
 	}
 	n.deliverRange(0, n.N())
 	n.applyNoise()
-	for v, m := range n.machines {
-		if n.adversarial(v) || n.sleeping(v) {
-			continue
-		}
-		m.Update(n.sent[v], n.heard[v])
-	}
+	return n.updateRange(0, n.N())
 }
 
 // deliverRange computes heard[v] for v in [lo, hi): the OR of neighbor
@@ -329,6 +408,12 @@ type workerPool struct {
 
 	pending atomic.Int32  // workers that have not yet joined the barrier
 	done    chan struct{} // signaled by the last worker to join
+
+	// failed records the first contained machine panic of the current
+	// phase. Workers recover before joining the barrier, so a panicking
+	// vertex never orphans the barrier; the coordinator collects the
+	// error after the phase completes on every shard.
+	failed atomic.Pointer[RunError]
 }
 
 const (
@@ -374,25 +459,14 @@ func (p *workerPool) worker(i int) {
 
 		switch phase {
 		case phaseEmit:
-			for v := lo; v < hi; v++ {
-				if net.adversarial(v) {
-					net.sent[v] = net.advSent[v]
-					continue
-				}
-				if net.sleeping(v) {
-					net.sent[v] = Silent
-					continue
-				}
-				net.sent[v] = net.machines[v].Emit(net.srcs[v])
+			if err := net.emitRange(lo, hi); err != nil {
+				p.failed.CompareAndSwap(nil, err)
 			}
 		case phaseDeliver:
 			net.deliverRange(lo, hi)
 		case phaseUpdate:
-			for v := lo; v < hi; v++ {
-				if net.adversarial(v) || net.sleeping(v) {
-					continue
-				}
-				net.machines[v].Update(net.sent[v], net.heard[v])
+			if err := net.updateRange(lo, hi); err != nil {
+				p.failed.CompareAndSwap(nil, err)
 			}
 		}
 
@@ -426,11 +500,21 @@ func (p *workerPool) close() {
 	p.runPhase(phaseExit)
 }
 
-func (n *Network) stepParallel() {
+// takeError collects (and clears) the first contained panic of the
+// phase that just completed.
+func (p *workerPool) takeError() *RunError {
+	return p.failed.Swap(nil)
+}
+
+func (n *Network) stepParallel() *RunError {
 	n.drawSleep()
 	n.drawAdversaries()
 	n.workers.runPhase(phaseEmit)
+	if err := n.workers.takeError(); err != nil {
+		return err
+	}
 	n.workers.runPhase(phaseDeliver)
 	n.applyNoise()
 	n.workers.runPhase(phaseUpdate)
+	return n.workers.takeError()
 }

@@ -1,0 +1,172 @@
+package beep
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// panicProtocol builds machines that run normally except for one vertex
+// whose chosen phase panics at a chosen round: the fault-injection
+// vehicle for the engine-containment tests.
+type panicProtocol struct {
+	vertex int
+	round  int64
+	phase  string // "emit" or "update"
+}
+
+func (p panicProtocol) Channels() int { return 1 }
+func (p panicProtocol) NewMachine(v int, _ *graph.Graph) Machine {
+	return &panicMachine{proto: p, vertex: v}
+}
+
+type panicMachine struct {
+	proto  panicProtocol
+	vertex int
+	rounds int64
+}
+
+func (m *panicMachine) Emit(src *rng.Source) Signal {
+	if m.proto.phase == "emit" && m.vertex == m.proto.vertex && m.rounds+1 == m.proto.round {
+		panic("injected emit fault")
+	}
+	if src.Coin() {
+		return Chan1
+	}
+	return Silent
+}
+
+func (m *panicMachine) Update(sent, _ Signal) {
+	m.rounds++
+	if m.proto.phase == "update" && m.vertex == m.proto.vertex && m.rounds == m.proto.round {
+		panic("injected update fault")
+	}
+}
+
+func (m *panicMachine) Randomize(src *rng.Source) { m.rounds = int64(src.Intn(3)) }
+
+func (m *panicMachine) EncodeState() []int64 { return []int64{m.rounds} }
+func (m *panicMachine) DecodeState(s []int64) error {
+	if len(s) != 1 {
+		return errors.New("bad state")
+	}
+	m.rounds = s[0]
+	return nil
+}
+
+// TestEnginePanicContainment injects a machine whose Step panics at a
+// known (vertex, round, phase) on each engine and asserts: TryStep
+// returns a typed *RunError naming the failure, the error is sticky,
+// Close neither deadlocks nor panics (the sense-reversing barrier was
+// not orphaned), and a subsequent network on the same protocol value
+// runs unaffected.
+func TestEnginePanicContainment(t *testing.T) {
+	g := graph.GNP(25, 0.2, rng.New(6))
+	for _, engine := range []Engine{Sequential, Parallel, PerVertex} {
+		for _, phase := range []string{"emit", "update"} {
+			t.Run(engine.String()+"/"+phase, func(t *testing.T) {
+				proto := panicProtocol{vertex: 13, round: 4, phase: phase}
+				net, err := NewNetwork(g, proto, 1, WithEngine(engine))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				var stepErr error
+				for r := 1; r <= 10; r++ {
+					if stepErr = net.TryStep(); stepErr != nil {
+						break
+					}
+				}
+				var rerr *RunError
+				if !errors.As(stepErr, &rerr) {
+					t.Fatalf("%v: got %v, want *RunError", engine, stepErr)
+				}
+				if rerr.Vertex != 13 || rerr.Round != 4 || rerr.Phase != phase || rerr.Engine != engine {
+					t.Fatalf("RunError = vertex %d round %d phase %q engine %v, want 13/4/%q/%v",
+						rerr.Vertex, rerr.Round, rerr.Phase, rerr.Engine, phase, engine)
+				}
+				if rerr.Recovered != "injected "+phase+" fault" {
+					t.Fatalf("recovered value %v", rerr.Recovered)
+				}
+				if len(rerr.Stack) == 0 {
+					t.Fatal("no stack captured")
+				}
+
+				// Sticky: the poisoned network refuses further rounds.
+				if err := net.TryStep(); err != rerr {
+					t.Fatalf("second TryStep returned %v, want the original *RunError", err)
+				}
+				if net.Failed() != rerr {
+					t.Fatalf("Failed() = %v, want the original *RunError", net.Failed())
+				}
+				// Checkpointing a mid-phase torso is refused.
+				if _, err := net.Checkpoint(); err == nil {
+					t.Fatal("checkpoint of a failed network accepted")
+				}
+
+				// Close must return promptly: the panicking worker joined
+				// the barrier before unwinding, so the pool is intact.
+				closed := make(chan struct{})
+				go func() { net.Close(); close(closed) }()
+				select {
+				case <-closed:
+				case <-time.After(5 * time.Second):
+					t.Fatalf("%v: Close deadlocked after a contained panic", engine)
+				}
+
+				// A fresh network on a healthy configuration of the same
+				// shape is unaffected by the earlier failure.
+				clean, err := NewNetwork(g, panicProtocol{vertex: -1}, 2, WithEngine(engine))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer clean.Close()
+				for r := 0; r < 10; r++ {
+					if err := clean.TryStep(); err != nil {
+						t.Fatalf("clean network failed: %v", err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestStepPanicsTyped pins the legacy Step contract: a machine panic
+// propagates, but as the typed *RunError, after the barrier has safely
+// completed.
+func TestStepPanicsTyped(t *testing.T) {
+	g := graph.Path(4)
+	net, err := NewNetwork(g, panicProtocol{vertex: 2, round: 1, phase: "emit"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	defer func() {
+		r := recover()
+		rerr, ok := r.(*RunError)
+		if !ok {
+			t.Fatalf("Step panicked with %T (%v), want *RunError", r, r)
+		}
+		if rerr.Vertex != 2 || rerr.Phase != "emit" {
+			t.Fatalf("unexpected RunError %v", rerr)
+		}
+	}()
+	net.Step()
+	t.Fatal("Step did not panic")
+}
+
+// TestTryStepClosed pins the TryStep error on a closed network (Step
+// keeps its terminal panic).
+func TestTryStepClosed(t *testing.T) {
+	net, err := NewNetwork(graph.Path(3), panicProtocol{vertex: -1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Close()
+	if err := net.TryStep(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TryStep on closed network: %v, want ErrClosed", err)
+	}
+}

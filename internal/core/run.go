@@ -117,15 +117,17 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	defer net.Close()
 
-	if err := applyInit(net, cfg.Init); err != nil {
+	if err := ApplyInit(net, cfg.Init); err != nil {
 		return nil, err
 	}
 	return runToStabilization(net, cfg.MaxRounds, cfg.CheckEvery)
 }
 
-// applyInit installs the initial configuration on a freshly built
-// network whose machines implement Leveled.
-func applyInit(net *beep.Network, mode InitMode) error {
+// ApplyInit installs the initial configuration on a freshly built
+// network whose machines implement Leveled. It is exported for the
+// drivers (stab.Supervisor, cmd/beepmis) that build networks directly
+// but must match core.Run's initial-configuration semantics exactly.
+func ApplyInit(net *beep.Network, mode InitMode) error {
 	switch mode {
 	case InitFresh, 0:
 		// Machines already start at ℓmax.

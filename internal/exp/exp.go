@@ -25,6 +25,12 @@ type Config struct {
 	// JSON switches output from aligned text to one JSON document per
 	// table/series.
 	JSON bool
+	// Manifest, when non-nil, makes the sweeps resumable: finished
+	// cells are recorded (and fsynced) as they complete, and cells
+	// already on record are reused instead of recomputed. Because cell
+	// seeds are derived from (seed, experiment, n, trial), a resumed
+	// sweep's numbers are identical to an uninterrupted one's.
+	Manifest *Manifest
 }
 
 // trials returns the effective trial count.
@@ -84,6 +90,7 @@ func registry() []Experiment {
 		{ID: "E14", Title: "Availability under recurring faults", Description: "fraction of legal rounds when faults arrive on a fixed period", Run: RunE14},
 		{ID: "E15", Title: "Topology churn storms", Description: "re-stabilization, availability and repair locality under live rewiring (flap/growth/crash/partition-heal)", Run: RunE15},
 		{ID: "E16", Title: "Adversarial beepers", Description: "correct-subgraph MIS quality vs adversary count, placement and policy (jammer/mute)", Run: RunE16},
+		{ID: "E17", Title: "Chaos kill–resume certification", Description: "randomized kills resumed from integrity-checked checkpoints must replay bit-exact across engines and fault regimes", Run: RunE17},
 	}
 }
 

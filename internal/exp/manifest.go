@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Manifest is the crash-safe completion log of a sweep: one JSON line
+// per finished measurement cell, fsynced as it is recorded. A killed
+// sweep re-run with the same manifest skips every cell already on disk
+// and recomputes only the missing ones — with identical results, since
+// cell seeds are derived, not drawn from shared state.
+//
+// The file format is append-only JSON lines. On open, a torn tail (a
+// partial line from a crash mid-write) is detected and truncated away,
+// so the manifest a crashed process left behind is always loadable.
+type Manifest struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string][]float64
+}
+
+// CellKey identifies one sweep cell across process restarts. Every
+// field participates: changing the experiment, family, size, trial
+// count or root seed invalidates the cached measurement.
+type CellKey struct {
+	Exp    uint64 `json:"exp"`
+	Family string `json:"family"`
+	N      int    `json:"n"`
+	Trials int    `json:"trials"`
+	Seed   uint64 `json:"seed"`
+}
+
+// manifestLine is the on-disk record.
+type manifestLine struct {
+	CellKey
+	Rounds []float64 `json:"rounds"`
+}
+
+// id renders the key's canonical map form.
+func (k CellKey) id() string {
+	return fmt.Sprintf("%d|%s|%d|%d|%d", k.Exp, k.Family, k.N, k.Trials, k.Seed)
+}
+
+// OpenManifest opens (creating if needed) a manifest file, loads every
+// complete record, and truncates a torn tail so subsequent appends
+// produce a well-formed file.
+func OpenManifest(path string) (*Manifest, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("exp: open manifest: %w", err)
+	}
+	m := &Manifest{f: f, done: make(map[string][]float64)}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("exp: read manifest: %w", err)
+	}
+	valid := int64(0) // byte offset after the last complete, parseable line
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	off := int64(0)
+	for sc.Scan() {
+		line := sc.Bytes()
+		lineEnd := off + int64(len(line)) + 1 // +1 for the newline
+		if lineEnd > int64(len(data)) {
+			break // final line has no newline: torn
+		}
+		var rec manifestLine
+		if len(bytes.TrimSpace(line)) == 0 {
+			valid = lineEnd
+			off = lineEnd
+			continue
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // corrupt record: drop it and everything after
+		}
+		m.done[rec.id()] = rec.Rounds
+		valid = lineEnd
+		off = lineEnd
+	}
+	if valid < int64(len(data)) {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("exp: truncate torn manifest tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("exp: seek manifest: %w", err)
+	}
+	return m, nil
+}
+
+// Lookup returns the recorded measurements of a completed cell.
+func (m *Manifest) Lookup(key CellKey) ([]float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.done[key.id()]
+	return r, ok
+}
+
+// Len reports the number of completed cells on record.
+func (m *Manifest) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.done)
+}
+
+// Record appends one completed cell and fsyncs, so the record survives
+// a crash the instant Record returns.
+func (m *Manifest) Record(key CellKey, rounds []float64) error {
+	line, err := json.Marshal(manifestLine{CellKey: key, Rounds: rounds})
+	if err != nil {
+		return fmt.Errorf("exp: encode manifest record: %w", err)
+	}
+	line = append(line, '\n')
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.f.Write(line); err != nil {
+		return fmt.Errorf("exp: append manifest record: %w", err)
+	}
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("exp: sync manifest: %w", err)
+	}
+	m.done[key.id()] = rounds
+	return nil
+}
+
+// Close releases the manifest file.
+func (m *Manifest) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return nil
+	}
+	err := m.f.Close()
+	m.f = nil
+	return err
+}

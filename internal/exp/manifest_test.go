@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/beep"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestManifestRoundtripAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.manifest")
+	m, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := CellKey{Exp: 1, Family: "cycle", N: 64, Trials: 3, Seed: 7}
+	k2 := CellKey{Exp: 1, Family: "torus", N: 64, Trials: 3, Seed: 7}
+	if _, ok := m.Lookup(k1); ok {
+		t.Fatal("empty manifest has records")
+	}
+	if err := m.Record(k1, []float64{10, 12, 11}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Record(k2, []float64{20, 22, 21}); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	m2, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if m2.Len() != 2 {
+		t.Fatalf("reopened manifest has %d records, want 2", m2.Len())
+	}
+	got, ok := m2.Lookup(k1)
+	if !ok || len(got) != 3 || got[0] != 10 || got[2] != 11 {
+		t.Fatalf("k1 lookup: %v %v", got, ok)
+	}
+	// A different key must miss: changing any field invalidates.
+	for _, k := range []CellKey{
+		{Exp: 2, Family: "cycle", N: 64, Trials: 3, Seed: 7},
+		{Exp: 1, Family: "cycle", N: 128, Trials: 3, Seed: 7},
+		{Exp: 1, Family: "cycle", N: 64, Trials: 5, Seed: 7},
+		{Exp: 1, Family: "cycle", N: 64, Trials: 3, Seed: 8},
+	} {
+		if _, ok := m2.Lookup(k); ok {
+			t.Fatalf("mismatched key %+v hit the cache", k)
+		}
+	}
+}
+
+func TestManifestToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.manifest")
+	m, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := CellKey{Exp: 3, Family: "gnp-avg8", N: 256, Trials: 2, Seed: 1}
+	if err := m.Record(k, []float64{33, 35}); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	// Simulate a crash mid-append: a partial JSON line with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"exp":3,"family":"gnp-avg8","n":512,"tri`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m2, err := OpenManifest(path)
+	if err != nil {
+		t.Fatalf("torn manifest rejected: %v", err)
+	}
+	if m2.Len() != 1 {
+		t.Fatalf("torn manifest loaded %d records, want 1", m2.Len())
+	}
+	if _, ok := m2.Lookup(k); !ok {
+		t.Fatal("intact record lost with the torn tail")
+	}
+	// Appending after the truncation must yield a well-formed file.
+	k2 := CellKey{Exp: 3, Family: "gnp-avg8", N: 512, Trials: 2, Seed: 1}
+	if err := m2.Record(k2, []float64{40, 41}); err != nil {
+		t.Fatal(err)
+	}
+	m2.Close()
+	m3, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m3.Close()
+	if m3.Len() != 2 {
+		t.Fatalf("post-repair manifest has %d records, want 2", m3.Len())
+	}
+}
+
+func TestSweepCellResumesFromManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.manifest")
+	m, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	spec := sweepSpec{
+		expID: 99,
+		sizes: []int{16},
+		trials: 2,
+		protoFor: func(*graph.Graph) beep.Protocol {
+			return core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))
+		},
+		init: core.InitRandom,
+	}
+	cyc := standardFamilies()[0] // cycle
+	cfg := Config{Seed: 5, Manifest: m}
+
+	first, err := spec.sweepCell(cfg, cyc, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CellKey{Exp: 99, Family: cyc.name, N: 16, Trials: 2, Seed: 5}
+	if _, ok := m.Lookup(key); !ok {
+		t.Fatal("completed cell not recorded")
+	}
+
+	// Poison the cache: if the second run recomputes instead of reusing
+	// the manifest, it will not see these values.
+	poisoned := []float64{-1, -2}
+	if err := m.Record(key, poisoned); err != nil {
+		t.Fatal(err)
+	}
+	second, err := spec.sweepCell(cfg, cyc, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[0] != -1 || second[1] != -2 {
+		t.Fatalf("sweepCell recomputed (%v) instead of resuming from the manifest", second)
+	}
+	// Without a manifest the cell recomputes and matches the original
+	// measurement (derived seeds, no shared state).
+	recomputed, err := spec.sweepCell(Config{Seed: 5}, cyc, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recomputed[0] != first[0] || recomputed[1] != first[1] {
+		t.Fatalf("recomputed cell %v differs from first run %v", recomputed, first)
+	}
+}

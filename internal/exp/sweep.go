@@ -30,6 +30,12 @@ type sweepSpec struct {
 // concurrently: each derives its own seeds, so the recorded rounds are
 // identical to a sequential execution.
 func (s sweepSpec) sweepCell(cfg Config, fam familyGen, n int) ([]float64, error) {
+	key := CellKey{Exp: s.expID, Family: fam.name, N: n, Trials: s.trials, Seed: cfg.Seed}
+	if cfg.Manifest != nil {
+		if cached, ok := cfg.Manifest.Lookup(key); ok && len(cached) == s.trials {
+			return cached, nil
+		}
+	}
 	rounds := make([]float64, s.trials)
 	err := runTrials(s.trials, func(trial int) error {
 		gseed := cellSeed(cfg.Seed, s.expID, uint64(n), uint64(trial), 1)
@@ -48,6 +54,11 @@ func (s sweepSpec) sweepCell(cfg Config, fam familyGen, n int) ([]float64, error
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Manifest != nil {
+		if err := cfg.Manifest.Record(key, rounds); err != nil {
+			return nil, err
+		}
 	}
 	return rounds, nil
 }

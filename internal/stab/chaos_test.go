@@ -1,0 +1,142 @@
+package stab
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/beep"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// chaosScenarios builds the three fault families of the kill–resume
+// acceptance matrix: noisy+sleepy, adversarial, and churning (the churn
+// one also carries an adversary so policy remapping through Rewire is
+// exercised on the resume path).
+func chaosScenarios(t *testing.T) []ChaosScenario {
+	t.Helper()
+	noise := ChaosScenario{
+		Name:     "noise",
+		Graph:    graph.GNPAvgDegree(32, 4, rng.New(31)),
+		Protocol: testProto(),
+		Seed:     101,
+		Noise:    beep.Noise{PLoss: 0.05, PFalse: 0.02},
+		Sleep:    beep.Sleep{P: 0.02},
+		Rounds:   60,
+	}
+	adv := ChaosScenario{
+		Name:        "adversaries",
+		Graph:       graph.GNPAvgDegree(32, 4, rng.New(32)),
+		Protocol:    testProto(),
+		Seed:        102,
+		AdvPolicy:   beep.AdvBabbler,
+		AdvVertices: []int{1, 5, 9},
+		Rounds:      60,
+	}
+	churn := ChaosScenario{
+		Name:        "churn",
+		Graph:       graph.Cycle(20),
+		Protocol:    testProto(),
+		Seed:        103,
+		AdvPolicy:   beep.AdvBabbler,
+		AdvVertices: []int{2},
+		Rounds:      60,
+		Churn: []ChaosChurn{
+			{AfterRound: 15, Event: graph.ChurnEvent{Label: "grow", Edits: []graph.Edit{
+				{Kind: graph.EditDelEdge, U: 0, V: 1},
+				{Kind: graph.EditAddVertex},
+				{Kind: graph.EditAddEdge, U: 20, V: 0},
+				{Kind: graph.EditAddEdge, U: 20, V: 1},
+			}}},
+			{AfterRound: 30, Event: graph.ChurnEvent{Label: "crash", Edits: []graph.Edit{
+				{Kind: graph.EditDelVertex, U: 5},
+			}}},
+			{AfterRound: 45, Event: graph.ChurnEvent{Label: "join", Edits: []graph.Edit{
+				{Kind: graph.EditAddVertex},
+				{Kind: graph.EditAddEdge, U: 20, V: 2},
+				{Kind: graph.EditAddEdge, U: 20, V: 7},
+			}}},
+		},
+	}
+	return []ChaosScenario{noise, adv, churn}
+}
+
+// TestChaosKillResume is the acceptance gate of the crash-safety work:
+// ≥ 200 randomized kill points across {noise, adversaries, churn} ×
+// {sequential, parallel, per-vertex} must all resume from their last
+// auto-checkpoint with bit-exact trace equivalence against the
+// uninterrupted execution.
+func TestChaosKillResume(t *testing.T) {
+	const killsPerCombo = 23
+	engines := []beep.Engine{beep.Sequential, beep.Parallel, beep.PerVertex}
+	src := rng.New(4242)
+	total, combo := 0, 0
+	for _, base := range chaosScenarios(t) {
+		for _, e := range engines {
+			combo++
+			s := base
+			s.Engine = e
+			s.Name = fmt.Sprintf("%s/%v", base.Name, e)
+			rep, err := RunChaos(s, killsPerCombo, src.Split(uint64(combo)))
+			if err != nil {
+				t.Fatalf("%s: %v (after %d/%d kills)", s.Name, err, rep.Resumes, rep.Kills)
+			}
+			if rep.Resumes != rep.Kills {
+				t.Fatalf("%s: %d/%d kills resumed bit-exact", s.Name, rep.Resumes, rep.Kills)
+			}
+			if rep.MinKillRound < 1 || rep.MaxKillRound >= base.Rounds {
+				t.Fatalf("%s: kill rounds [%d,%d] out of range", s.Name, rep.MinKillRound, rep.MaxKillRound)
+			}
+			total += rep.Kills
+		}
+	}
+	if total < 200 {
+		t.Fatalf("only %d kill points exercised, want >= 200", total)
+	}
+}
+
+// TestChaosDetectsForgottenAdversaries is a self-test of the harness:
+// resuming an adversarial execution into a network whose checkpoint has
+// the adversary table stripped must NOT pass the bit-exact comparison —
+// otherwise the 200-kill campaign proves nothing.
+func TestChaosDetectsForgottenAdversaries(t *testing.T) {
+	s := ChaosScenario{
+		Name:        "self-test",
+		Graph:       graph.GNPAvgDegree(24, 4, rng.New(33)),
+		Protocol:    testProto(),
+		Seed:        104,
+		AdvPolicy:   beep.AdvBabbler,
+		AdvVertices: []int{0, 3},
+		Rounds:      40,
+	}
+	ref, err := runPass(&s, chaosPass{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash, err := runPass(&s, chaosPass{stopAfter: 20, ckEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := crash.lastCP
+	if cp == nil || cp.Round != 20 {
+		t.Fatalf("no checkpoint at round 20: %+v", cp)
+	}
+	// Strip the adversaries and re-seal so only the forgotten-state
+	// effect (not the integrity hash) is under test.
+	cp.Adversaries = nil
+	cp.Seal()
+	resumed, err := runPass(&s, chaosPass{resume: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := false
+	for r := cp.Round + 1; r <= s.Rounds; r++ {
+		if resumed.hashes[r] != ref.hashes[r] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("stripping adversary state from the checkpoint went unnoticed; the harness is blind")
+	}
+}

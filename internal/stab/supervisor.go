@@ -1,0 +1,285 @@
+package stab
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/atomicio"
+	"repro/internal/beep"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Supervision errors, distinguishable with errors.Is.
+var (
+	// ErrDeadline reports that an attempt exceeded its wall-clock
+	// deadline.
+	ErrDeadline = errors.New("stab: wall-clock deadline exceeded")
+	// ErrBudget reports that the final attempt exhausted its round
+	// budget without stabilizing.
+	ErrBudget = errors.New("stab: round budget exhausted without stabilization")
+)
+
+// SupervisorConfig describes a supervised run: one execution of a core
+// protocol to stabilization, wrapped with the crash-safety machinery a
+// long robustness campaign needs — wall-clock deadlines, round-budget
+// watchdogs, contained machine panics, bounded retries with budget
+// escalation, and integrity-checked auto-checkpointing.
+type SupervisorConfig struct {
+	Graph    *graph.Graph
+	Protocol beep.Protocol
+	Seed     uint64
+	// Init selects the initial configuration (default InitRandom, the
+	// self-stabilization regime). Ignored when Resume is set: a resumed
+	// run continues from the checkpointed state.
+	Init   core.InitMode
+	Engine beep.Engine
+	// Options are extra network options (noise, sleep, adversaries).
+	Options []beep.Option
+
+	// MaxRounds is the round budget of the FIRST attempt; 0 selects the
+	// default budget for the graph. Attempts that exhaust it are
+	// extended (not restarted) with an escalated budget — re-running
+	// the same seed from the same configuration would deterministically
+	// fail again, whereas more rounds can succeed.
+	MaxRounds int
+	// MaxRetries bounds the number of budget escalations after the
+	// first attempt (default 0: one attempt).
+	MaxRetries int
+	// EscalateFactor multiplies the round budget (and the deadline) on
+	// each retry; values < 1 (including 0) default to 2.
+	EscalateFactor float64
+	// Deadline bounds each attempt's wall-clock time; 0 disables the
+	// watchdog. The deadline is checked between rounds: rounds are
+	// short, and interrupting a round would tear the engine state.
+	Deadline time.Duration
+
+	// CheckpointEvery auto-checkpoints the execution every K rounds
+	// (0 disables). Checkpoints are sealed with the integrity hash and,
+	// when CheckpointPath is set, written atomically (temp + fsync +
+	// rename), so a kill mid-write leaves the previous checkpoint
+	// intact.
+	CheckpointEvery int
+	// CheckpointPath is the file auto-checkpoints are written to.
+	CheckpointPath string
+
+	// Resume, when non-nil, restores this checkpoint instead of
+	// applying Init: the execution continues exactly where it stopped.
+	Resume *beep.Checkpoint
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// SupervisorResult reports a supervised run.
+type SupervisorResult struct {
+	// Rounds is the network's round counter at stabilization — for a
+	// resumed run this includes the rounds executed before the
+	// checkpoint, so it is comparable across interrupted and
+	// uninterrupted executions.
+	Rounds int
+	// MIS and MISSize describe the verified stabilized set (masked to
+	// the correct induced subgraph when adversaries are installed).
+	MIS     []bool
+	MISSize int
+	// Attempts counts budget episodes (1 = no escalation was needed).
+	Attempts int
+	// Resumed reports whether the run started from a checkpoint.
+	Resumed bool
+	// Checkpoints counts the auto-checkpoints taken.
+	Checkpoints int
+	// LastCheckpoint is the most recent auto-checkpoint (nil if none
+	// was taken), so callers can chain supervision without re-reading
+	// the file.
+	LastCheckpoint *beep.Checkpoint
+}
+
+// Supervisor wraps one run with deadlines, watchdogs, panic containment
+// and checkpointing. Build with NewSupervisor, execute with Run.
+type Supervisor struct {
+	cfg SupervisorConfig
+}
+
+// NewSupervisor validates the configuration.
+func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
+	if cfg.Graph == nil || cfg.Protocol == nil {
+		return nil, fmt.Errorf("stab: supervisor needs a graph and a protocol")
+	}
+	if cfg.MaxRounds < 0 || cfg.MaxRetries < 0 || cfg.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("stab: negative supervisor budget (maxRounds=%d maxRetries=%d checkpointEvery=%d)",
+			cfg.MaxRounds, cfg.MaxRetries, cfg.CheckpointEvery)
+	}
+	if cfg.Deadline < 0 {
+		return nil, fmt.Errorf("stab: negative deadline %v", cfg.Deadline)
+	}
+	if cfg.EscalateFactor < 1 {
+		cfg.EscalateFactor = 2
+	}
+	if cfg.Init == 0 {
+		cfg.Init = core.InitRandom
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	return &Supervisor{cfg: cfg}, nil
+}
+
+// ReadCheckpointFile loads and validates a checkpoint file written by a
+// supervised run (or WriteCheckpointFile).
+func ReadCheckpointFile(path string) (*beep.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("stab: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	return beep.ReadCheckpoint(f)
+}
+
+// WriteCheckpointFile atomically persists a checkpoint.
+func WriteCheckpointFile(path string, c *beep.Checkpoint) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return beep.WriteCheckpoint(w, c)
+	})
+}
+
+// Run executes the supervised run. The outcome is one of:
+//
+//   - success: the network stabilized (legality verified on the correct
+//     induced subgraph) within some attempt's budget and deadline;
+//   - *beep.RunError (wrapped): a machine panicked; the panic was
+//     contained by the engine, the barrier survived, and the error
+//     names the vertex, round and phase. Retries do not apply — the
+//     same deterministic execution would panic again;
+//   - ErrBudget / ErrDeadline (wrapped): every attempt, including
+//     MaxRetries budget escalations, was exhausted. The last
+//     auto-checkpoint (if any) has been persisted, so a later run can
+//     resume instead of restarting.
+func (s *Supervisor) Run() (*SupervisorResult, error) {
+	cfg := s.cfg
+	net, err := beep.NewNetwork(cfg.Graph, cfg.Protocol, cfg.Seed,
+		append([]beep.Option{beep.WithEngine(engineOrDefault(cfg.Engine))}, cfg.Options...)...)
+	if err != nil {
+		return nil, fmt.Errorf("stab: %w", err)
+	}
+	defer net.Close()
+
+	res := &SupervisorResult{}
+	if cfg.Resume != nil {
+		if err := net.Restore(cfg.Resume); err != nil {
+			return nil, fmt.Errorf("stab: resume: %w", err)
+		}
+		res.Resumed = true
+	} else if err := core.ApplyInit(net, cfg.Init); err != nil {
+		return nil, fmt.Errorf("stab: %w", err)
+	}
+
+	var probe core.State
+	excludeAdversaries(&probe, net)
+	stabilized := func() (bool, error) {
+		if err := probe.Refresh(net); err != nil {
+			return false, err
+		}
+		return probe.Stabilized(), nil
+	}
+
+	budget := cfg.MaxRounds
+	if budget <= 0 {
+		budget = defaultBudget(cfg.Graph.N())
+	}
+	deadline := cfg.Deadline
+
+	checkpoint := func() error {
+		cp, err := net.Checkpoint()
+		if err != nil {
+			return fmt.Errorf("stab: auto-checkpoint: %w", err)
+		}
+		if cfg.CheckpointPath != "" {
+			if err := WriteCheckpointFile(cfg.CheckpointPath, cp); err != nil {
+				return fmt.Errorf("stab: auto-checkpoint: %w", err)
+			}
+		}
+		res.Checkpoints++
+		res.LastCheckpoint = cp
+		return nil
+	}
+
+	finish := func() (*SupervisorResult, error) {
+		if err := probe.Refresh(net); err != nil {
+			return nil, err
+		}
+		if err := probe.VerifyMIS(); err != nil {
+			return nil, fmt.Errorf("stab: stabilized illegally: %w", err)
+		}
+		res.Rounds = net.Round()
+		res.MIS = probe.MISMask()
+		res.MISSize = 0
+		for _, in := range res.MIS {
+			if in {
+				res.MISSize++
+			}
+		}
+		return res, nil
+	}
+
+	// A resumed or already-legal configuration costs zero rounds.
+	if ok, err := stabilized(); err == nil && ok {
+		res.Attempts = 1
+		return finish()
+	}
+
+	for attempt := 0; ; attempt++ {
+		res.Attempts = attempt + 1
+		start := cfg.now()
+		for r := 0; r < budget; r++ {
+			if err := net.TryStep(); err != nil {
+				var rerr *beep.RunError
+				if errors.As(err, &rerr) {
+					return nil, fmt.Errorf("stab: contained machine panic (attempt %d): %w", attempt+1, rerr)
+				}
+				return nil, fmt.Errorf("stab: %w", err)
+			}
+			if cfg.CheckpointEvery > 0 && net.Round()%cfg.CheckpointEvery == 0 {
+				if err := checkpoint(); err != nil {
+					return nil, err
+				}
+			}
+			ok, err := stabilized()
+			if err != nil {
+				return nil, fmt.Errorf("stab: %w", err)
+			}
+			if ok {
+				return finish()
+			}
+			if deadline > 0 && cfg.now().Sub(start) > deadline {
+				if attempt >= cfg.MaxRetries {
+					return nil, fmt.Errorf("%w: attempt %d ran %v (budget %v) at round %d on %s",
+						ErrDeadline, attempt+1, cfg.now().Sub(start), deadline, net.Round(), net.Graph().Name())
+				}
+				break // escalate
+			}
+		}
+		if attempt >= cfg.MaxRetries {
+			return nil, fmt.Errorf("%w: %d attempt(s), final budget %d rounds, round %d on %s",
+				ErrBudget, attempt+1, budget, net.Round(), net.Graph().Name())
+		}
+		// Escalate: extend the SAME execution with a larger budget (and
+		// proportionally more wall-clock) — deterministic replay of a
+		// failed attempt cannot succeed, continuation can.
+		budget = int(float64(budget) * cfg.EscalateFactor)
+		if budget < 1 {
+			budget = 1
+		}
+		deadline = time.Duration(float64(deadline) * cfg.EscalateFactor)
+	}
+}
+
+// engineOrDefault maps the zero Engine to Sequential.
+func engineOrDefault(e beep.Engine) beep.Engine {
+	if e == 0 {
+		return beep.Sequential
+	}
+	return e
+}

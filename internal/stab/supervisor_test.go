@@ -1,0 +1,263 @@
+package stab
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/beep"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.GNPAvgDegree(48, 5, rng.New(21))
+}
+
+func testProto() beep.Protocol {
+	return core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))
+}
+
+func TestSupervisorPlainRunMatchesCoreRun(t *testing.T) {
+	g := testGraph(t)
+	ref, err := core.Run(core.RunConfig{Graph: g, Protocol: testProto(), Seed: 9, Init: core.InitRandom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := NewSupervisor(SupervisorConfig{Graph: g, Protocol: testProto(), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sup.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != ref.Rounds || res.MISSize != ref.MISSize {
+		t.Fatalf("supervised run (rounds=%d mis=%d) differs from core.Run (rounds=%d mis=%d)",
+			res.Rounds, res.MISSize, ref.Rounds, ref.MISSize)
+	}
+	for v := range res.MIS {
+		if res.MIS[v] != ref.MIS[v] {
+			t.Fatalf("MIS differs at vertex %d", v)
+		}
+	}
+	if res.Attempts != 1 || res.Resumed {
+		t.Fatalf("attempts=%d resumed=%v, want 1/false", res.Attempts, res.Resumed)
+	}
+}
+
+func TestSupervisorBudgetEscalation(t *testing.T) {
+	g := testGraph(t)
+	// A 2-round budget cannot stabilize; with enough doublings it must.
+	sup, err := NewSupervisor(SupervisorConfig{
+		Graph: g, Protocol: testProto(), Seed: 9,
+		MaxRounds: 2, MaxRetries: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sup.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts < 2 {
+		t.Fatalf("stabilized with %d attempts on a 2-round budget; escalation never ran", res.Attempts)
+	}
+	// The escalated run is the SAME execution extended, so the final
+	// round count matches the uninterrupted one.
+	ref, err := core.Run(core.RunConfig{Graph: g, Protocol: testProto(), Seed: 9, Init: core.InitRandom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != ref.Rounds {
+		t.Fatalf("escalated run stabilized at round %d, uninterrupted at %d", res.Rounds, ref.Rounds)
+	}
+}
+
+func TestSupervisorBudgetExhaustion(t *testing.T) {
+	g := testGraph(t)
+	sup, err := NewSupervisor(SupervisorConfig{
+		Graph: g, Protocol: testProto(), Seed: 9,
+		MaxRounds: 1, MaxRetries: 1, // 1 + 2 rounds: hopeless
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sup.Run(); !errors.Is(err, ErrBudget) {
+		t.Fatalf("got %v, want ErrBudget", err)
+	}
+}
+
+func TestSupervisorDeadline(t *testing.T) {
+	g := testGraph(t)
+	// A fake clock that jumps 1 hour per reading forces an immediate
+	// deadline trip regardless of machine speed.
+	tick := time.Now()
+	cfg := SupervisorConfig{
+		Graph: g, Protocol: testProto(), Seed: 9,
+		Deadline: time.Minute,
+		now: func() time.Time {
+			tick = tick.Add(time.Hour)
+			return tick
+		},
+	}
+	sup, err := NewSupervisor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sup.Run(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("got %v, want ErrDeadline", err)
+	}
+}
+
+func TestSupervisorContainsPanicTyped(t *testing.T) {
+	g := testGraph(t)
+	for _, engine := range []beep.Engine{beep.Sequential, beep.Parallel, beep.PerVertex} {
+		sup, err := NewSupervisor(SupervisorConfig{
+			Graph: g, Protocol: panicAtProto{round: 3}, Seed: 9, Engine: engine,
+			MaxRetries: 5, // retries must NOT mask a deterministic panic
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = sup.Run()
+		var rerr *beep.RunError
+		if !errors.As(err, &rerr) {
+			t.Fatalf("%v: got %v, want wrapped *beep.RunError", engine, err)
+		}
+		if rerr.Round != 3 {
+			t.Fatalf("%v: panic surfaced at round %d, want 3", engine, rerr.Round)
+		}
+	}
+}
+
+func TestSupervisorCheckpointResume(t *testing.T) {
+	g := testGraph(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+
+	// Reference: uninterrupted supervised run.
+	sup, err := NewSupervisor(SupervisorConfig{Graph: g, Protocol: testProto(), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sup.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crashing" run: checkpoint every 5 rounds, but give it too small
+	// a budget so it dies with the checkpoint file on disk.
+	crash, err := NewSupervisor(SupervisorConfig{
+		Graph: g, Protocol: testProto(), Seed: 9,
+		MaxRounds: 10, CheckpointEvery: 5, CheckpointPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := crash.Run(); !errors.Is(err, ErrBudget) {
+		t.Fatalf("crash run: %v, want ErrBudget", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint persisted: %v", err)
+	}
+
+	// Resume from the file and finish.
+	cp, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Round != 10 {
+		t.Fatalf("checkpoint at round %d, want 10", cp.Round)
+	}
+	resume, err := NewSupervisor(SupervisorConfig{
+		Graph: g, Protocol: testProto(), Seed: 9, Resume: cp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := resume.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resumed {
+		t.Fatal("result not marked resumed")
+	}
+	if res.Rounds != ref.Rounds || res.MISSize != ref.MISSize {
+		t.Fatalf("resumed run (rounds=%d mis=%d) differs from uninterrupted (rounds=%d mis=%d)",
+			res.Rounds, res.MISSize, ref.Rounds, ref.MISSize)
+	}
+	for v := range res.MIS {
+		if res.MIS[v] != ref.MIS[v] {
+			t.Fatalf("resumed MIS differs at vertex %d", v)
+		}
+	}
+}
+
+func TestSupervisorRejectsCorruptedCheckpointFile(t *testing.T) {
+	g := testGraph(t)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	sup, err := NewSupervisor(SupervisorConfig{
+		Graph: g, Protocol: testProto(), Seed: 9,
+		CheckpointEvery: 3, CheckpointPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sup.Run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the payload: the integrity hash must catch it.
+	corrupted := append([]byte(nil), data...)
+	corrupted[len(corrupted)/2] ^= 0x01
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpointFile(path); err == nil {
+		t.Fatal("corrupted checkpoint file accepted")
+	}
+}
+
+// panicAtProto wraps the real Algorithm 1 but makes vertex 0's machine
+// panic in Update of a fixed round: a protocol the legality probe can
+// read (levels forward to the wrapped machine) whose execution blows up
+// mid-run.
+type panicAtProto struct{ round int64 }
+
+func (p panicAtProto) Channels() int { return 1 }
+func (p panicAtProto) NewMachine(v int, g *graph.Graph) beep.Machine {
+	inner := testProto().NewMachine(v, g)
+	return &panicAtMachine{inner: inner, round: p.round, vertex: v}
+}
+
+type panicAtMachine struct {
+	inner  beep.Machine
+	round  int64
+	vertex int
+	rounds int64
+}
+
+func (m *panicAtMachine) Emit(src *rng.Source) beep.Signal { return m.inner.Emit(src) }
+
+func (m *panicAtMachine) Update(sent, heard beep.Signal) {
+	m.rounds++
+	if m.vertex == 0 && m.rounds == m.round {
+		panic("supervised machine fault")
+	}
+	m.inner.Update(sent, heard)
+}
+
+func (m *panicAtMachine) Randomize(src *rng.Source) { m.inner.Randomize(src) }
+
+// Leveled forwarding so core.State can probe the wrapped machine.
+func (m *panicAtMachine) Level() int     { return m.inner.(core.Leveled).Level() }
+func (m *panicAtMachine) Cap() int       { return m.inner.(core.Leveled).Cap() }
+func (m *panicAtMachine) SetLevel(l int) { m.inner.(core.Leveled).SetLevel(l) }
