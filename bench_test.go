@@ -88,14 +88,14 @@ func BenchmarkStabilizeAlg2TwoChannel1k(b *testing.B) {
 	}, g)
 }
 
-// Engine benchmarks: cost of one simulated round under the three
+// Engine benchmarks: cost of one simulated round under the four
 // execution engines, isolating simulator overhead from algorithm work.
 
-func benchEngine(b *testing.B, engine beep.Engine, n int) {
+func benchEngine(b *testing.B, engine beep.Engine, n int, opts ...beep.Option) {
 	b.Helper()
 	g := graph.GNPAvgDegree(n, 8, rng.New(2))
 	proto := core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))
-	net, err := beep.NewNetwork(g, proto, 3, beep.WithEngine(engine))
+	net, err := beep.NewNetwork(g, proto, 3, append([]beep.Option{beep.WithEngine(engine)}, opts...)...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -111,6 +111,40 @@ func benchEngine(b *testing.B, engine beep.Engine, n int) {
 func BenchmarkRoundSequential4k(b *testing.B) { benchEngine(b, beep.Sequential, 4096) }
 func BenchmarkRoundParallel4k(b *testing.B)   { benchEngine(b, beep.Parallel, 4096) }
 func BenchmarkRoundPerVertex4k(b *testing.B)  { benchEngine(b, beep.PerVertex, 4096) }
+func BenchmarkRoundFlat4k(b *testing.B)       { benchEngine(b, beep.Flat, 4096) }
+
+// BenchmarkRoundSequentialRef4k pins the pre-flat reference loop
+// (per-vertex interface dispatch) so the flat-kernel speedup stays
+// measurable after Sequential's transparent upgrade.
+func BenchmarkRoundSequentialRef4k(b *testing.B) {
+	benchEngine(b, beep.Sequential, 4096, beep.WithFlatKernels(false))
+}
+
+// BenchmarkRoundFlat1M measures one flat-engine round at n = 10⁶ on a
+// random geometric graph (the paper's wireless-network motivation),
+// from a randomized configuration: the convergence-phase rounds that
+// dominate experiment cost at scale. Skipped under -short (graph
+// generation alone takes seconds).
+func BenchmarkRoundFlat1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("n=10^6 round benchmark skipped in -short mode")
+	}
+	const n = 1_000_000
+	r := math.Sqrt(8 / (math.Pi * float64(n)))
+	g := graph.UnitDisk(n, r, rng.New(9))
+	proto := core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))
+	net, err := beep.NewNetwork(g, proto, 3, beep.WithEngine(beep.Flat))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Close()
+	net.RandomizeAll()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
 
 // Substrate benchmarks.
 

@@ -9,6 +9,7 @@
 //	beepmis -family gnp:256:0.05 -faults 20        # inject and recover
 //	beepmis -family gnp:128:0.1 -churn flap:3:8    # live-rewiring storm
 //	beepmis -family star:16 -adversaries 0 -adversary-policy jammer
+//	beepmis -family gnp:4096:0.002 -engine flat -cpuprofile cpu.pprof
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/famspec"
 	"repro/internal/graph"
+	"repro/internal/prof"
 	"repro/internal/rng"
 	"repro/internal/stab"
 	"repro/internal/trace"
@@ -64,7 +66,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("beepmis", flag.ContinueOnError)
 	family := fs.String("family", "", "graph family spec (see -help-families)")
 	graphFile := fs.String("graph", "", "edge-list file (alternative to -family)")
@@ -84,6 +86,9 @@ func run(args []string) error {
 	resumePath := fs.String("resume", "", "resume from a checkpoint file instead of starting fresh (same -family/-seed/-alg)")
 	deadline := fs.Duration("deadline", 0, "wall-clock deadline per attempt, e.g. 30s (0 = none)")
 	maxRetries := fs.Int("max-retries", 0, "budget escalations after the first attempt (the run is extended, not restarted)")
+	engineName := fs.String("engine", "sequential", "round engine: sequential | parallel | pervertex | flat")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (written atomically)")
+	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file (written atomically)")
 	helpFams := fs.Bool("help-families", false, "list graph family specs and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +97,19 @@ func run(args []string) error {
 		fmt.Println(famspec.Help)
 		return nil
 	}
+	engine, err := beep.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	finishProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finishProf(); ferr != nil && retErr == nil {
+			retErr = ferr
+		}
+	}()
 
 	if *ckEvery > 0 && *ckPath == "" {
 		return fmt.Errorf("-checkpoint-every requires -checkpoint")
@@ -115,6 +133,9 @@ func run(args []string) error {
 	case "jeavons", "afek", "luby":
 		if *churnSpec != "" || *advList != "" {
 			return fmt.Errorf("-churn and -adversaries apply to the self-stabilizing algorithms only, not %q", *alg)
+		}
+		if engine != beep.Sequential {
+			return fmt.Errorf("-engine applies to the self-stabilizing algorithms only, not %q", *alg)
 		}
 		if supervised {
 			return fmt.Errorf("-checkpoint/-resume/-deadline/-max-retries apply to the self-stabilizing algorithms only, not %q", *alg)
@@ -144,7 +165,7 @@ func run(args []string) error {
 		if supervised {
 			return fmt.Errorf("-churn cannot be combined with -checkpoint/-resume/-deadline/-max-retries")
 		}
-		var opts []beep.Option
+		opts := []beep.Option{beep.WithEngine(engine)}
 		if len(advVerts) > 0 {
 			opts = append(opts, beep.WithAdversaries(advPol, advVerts))
 		}
@@ -161,9 +182,9 @@ func run(args []string) error {
 			// The supervisor masks adversaries out of the legality probe
 			// itself, so the supervised path covers adversarial runs too.
 			return runSupervised(g, proto, *seed, initMode, *maxRounds, sup,
-				[]beep.Option{beep.WithAdversaries(advPol, advVerts)}, *printMIS)
+				[]beep.Option{beep.WithEngine(engine), beep.WithAdversaries(advPol, advVerts)}, *printMIS)
 		}
-		return runAdversarial(g, proto, *seed, advPol, advVerts, *maxRounds, initMode, *printMIS)
+		return runAdversarial(g, proto, *seed, engine, advPol, advVerts, *maxRounds, initMode, *printMIS)
 	}
 	runCfg := core.RunConfig{
 		Graph:     g,
@@ -171,6 +192,7 @@ func run(args []string) error {
 		Seed:      *seed,
 		Init:      initMode,
 		MaxRounds: *maxRounds,
+		Engine:    engine,
 		Noise:     beep.Noise{PLoss: *noise, PFalse: *noise},
 	}
 	var rec *trace.Recorder
@@ -182,7 +204,7 @@ func run(args []string) error {
 				rec.Observer()(round, sent, heard)
 			}
 		}
-		net, err := beep.NewNetwork(g, proto, *seed, beep.WithObserver(obs), beep.WithNoise(runCfg.Noise))
+		net, err := beep.NewNetwork(g, proto, *seed, beep.WithEngine(engine), beep.WithObserver(obs), beep.WithNoise(runCfg.Noise))
 		if err != nil {
 			return err
 		}
@@ -221,11 +243,11 @@ func run(args []string) error {
 		return nil
 	}
 	if err := runSupervised(g, proto, *seed, initMode, *maxRounds, sup,
-		[]beep.Option{beep.WithNoise(runCfg.Noise)}, *printMIS); err != nil {
+		[]beep.Option{beep.WithEngine(engine), beep.WithNoise(runCfg.Noise)}, *printMIS); err != nil {
 		return err
 	}
 	if *faults > 0 {
-		return recoverFromFaults(g, proto, *seed, *faults, *maxRounds)
+		return recoverFromFaults(g, proto, *seed, engine, *faults, *maxRounds)
 	}
 	return nil
 }
@@ -362,8 +384,8 @@ func runBaseline(g *graph.Graph, alg string, seed uint64, maxRounds int, init st
 	return nil
 }
 
-func recoverFromFaults(g *graph.Graph, proto beep.Protocol, seed uint64, k, maxRounds int) error {
-	net, err := beep.NewNetwork(g, proto, seed)
+func recoverFromFaults(g *graph.Graph, proto beep.Protocol, seed uint64, engine beep.Engine, k, maxRounds int) error {
+	net, err := beep.NewNetwork(g, proto, seed, beep.WithEngine(engine))
 	if err != nil {
 		return err
 	}
@@ -530,8 +552,8 @@ func runChurn(g *graph.Graph, proto beep.Protocol, seed uint64, spec string, max
 // masked MIS when it stabilizes, or the stable fraction of correct
 // vertices at the horizon when it cannot (the expected outcome around
 // jammers, which deny their neighbors every silent round).
-func runAdversarial(g *graph.Graph, proto beep.Protocol, seed uint64, policy beep.AdversaryPolicy, verts []int, maxRounds int, init core.InitMode, printMIS bool) error {
-	net, err := beep.NewNetwork(g, proto, seed, beep.WithAdversaries(policy, verts))
+func runAdversarial(g *graph.Graph, proto beep.Protocol, seed uint64, engine beep.Engine, policy beep.AdversaryPolicy, verts []int, maxRounds int, init core.InitMode, printMIS bool) error {
+	net, err := beep.NewNetwork(g, proto, seed, beep.WithEngine(engine), beep.WithAdversaries(policy, verts))
 	if err != nil {
 		return err
 	}

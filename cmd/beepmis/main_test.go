@@ -156,3 +156,40 @@ func TestRunGraph6File(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunEngines exercises the -engine flag across all four engines and
+// the error path for unknown names and baseline combinations.
+func TestRunEngines(t *testing.T) {
+	for _, engine := range []string{"sequential", "parallel", "pervertex", "flat"} {
+		if err := run([]string{"-family", "cycle:24", "-engine", engine, "-seed", "3"}); err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+	}
+	if err := run([]string{"-family", "cycle:24", "-engine", "warp"}); err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("want unknown-engine error, got %v", err)
+	}
+	if err := run([]string{"-family", "cycle:16", "-alg", "luby", "-engine", "flat"}); err == nil {
+		t.Fatal("want error for -engine with a baseline algorithm")
+	}
+}
+
+// TestRunProfiles checks -cpuprofile/-memprofile leave non-empty pprof
+// files behind after a successful run.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run([]string{"-family", "gnp:128:0.05", "-engine", "flat",
+		"-cpuprofile", cpu, "-memprofile", mem, "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -25,7 +26,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
 	expID := fs.String("exp", "all", "experiment id ("+strings.Join(exp.IDs(), ", ")+") or 'all'")
 	full := fs.Bool("full", false, "run the paper-scale sweeps (larger n, more trials)")
@@ -33,10 +34,21 @@ func run(args []string) error {
 	trials := fs.Int("trials", 0, "override per-cell trial count (0 = default)")
 	jsonOut := fs.Bool("json", false, "emit one JSON document per table/series instead of aligned text")
 	resume := fs.String("resume", "", "manifest file making the sweeps resumable: finished cells are logged (fsynced) as they complete and reused on the next run")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file (written atomically)")
+	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file (written atomically)")
 	list := fs.Bool("list", false, "list the experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	finishProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := finishProf(); ferr != nil && retErr == nil {
+			retErr = ferr
+		}
+	}()
 	if *list {
 		for _, id := range exp.IDs() {
 			e, err := exp.Lookup(id)

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSingleExperiment(t *testing.T) {
 	if err := run([]string{"-exp", "F1"}); err != nil {
@@ -29,5 +33,25 @@ func TestRunBadFlag(t *testing.T) {
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunWithProfiles checks the -cpuprofile/-memprofile flags produce
+// non-empty pprof files around a real (tiny) experiment run.
+func TestRunWithProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run([]string{"-exp", "F1", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
 	}
 }

@@ -120,6 +120,11 @@ const (
 	// PerVertex runs one goroutine per vertex, the direct Go realization
 	// of the model's "every vertex is an independent processor".
 	PerVertex
+	// Flat executes rounds over structure-of-arrays slabs with
+	// whole-cohort kernels and bitset beep delivery (see flat.go). It
+	// requires the protocol's bulk state to implement FlatProtocol and
+	// is the only engine that accepts WithBatchedSampling.
+	Flat
 )
 
 // String names the engine for tables and errors.
@@ -131,7 +136,26 @@ func (e Engine) String() string {
 		return "parallel"
 	case PerVertex:
 		return "pervertex"
+	case Flat:
+		return "flat"
 	default:
 		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// ParseEngine maps an engine name (as produced by Engine.String) back to
+// the Engine value, for command-line flags.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "sequential":
+		return Sequential, nil
+	case "parallel":
+		return Parallel, nil
+	case "pervertex":
+		return PerVertex, nil
+	case "flat":
+		return Flat, nil
+	default:
+		return 0, fmt.Errorf("beep: unknown engine %q (want sequential, parallel, pervertex or flat)", name)
 	}
 }

@@ -1,0 +1,468 @@
+package beep
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime/debug"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// This file implements the flat execution engine: rounds executed over
+// structure-of-arrays machine slabs with zero per-vertex virtual
+// dispatch. Protocols opt in by returning a bulk-state handle (see
+// BatchProtocol) that implements FlatProtocol; the engine then replaces
+// the per-machine Emit/Update interface calls with two whole-cohort
+// kernel calls, and replaces the per-edge signal scatter with a
+// bitset-based delivery kernel (deliverFlat below).
+//
+// The flat path is observationally identical to the reference engines:
+// each vertex consumes exactly the draws its Machine.Emit would have
+// consumed from its private stream, so traces are bit-for-bit equal
+// (enforced by TestEngineTraceEquivalence and FuzzFlatEmitDrawEquivalence).
+// Because of that, the Sequential engine transparently upgrades to the
+// flat kernels whenever the protocol provides them; the explicit Flat
+// engine additionally *requires* them (construction fails otherwise,
+// making performance predictable) and is the only engine on which the
+// amortized Bernoulli sampler (WithBatchedSampling) may be enabled.
+
+// FlatEnv is the execution environment the flat engine passes to a
+// FlatProtocol's kernels for one round phase. The slices alias network
+// storage and must not be retained.
+type FlatEnv struct {
+	// Sent is the per-vertex signal array of the round. EmitAll must
+	// fill Sent[v] for every vertex whose Skip bit is clear and leave
+	// skipped entries untouched (the engine pre-fills those).
+	Sent []Signal
+	// Heard is the OR of neighbor signals, valid during UpdateAll.
+	Heard []Signal
+	// Srcs are the private per-vertex random streams. On the exact path
+	// (Sampler == nil) kernels must consume them exactly as the
+	// corresponding Machine.Emit would, so traces stay bit-identical.
+	Srcs []*rng.Source
+	// Skip marks the vertices the kernel must not touch this round
+	// (sleeping or adversarial); nil when every vertex participates.
+	Skip *bitset.Set
+	// Sampler, when non-nil, replaces the per-vertex Bernoulli(2^-ℓ)
+	// draws with the amortized batch sampler. Distribution-exact,
+	// sequence-divergent; enabled only via WithBatchedSampling.
+	Sampler *rng.Batch
+
+	// Drew must be set true by EmitAll if it consumed any randomness
+	// (from Srcs or Sampler) this round. Drawless rounds are candidates
+	// for quiescence elision (see FlatQuiescer); a kernel that forgets
+	// to set Drew breaks trace exactness, which the engine equivalence
+	// tests would catch.
+	Drew bool
+	// Changed must be set true by UpdateAll if it mutated any machine
+	// state this round (level, cap, or auxiliary counters). A round
+	// that neither drew nor changed is a fixed point of the dynamics.
+	Changed bool
+}
+
+// Skipped reports whether vertex v must be left untouched this round.
+func (e *FlatEnv) Skipped(v int) bool {
+	return e.Skip != nil && e.Skip.Get(v)
+}
+
+// FlatProtocol is the optional extension implemented by the bulk-state
+// handles of protocols that support the flat engine (for the paper's
+// protocols these are the contiguous int32 level/cap slabs introduced
+// with BatchProtocol). EmitAll and UpdateAll must be observationally
+// identical to calling Emit/Update on every non-skipped machine in
+// vertex order.
+type FlatProtocol interface {
+	// EmitAll decides every non-skipped vertex's signal for the round.
+	EmitAll(env *FlatEnv)
+	// UpdateAll applies every non-skipped vertex's state transition
+	// given the round's Sent and Heard signals.
+	UpdateAll(env *FlatEnv)
+}
+
+// FlatQuiescer is the optional extension that enables quiescence
+// elision. A stabilized configuration of the paper's protocols is a
+// literal fixed point of the round function: MIS members (ℓ ≤ 0) beep
+// surely without consulting their stream, everyone else sits at ℓmax in
+// silence, and no Update moves — so the round neither draws randomness
+// nor changes state, and every subsequent round is byte-identical until
+// something external (Corrupt, a targeted SetLevel, Restore, Rewire)
+// perturbs the state. The engine exploits this exactly: after a round
+// with !Drew && !Changed it calls SnapshotState, and while the snapshot
+// verifies (StateUnchanged) it elides whole rounds in one O(n) slab
+// compare instead of an O(n + m) simulation. The compare makes the
+// optimization sound with no invalidation hooks: any mutation of
+// machine state — through the Network or through a retained Machine
+// pointer — fails the verify and drops back to full simulation.
+type FlatQuiescer interface {
+	// SnapshotState records the complete mutable machine state of the
+	// cohort for later comparison.
+	SnapshotState()
+	// StateUnchanged reports whether the cohort state is byte-identical
+	// to the last snapshot; it must return false if no snapshot exists.
+	StateUnchanged() bool
+}
+
+// FlatReiniter is the optional extension implemented by bulk-state
+// handles that can restore their machine cohort to the protocol's
+// initial configuration for the current graph, enabling the
+// allocation-free Network.Reseed used by replication pools
+// (exp.RunReplicated).
+type FlatReiniter interface {
+	// ReinitAll re-initializes every machine exactly as NewMachines
+	// would have built it for g.
+	ReinitAll(g *graph.Graph)
+}
+
+// WithFlatKernels enables or disables the flat fast path on the
+// Sequential engine (default: enabled when the protocol provides it).
+// Disabling forces the reference per-machine loop; the engine
+// trace-equivalence tests use this to pin the flat kernels against the
+// reference semantics. It has no effect on the Parallel and PerVertex
+// engines, and the explicit Flat engine rejects it.
+func WithFlatKernels(enabled bool) Option {
+	return func(n *Network) { n.noFlat = !enabled }
+}
+
+// WithBatchedSampling replaces the per-vertex Bernoulli(2^-ℓ) draws of
+// the flat kernels with the amortized rng.Batch sampler (one 64-bit
+// draw services up to ⌊64/ℓ⌋ same-level trials). The sampled execution
+// is distribution-identical but not bit-identical to the exact path, so
+// the option is only accepted on the explicit Flat engine, and networks
+// using it refuse to checkpoint (the sampler's residual words are not
+// part of checkpoint format v2).
+func WithBatchedSampling() Option {
+	return func(n *Network) { n.batched = true }
+}
+
+// Dedicated-stream salts (see NewNetwork): each auxiliary randomness
+// consumer derives its stream from the root seed XOR an ASCII salt so
+// executions stay reproducible and engine-independent.
+const (
+	noiseSalt = 0x6e6f697365 // "noise"
+	sleepSalt = 0x736c656570 // "sleep"
+	advSalt   = 0x61647673   // "advs"
+	batchSalt = 0x6261746368 // "batch"
+)
+
+// finishFlatSetup resolves the flat configuration after all options
+// have been applied: binds the flat kernels (unless disabled), enforces
+// the Flat engine's requirement for them, and constructs the batch
+// sampler when requested.
+func (n *Network) finishFlatSetup(proto Protocol, seed uint64) error {
+	n.bindFlatOps()
+	if n.engine == Flat {
+		if n.noFlat {
+			return fmt.Errorf("beep: WithFlatKernels(false) conflicts with the flat engine")
+		}
+		if n.flatOps == nil {
+			return fmt.Errorf("beep: flat engine requires flat kernels, but %T's bulk state (%T) does not implement FlatProtocol", proto, n.bulk)
+		}
+	}
+	if n.batched {
+		if n.engine != Flat {
+			return fmt.Errorf("beep: WithBatchedSampling requires the flat engine (got %v): only the explicitly non-trace-equivalent engine may re-order draws", n.engine)
+		}
+		n.sampler = rng.NewBatch(seed ^ batchSalt)
+	}
+	return nil
+}
+
+// bindFlatOps (re)derives the flat kernel and quiescer bindings from
+// the current bulk-state handle; called at construction and after
+// Rewire (which rebuilds the slab, or drops it for non-codec machine
+// cohorts). Any rebind discards quiescence: the snapshot, if any, was
+// taken of the previous slab.
+func (n *Network) bindFlatOps() {
+	n.flatOps = nil
+	n.flatQuiescer = nil
+	n.quiet = false
+	if n.noFlat {
+		return
+	}
+	if fp, ok := n.bulk.(FlatProtocol); ok {
+		n.flatOps = fp
+	}
+	if q, ok := n.bulk.(FlatQuiescer); ok {
+		n.flatQuiescer = q
+	}
+}
+
+// stepFlat executes one synchronous round through the flat kernels:
+// sequential pre-phases (sleep/adversary draws) exactly as the other
+// engines run them, whole-cohort emit, bitset delivery, the sequential
+// noise pass, and whole-cohort update. Machine panics inside a kernel
+// are contained into a *RunError like every other engine; the flat
+// kernels process the cohort as a whole, so the error cannot name the
+// vertex (Vertex is -1).
+func (n *Network) stepFlat(ops FlatProtocol) *RunError {
+	if n.quiet {
+		// Quiescence elision: the previous round was a fixed point
+		// (no draws, no state change, no fault models enabled). If the
+		// state still matches the snapshot — i.e. nothing mutated it
+		// between rounds — this round is byte-identical to the last:
+		// sent and heard already hold its signals, no stream moves, no
+		// state moves. One O(n) compare replaces the O(n + m) round.
+		if n.flatQuiescer.StateUnchanged() {
+			return nil
+		}
+		n.quiet = false
+	}
+	n.drawSleep()
+	n.drawAdversaries()
+	env := &n.flatEnv
+	env.Sent, env.Heard, env.Srcs = n.sent, n.heard, n.srcs
+	env.Skip = n.buildFlatSkip()
+	env.Sampler = n.sampler
+	env.Drew, env.Changed = false, false
+	if err := n.runFlatKernel("emit", ops, env); err != nil {
+		return err
+	}
+	n.deliverFlat()
+	n.applyNoise()
+	if err := n.runFlatKernel("update", ops, env); err != nil {
+		return err
+	}
+	if !env.Drew && !env.Changed && n.flatQuiescer != nil &&
+		env.Skip == nil && !n.noise.enabled() {
+		// Fixed point reached (fault models that consume per-round
+		// randomness — sleep, adversaries, noise — disqualify the
+		// round; a skip mask implies the former two were active).
+		n.flatQuiescer.SnapshotState()
+		n.quiet = true
+	}
+	return nil
+}
+
+// runFlatKernel invokes one cohort kernel (phase "emit" or "update")
+// with the same panic containment contract as emitRange/updateRange.
+func (n *Network) runFlatKernel(phase string, ops FlatProtocol, env *FlatEnv) (rerr *RunError) {
+	defer func() {
+		if r := recover(); r != nil {
+			rerr = &RunError{
+				Vertex: -1, Round: n.round + 1, Phase: phase,
+				Engine: n.engine, Recovered: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	if phase == "emit" {
+		ops.EmitAll(env)
+	} else {
+		ops.UpdateAll(env)
+	}
+	return nil
+}
+
+// buildFlatSkip assembles the per-round skip mask (sleeping and
+// adversarial vertices) and pre-fills their sent signals with exactly
+// the values emitRange would have produced: adversaries transmit their
+// policy signal regardless of sleep (adversary-before-sleep semantics),
+// sleepers transmit nothing. Returns nil when every vertex
+// participates, the common case, so the kernels' fast loops carry no
+// per-vertex mask test.
+func (n *Network) buildFlatSkip() *bitset.Set {
+	sleeping := n.sleep.enabled() && n.asleep != nil
+	if n.advCount == 0 && !sleeping {
+		return nil
+	}
+	N := n.N()
+	skip := &n.flatSkip
+	if skip.Len() != N {
+		skip.Resize(N)
+	} else {
+		skip.Reset()
+	}
+	if n.advCount > 0 {
+		for v, p := range n.adv {
+			if p != 0 {
+				skip.Set1(v)
+				n.sent[v] = n.advSent[v]
+			}
+		}
+	}
+	if sleeping {
+		for v, z := range n.asleep {
+			if z && !(n.adv != nil && n.adv[v] != 0) {
+				skip.Set1(v)
+				n.sent[v] = Silent
+			}
+		}
+	}
+	return skip
+}
+
+// zeroSignals is a reusable all-silent block for word-granular clears
+// of the heard array.
+var zeroSignals [64]Signal
+
+// deliverFlat computes heard[v] for every vertex with word-level bitset
+// operations: per channel, the senders are packed into a bitset, and
+// the neighborhood OR is produced either by *scattering* each sender's
+// CSR row into a heard bitset (cost Σ_{senders} deg, the win whenever
+// few vertices beep — the steady state of a stabilized MIS) or, when
+// the estimated scatter cost exceeds the early-exit gather bound, by
+// the reference per-vertex scan. Both produce the exact OR, so the
+// choice is invisible to traces.
+func (n *Network) deliverFlat() {
+	N := n.N()
+	if N == 0 {
+		return
+	}
+	degSum := 0
+	if N > 0 {
+		degSum = 2 * n.g.M()
+	}
+	senders := 0
+	for c := 0; c < n.channels; c++ {
+		senders += n.packSenders(c)
+	}
+	// Estimated scatter cost: senders × average degree. The gather scan
+	// costs O(N) probes with early exit when beeping is ubiquitous, so
+	// prefer it once scatter would touch more than ~2 words per vertex.
+	avgDeg := 0
+	if N > 0 {
+		avgDeg = degSum / N
+	}
+	if senders*(avgDeg+1) > 2*N {
+		n.deliverRange(0, N)
+		return
+	}
+	for c := 0; c < n.channels; c++ {
+		n.scatterChannel(c)
+	}
+	n.composeHeard()
+}
+
+// packSenders builds the channel-c sender bitset from the sent array
+// and returns the number of senders.
+func (n *Network) packSenders(c int) int {
+	N := n.N()
+	mask := Signal(1) << uint(c)
+	sb := &n.sendBits[c]
+	if sb.Len() != N {
+		sb.Resize(N)
+	}
+	words := sb.Words()
+	sent := n.sent
+	count := 0
+	var w uint64
+	wi := 0
+	for v := 0; v < N; v++ {
+		if sent[v]&mask != 0 {
+			w |= 1 << uint(v&63)
+		}
+		if v&63 == 63 {
+			words[wi] = w
+			count += bits.OnesCount64(w)
+			w = 0
+			wi++
+		}
+	}
+	if N&63 != 0 {
+		words[wi] = w
+		count += bits.OnesCount64(w)
+	}
+	return count
+}
+
+// scatterChannel ORs each channel-c sender's CSR neighborhood into the
+// channel's heard bitset.
+func (n *Network) scatterChannel(c int) {
+	N := n.N()
+	hb := &n.heardBits[c]
+	if hb.Len() != N {
+		hb.Resize(N)
+	} else {
+		hb.Reset()
+	}
+	hw := hb.Words()
+	for wi, w := range n.sendBits[c].Words() {
+		base := wi * 64
+		for w != 0 {
+			u := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			for _, x := range n.g.Neighbors(u) {
+				hw[x>>6] |= 1 << (uint(x) & 63)
+			}
+		}
+	}
+}
+
+// composeHeard expands the per-channel heard bitsets into the heard
+// signal array, clearing 64 vertices at a time in the silent common
+// case.
+func (n *Network) composeHeard() {
+	N := n.N()
+	h1 := n.heardBits[0].Words()
+	var h2 []uint64
+	if n.channels == 2 {
+		h2 = n.heardBits[1].Words()
+	}
+	heard := n.heard
+	for wi := range h1 {
+		base := wi * 64
+		end := base + 64
+		if end > N {
+			end = N
+		}
+		w1 := h1[wi]
+		var w2 uint64
+		if h2 != nil {
+			w2 = h2[wi]
+		}
+		if w1|w2 == 0 {
+			copy(heard[base:end], zeroSignals[:end-base])
+			continue
+		}
+		for v := base; v < end; v++ {
+			sh := uint(v & 63)
+			heard[v] = Signal((w1>>sh)&1) | Signal((w2>>sh)&1)<<1
+		}
+	}
+}
+
+// Reseed resets the network to the exact state NewNetwork(g, proto,
+// seed, opts...) would have produced, without reallocating any slab:
+// machine states are re-initialized in place (via the bulk handle's
+// FlatReiniter), every random stream is re-derived from the new seed,
+// and the round counter, failure poison and child-stream allocator are
+// cleared. Installed adversary policies and the noise/sleep parameters
+// are construction-time configuration and are kept.
+//
+// Reseed is the amortization primitive of replication sweeps
+// (exp.RunReplicated): one network per worker, re-seeded per trial,
+// replaces per-trial graph/CSR re-validation and slab allocation.
+// Executions after a Reseed are bit-identical to freshly constructed
+// ones (property-tested by TestReseedMatchesFreshNetwork).
+func (n *Network) Reseed(seed uint64) error {
+	if n.closed {
+		return fmt.Errorf("beep: Reseed on closed Network")
+	}
+	ri, ok := n.bulk.(FlatReiniter)
+	if !ok {
+		return fmt.Errorf("beep: Reseed requires a protocol whose bulk state supports re-initialization; %T's bulk state (%T) does not implement FlatReiniter", n.proto, n.bulk)
+	}
+	ri.ReinitAll(n.g)
+	n.seed = seed
+	n.root.Reseed(seed)
+	for v := range n.srcs {
+		n.root.SplitInto(uint64(v), n.srcs[v])
+	}
+	n.nextStream = uint64(n.N())
+	n.noiseSrc.Reseed(seed ^ noiseSalt)
+	n.sleepSrc.Reseed(seed ^ sleepSalt)
+	n.advSrc.Reseed(seed ^ advSalt)
+	if n.sampler != nil {
+		n.sampler.Reseed(seed ^ batchSalt)
+	}
+	for v := range n.sent {
+		n.sent[v] = Silent
+		n.heard[v] = Silent
+	}
+	n.round = 0
+	n.failed = nil
+	n.quiet = false // sent/heard were cleared: a stale snapshot must not elide
+	n.advEpoch++    // new execution: legality observers must re-key
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bitset"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -60,6 +61,21 @@ type Network struct {
 	// nil otherwise. See BulkState.
 	bulk any
 
+	// Flat-engine state (see flat.go): flatOps is the bound kernel
+	// handle (nil when the protocol has none or WithFlatKernels(false)
+	// was given), sampler the optional amortized Bernoulli sampler, and
+	// the bitsets are the reusable buffers of the delivery kernel.
+	flatOps      FlatProtocol
+	flatQuiescer FlatQuiescer
+	flatEnv      FlatEnv
+	quiet        bool
+	noFlat       bool
+	batched      bool
+	sampler      *rng.Batch
+	flatSkip     bitset.Set
+	sendBits     [2]bitset.Set
+	heardBits    [2]bitset.Set
+
 	// seed is the root seed the network was constructed with, recorded
 	// in checkpoints for provenance.
 	seed uint64
@@ -112,8 +128,8 @@ func NewNetwork(g *graph.Graph, proto Protocol, seed uint64, opts ...Option) (*N
 		channels:   proto.Channels(),
 		fullMask:   Signal(1<<uint(proto.Channels())) - 1,
 		noiseSrc:   noiseSeed(seed),
-		sleepSrc:   rng.New(seed ^ 0x736c656570), // "sleep"
-		advSrc:     rng.New(seed ^ 0x61647673),   // "advs"
+		sleepSrc:   rng.New(seed ^ sleepSalt),
+		advSrc:     rng.New(seed ^ advSalt),
 	}
 	root := rng.New(seed)
 	net.root = root
@@ -144,7 +160,10 @@ func NewNetwork(g *graph.Graph, proto Protocol, seed uint64, opts ...Option) (*N
 	if err := net.installAdversaries(); err != nil {
 		return nil, err
 	}
-	if net.engine != Sequential {
+	if err := net.finishFlatSetup(proto, seed); err != nil {
+		return nil, err
+	}
+	if net.engine == Parallel || net.engine == PerVertex {
 		net.workers = newWorkerPool(net, net.poolSize())
 	}
 	return net, nil
@@ -253,7 +272,15 @@ func (n *Network) TryStep() error {
 	case Parallel, PerVertex:
 		rerr = n.stepParallel()
 	default:
-		rerr = n.stepSequential()
+		// Sequential and Flat: the flat kernels are the sequential
+		// semantics without per-vertex dispatch, so Sequential upgrades
+		// transparently whenever the protocol provides them (traces are
+		// bit-identical; see flat.go).
+		if n.flatOps != nil {
+			rerr = n.stepFlat(n.flatOps)
+		} else {
+			rerr = n.stepSequential()
+		}
 	}
 	if rerr != nil {
 		n.failed = rerr
@@ -428,6 +455,13 @@ func newWorkerPool(net *Network, workers int) *workerPool {
 	p.cond = sync.NewCond(&p.mu)
 	n := net.N()
 	per := (n + workers - 1) / workers
+	// Pad shard boundaries to cache-line multiples (64 signals = 64
+	// bytes) so adjacent shards never write the same line of the
+	// sent/heard arrays. Single-vertex shards (PerVertex) are left
+	// alone: padding them would collapse the per-vertex model.
+	if per > 1 {
+		per = (per + 63) &^ 63
+	}
 	for lo := 0; lo < n; lo += per {
 		hi := lo + per
 		if hi > n {

@@ -60,5 +60,5 @@ func (n *Network) applyNoise() {
 
 // noiseSeed derives the dedicated noise stream for a network seed.
 func noiseSeed(seed uint64) *rng.Source {
-	return rng.New(seed ^ 0x6e6f697365) // "noise"
+	return rng.New(seed ^ noiseSalt)
 }

@@ -170,3 +170,112 @@ func TestTryStepClosed(t *testing.T) {
 		t.Fatalf("TryStep on closed network: %v, want ErrClosed", err)
 	}
 }
+
+// flatPanicProtocol is panicProtocol's flat-kernel sibling: its bulk
+// handle implements FlatProtocol and panics inside the chosen cohort
+// pass (EmitAll or UpdateAll) at the chosen round, so the containment
+// contract can be pinned on the Flat engine too, where the panic has no
+// owning vertex (RunError.Vertex == -1).
+type flatPanicProtocol struct {
+	round int64
+	phase string // "emit" or "update"
+}
+
+func (p flatPanicProtocol) Channels() int { return 1 }
+func (p flatPanicProtocol) NewMachine(v int, _ *graph.Graph) Machine {
+	return &flatPanicMachine{}
+}
+func (p flatPanicProtocol) NewMachines(g *graph.Graph) ([]Machine, any) {
+	ms := make([]Machine, g.N())
+	for v := range ms {
+		ms[v] = &flatPanicMachine{}
+	}
+	return ms, &flatPanicOps{proto: p}
+}
+
+type flatPanicMachine struct{}
+
+func (m *flatPanicMachine) Emit(src *rng.Source) Signal {
+	if src.Coin() {
+		return Chan1
+	}
+	return Silent
+}
+func (m *flatPanicMachine) Update(sent, heard Signal) {}
+func (m *flatPanicMachine) Randomize(src *rng.Source) {}
+
+type flatPanicOps struct {
+	proto flatPanicProtocol
+	round int64
+}
+
+func (o *flatPanicOps) EmitAll(env *FlatEnv) {
+	o.round++
+	if o.proto.phase == "emit" && o.round == o.proto.round {
+		panic("injected emit fault")
+	}
+	env.Drew = true
+	for v := range env.Sent {
+		if env.Skip != nil && env.Skip.Get(v) {
+			continue
+		}
+		if env.Srcs[v].Coin() {
+			env.Sent[v] = Chan1
+		} else {
+			env.Sent[v] = Silent
+		}
+	}
+}
+
+func (o *flatPanicOps) UpdateAll(env *FlatEnv) {
+	if o.proto.phase == "update" && o.round == o.proto.round {
+		panic("injected update fault")
+	}
+}
+
+// TestFlatEnginePanicContainment mirrors TestEnginePanicContainment for
+// the Flat engine's cohort kernels: a panic inside EmitAll/UpdateAll
+// surfaces as a typed, sticky *RunError with Vertex == -1 (a cohort
+// pass has no single owning vertex), the poisoned network refuses
+// checkpoints, and Close returns promptly.
+func TestFlatEnginePanicContainment(t *testing.T) {
+	g := graph.GNP(25, 0.2, rng.New(6))
+	for _, phase := range []string{"emit", "update"} {
+		t.Run(phase, func(t *testing.T) {
+			net, err := NewNetwork(g, flatPanicProtocol{round: 4, phase: phase}, 1, WithEngine(Flat))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var stepErr error
+			for r := 1; r <= 10; r++ {
+				if stepErr = net.TryStep(); stepErr != nil {
+					break
+				}
+			}
+			var rerr *RunError
+			if !errors.As(stepErr, &rerr) {
+				t.Fatalf("got %v, want *RunError", stepErr)
+			}
+			if rerr.Vertex != -1 || rerr.Round != 4 || rerr.Phase != phase || rerr.Engine != Flat {
+				t.Fatalf("RunError = vertex %d round %d phase %q engine %v, want -1/4/%q/Flat",
+					rerr.Vertex, rerr.Round, rerr.Phase, rerr.Engine, phase)
+			}
+			if len(rerr.Stack) == 0 {
+				t.Fatal("no stack captured")
+			}
+			if err := net.TryStep(); err != rerr {
+				t.Fatalf("second TryStep returned %v, want the original *RunError", err)
+			}
+			if _, err := net.Checkpoint(); err == nil {
+				t.Fatal("checkpoint of a failed network accepted")
+			}
+			closed := make(chan struct{})
+			go func() { net.Close(); close(closed) }()
+			select {
+			case <-closed:
+			case <-time.After(5 * time.Second):
+				t.Fatal("Close deadlocked after a contained kernel panic")
+			}
+		})
+	}
+}

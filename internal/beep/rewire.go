@@ -140,11 +140,12 @@ func (n *Network) Rewire(g2 *graph.Graph, mapping []int) error {
 	} else {
 		n.advEpoch++ // topology changed: observers re-key their masks
 	}
+	n.bindFlatOps() // the slab was rebuilt (or dropped): re-derive the kernels
 	if n.workers != nil {
 		n.workers.close()
 		n.workers = nil
 	}
-	if n.engine != Sequential {
+	if n.engine == Parallel || n.engine == PerVertex {
 		n.workers = newWorkerPool(n, n.poolSize())
 	}
 	return nil

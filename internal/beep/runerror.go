@@ -20,7 +20,9 @@ import (
 // Close remains safe. Other networks in the process — including ones
 // sharing the protocol value — are unaffected.
 type RunError struct {
-	// Vertex is the vertex whose machine panicked.
+	// Vertex is the vertex whose machine panicked, or -1 when the panic
+	// escaped a whole-cohort flat kernel, which processes the cohort as
+	// one slab and cannot attribute the failure to a single vertex.
 	Vertex int
 	// Round is the 1-based round that was being executed.
 	Round int
@@ -37,6 +39,10 @@ type RunError struct {
 // Error formats the failure; the stack is available via the field for
 // callers that want to log it.
 func (e *RunError) Error() string {
+	if e.Vertex < 0 {
+		return fmt.Sprintf("beep: flat %s kernel panicked in round %d on %s engine: %v",
+			e.Phase, e.Round, e.Engine, e.Recovered)
+	}
 	return fmt.Sprintf("beep: machine of vertex %d panicked in %s phase of round %d on %s engine: %v",
 		e.Vertex, e.Phase, e.Round, e.Engine, e.Recovered)
 }

@@ -36,6 +36,12 @@ func (s *Set) Resize(n int) {
 // Len returns the logical length in bits.
 func (s *Set) Len() int { return s.n }
 
+// Words exposes the backing word slice for word-at-a-time kernels (the
+// flat engine's beep-delivery scatter/gather). Callers own the aliasing
+// hazard and must keep bits beyond Len zero, the standing invariant of
+// the package.
+func (s *Set) Words() []uint64 { return s.words }
+
 // Reset clears all bits without changing the length.
 func (s *Set) Reset() {
 	for i := range s.words {

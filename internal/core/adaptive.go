@@ -93,7 +93,7 @@ func (p AdaptiveAlg1) initMachine(m *adaptiveMachine) {
 // both ℓ and ℓmax every call.
 func (p AdaptiveAlg1) NewMachines(g *graph.Graph) ([]beep.Machine, any) {
 	n := g.N()
-	slab := &adaptiveSlab{ms: make([]adaptiveMachine, n)}
+	slab := &adaptiveSlab{p: p, ms: make([]adaptiveMachine, n)}
 	ms := make([]beep.Machine, n)
 	for v := 0; v < n; v++ {
 		m := &slab.ms[v]
@@ -104,8 +104,15 @@ func (p AdaptiveAlg1) NewMachines(g *graph.Graph) ([]beep.Machine, any) {
 }
 
 // adaptiveSlab is the contiguous machine storage of one adaptive
-// network and its bulk level accessor.
-type adaptiveSlab struct{ ms []adaptiveMachine }
+// network and its bulk level accessor. It keeps the protocol it was
+// built by so the cohort can be re-initialized in place
+// (beep.FlatReiniter).
+type adaptiveSlab struct {
+	p  AdaptiveAlg1
+	ms []adaptiveMachine
+	// shadow is the quiescence snapshot buffer (see flat.go).
+	shadow []adaptiveMachine
+}
 
 var _ LevelExporter = (*adaptiveSlab)(nil)
 

@@ -81,7 +81,7 @@ func (p *Alg1) initMachine(m *alg1Machine, v int, g *graph.Graph) {
 // of n interface dispatches.
 func (p *Alg1) NewMachines(g *graph.Graph) ([]beep.Machine, any) {
 	n := g.N()
-	slab := &alg1Slab{ms: make([]alg1Machine, n)}
+	slab := &alg1Slab{p: p, ms: make([]alg1Machine, n)}
 	ms := make([]beep.Machine, n)
 	for v := 0; v < n; v++ {
 		m := &slab.ms[v]
@@ -92,8 +92,14 @@ func (p *Alg1) NewMachines(g *graph.Graph) ([]beep.Machine, any) {
 }
 
 // alg1Slab is the contiguous machine storage of one Algorithm 1 network
-// and its bulk level accessor.
-type alg1Slab struct{ ms []alg1Machine }
+// and its bulk level accessor. It keeps the protocol it was built by so
+// the cohort can be re-initialized in place (beep.FlatReiniter).
+type alg1Slab struct {
+	p  *Alg1
+	ms []alg1Machine
+	// shadow is the quiescence snapshot buffer (see flat.go).
+	shadow []alg1Machine
+}
 
 var _ LevelExporter = (*alg1Slab)(nil)
 

@@ -63,7 +63,7 @@ func (p *Alg2) initMachine(m *alg2Machine, v int, g *graph.Graph) {
 // LevelExporter with Algorithm 2 (two-channel) semantics.
 func (p *Alg2) NewMachines(g *graph.Graph) ([]beep.Machine, any) {
 	n := g.N()
-	slab := &alg2Slab{ms: make([]alg2Machine, n)}
+	slab := &alg2Slab{p: p, ms: make([]alg2Machine, n)}
 	ms := make([]beep.Machine, n)
 	for v := 0; v < n; v++ {
 		m := &slab.ms[v]
@@ -74,8 +74,14 @@ func (p *Alg2) NewMachines(g *graph.Graph) ([]beep.Machine, any) {
 }
 
 // alg2Slab is the contiguous machine storage of one Algorithm 2 network
-// and its bulk level accessor.
-type alg2Slab struct{ ms []alg2Machine }
+// and its bulk level accessor. It keeps the protocol it was built by so
+// the cohort can be re-initialized in place (beep.FlatReiniter).
+type alg2Slab struct {
+	p  *Alg2
+	ms []alg2Machine
+	// shadow is the quiescence snapshot buffer (see flat.go).
+	shadow []alg2Machine
+}
 
 var _ LevelExporter = (*alg2Slab)(nil)
 

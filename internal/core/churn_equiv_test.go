@@ -181,10 +181,12 @@ func TestDetectorAcrossChurnAndAdversaries(t *testing.T) {
 }
 
 // TestEngineEquivalenceThroughChurn extends the engine contract to the
-// new fault model on the paper's own protocol: Sequential, Parallel, and
-// PerVertex must produce bit-identical signal traces through a scripted
-// crash-and-grow Rewire with adversaries installed, exercising the
-// BatchProtocol slab path of the survivor state transfer.
+// new fault model on the paper's own protocol: all four engines must
+// produce bit-identical signal traces through a scripted crash-and-grow
+// Rewire with adversaries installed, exercising the BatchProtocol slab
+// path of the survivor state transfer (and, for the flat kernels, the
+// post-rewire kernel re-bind). The reference is the plain interface
+// loop with flat kernels disabled.
 func TestEngineEquivalenceThroughChurn(t *testing.T) {
 	g1 := graph.GNPAvgDegree(30, 5, rng.New(31))
 	g2, mapping, err := graph.ApplyEdits(g1, []graph.Edit{
@@ -198,9 +200,9 @@ func TestEngineEquivalenceThroughChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 	const seed, pre, post = 606, 15, 25
-	run := func(engine beep.Engine) [][]beep.Signal {
+	run := func(engine beep.Engine, extra ...beep.Option) [][]beep.Signal {
 		var trace [][]beep.Signal
-		net, err := beep.NewNetwork(g1, NewAlg1(KnownMaxDegreeExact(DefaultC1KnownDelta)), seed,
+		opts := append([]beep.Option{
 			beep.WithEngine(engine),
 			beep.WithAdversaries(beep.AdvJammer, []int{7}),
 			beep.WithAdversaries(beep.AdvBabbler, []int{2, 20}),
@@ -209,7 +211,8 @@ func TestEngineEquivalenceThroughChurn(t *testing.T) {
 				row = append(row, sent...)
 				row = append(row, heard...)
 				trace = append(trace, row)
-			}))
+			})}, extra...)
+		net, err := beep.NewNetwork(g1, NewAlg1(KnownMaxDegreeExact(DefaultC1KnownDelta)), seed, opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -226,11 +229,11 @@ func TestEngineEquivalenceThroughChurn(t *testing.T) {
 		}
 		return trace
 	}
-	ref := run(beep.Sequential)
-	for _, engine := range []beep.Engine{beep.Parallel, beep.PerVertex} {
+	ref := run(beep.Sequential, beep.WithFlatKernels(false))
+	for _, engine := range []beep.Engine{beep.Sequential, beep.Parallel, beep.PerVertex, beep.Flat} {
 		got := run(engine)
 		if len(got) != len(ref) {
-			t.Fatalf("engine %v recorded %d rounds, sequential %d", engine, len(got), len(ref))
+			t.Fatalf("engine %v recorded %d rounds, reference %d", engine, len(got), len(ref))
 		}
 		for r := range ref {
 			for i := range ref[r] {

@@ -21,10 +21,10 @@ type engineEquivTrace struct {
 // runEngineTrace executes proto on g under the given engine from the
 // randomized initial configuration determined by seed, recording the
 // full signal trace until stabilization (or maxRounds).
-func runEngineTrace(t *testing.T, g *graph.Graph, proto beep.Protocol, seed uint64, engine beep.Engine, maxRounds int) engineEquivTrace {
+func runEngineTrace(t *testing.T, g *graph.Graph, proto beep.Protocol, seed uint64, engine beep.Engine, maxRounds int, opts ...beep.Option) engineEquivTrace {
 	t.Helper()
 	tr := engineEquivTrace{stabilized: -1}
-	net, err := beep.NewNetwork(g, proto, seed,
+	opts = append([]beep.Option{
 		beep.WithEngine(engine),
 		beep.WithObserver(func(_ int, sent, heard []beep.Signal) {
 			s := make([]beep.Signal, len(sent))
@@ -33,7 +33,8 @@ func runEngineTrace(t *testing.T, g *graph.Graph, proto beep.Protocol, seed uint
 			copy(h, heard)
 			tr.sent = append(tr.sent, s)
 			tr.heard = append(tr.heard, h)
-		}))
+		})}, opts...)
+	net, err := beep.NewNetwork(g, proto, seed, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,11 +55,15 @@ func runEngineTrace(t *testing.T, g *graph.Graph, proto beep.Protocol, seed uint
 }
 
 // TestEngineTraceEquivalence asserts the engine contract end to end on
-// the paper's protocols: Sequential, Parallel, and PerVertex produce
+// the paper's protocols: all four engines — Sequential (which silently
+// upgrades to the flat kernels), Parallel, PerVertex and Flat — produce
 // bit-identical (sent, heard) traces and the same stabilization round
 // for a fixed seed, across graph families with distinct degree
-// profiles. Run with -race this also exercises the worker-pool barrier
-// under both the sharded and the goroutine-per-vertex engines.
+// profiles. The reference is Sequential with the flat kernels forced
+// OFF (the plain per-machine interface loop), so the comparison also
+// certifies the kernels against the reference semantics. Run with -race
+// this exercises the worker-pool barrier under both the sharded and the
+// goroutine-per-vertex engines.
 func TestEngineTraceEquivalence(t *testing.T) {
 	families := []struct {
 		name string
@@ -77,32 +82,43 @@ func TestEngineTraceEquivalence(t *testing.T) {
 	}{
 		{"alg1", NewAlg1(KnownMaxDegreeExact(DefaultC1KnownDelta))},
 		{"alg2", NewAlg2(NeighborhoodMaxDegree(DefaultC1TwoHop))},
+		{"adaptive", NewAdaptiveAlg1()},
+	}
+	engines := []struct {
+		name   string
+		engine beep.Engine
+	}{
+		{"sequential+kernels", beep.Sequential},
+		{"parallel", beep.Parallel},
+		{"pervertex", beep.PerVertex},
+		{"flat", beep.Flat},
 	}
 	const seed, maxRounds = 90210, 20000
 	for _, fam := range families {
 		for _, p := range protos {
 			t.Run(fmt.Sprintf("%s/%s", fam.name, p.name), func(t *testing.T) {
-				ref := runEngineTrace(t, fam.g, p.proto, seed, beep.Sequential, maxRounds)
+				// Reference: the plain interface loop, kernels disabled.
+				ref := runEngineTrace(t, fam.g, p.proto, seed, beep.Sequential, maxRounds, beep.WithFlatKernels(false))
 				if ref.stabilized < 0 {
-					t.Fatalf("sequential run did not stabilize within %d rounds", maxRounds)
+					t.Fatalf("reference run did not stabilize within %d rounds", maxRounds)
 				}
-				for _, engine := range []beep.Engine{beep.Parallel, beep.PerVertex} {
-					got := runEngineTrace(t, fam.g, p.proto, seed, engine, maxRounds)
+				for _, e := range engines {
+					got := runEngineTrace(t, fam.g, p.proto, seed, e.engine, maxRounds)
 					if got.stabilized != ref.stabilized {
-						t.Fatalf("engine %v stabilized at round %d, sequential at %d", engine, got.stabilized, ref.stabilized)
+						t.Fatalf("engine %s stabilized at round %d, reference at %d", e.name, got.stabilized, ref.stabilized)
 					}
 					if len(got.sent) != len(ref.sent) {
-						t.Fatalf("engine %v recorded %d rounds, sequential %d", engine, len(got.sent), len(ref.sent))
+						t.Fatalf("engine %s recorded %d rounds, reference %d", e.name, len(got.sent), len(ref.sent))
 					}
 					for r := range ref.sent {
 						for v := range ref.sent[r] {
 							if got.sent[r][v] != ref.sent[r][v] {
-								t.Fatalf("engine %v: sent diverged at round %d vertex %d: %v vs %v",
-									engine, r+1, v, got.sent[r][v], ref.sent[r][v])
+								t.Fatalf("engine %s: sent diverged at round %d vertex %d: %v vs %v",
+									e.name, r+1, v, got.sent[r][v], ref.sent[r][v])
 							}
 							if got.heard[r][v] != ref.heard[r][v] {
-								t.Fatalf("engine %v: heard diverged at round %d vertex %d: %v vs %v",
-									engine, r+1, v, got.heard[r][v], ref.heard[r][v])
+								t.Fatalf("engine %s: heard diverged at round %d vertex %d: %v vs %v",
+									e.name, r+1, v, got.heard[r][v], ref.heard[r][v])
 							}
 						}
 					}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"repro/internal/beep"
+	"repro/internal/graph"
+)
+
+// This file implements the flat-engine kernels (beep.FlatProtocol),
+// in-place re-initialization (beep.FlatReiniter) and quiescence
+// snapshots (beep.FlatQuiescer) for the three machine slabs. Each
+// kernel is the loop body of the corresponding Machine.Emit/Update
+// inlined over the contiguous slab, with the per-vertex interface
+// dispatch and pointer chase removed; on the exact path (env.Sampler ==
+// nil) every vertex consumes precisely the draws its machine would
+// have, so flat executions are bit-identical to the reference engines
+// (pinned by TestEngineTraceEquivalence and
+// FuzzFlatEmitDrawEquivalence).
+//
+// Each kernel has two loop variants: a fast one for the common case of
+// no skip mask and no batch sampler (no per-vertex mask probe, direct
+// stream access), and a general one handling sleeping/adversarial
+// vertices (whose Sent entries the engine pre-filled and whose state
+// must not move) and the amortized sampler. Both maintain the
+// env.Drew / env.Changed fixed-point flags that drive the engine's
+// quiescence elision.
+
+var (
+	_ beep.FlatProtocol = (*alg1Slab)(nil)
+	_ beep.FlatReiniter = (*alg1Slab)(nil)
+	_ beep.FlatQuiescer = (*alg1Slab)(nil)
+	_ beep.FlatProtocol = (*alg2Slab)(nil)
+	_ beep.FlatReiniter = (*alg2Slab)(nil)
+	_ beep.FlatQuiescer = (*alg2Slab)(nil)
+	_ beep.FlatProtocol = (*adaptiveSlab)(nil)
+	_ beep.FlatReiniter = (*adaptiveSlab)(nil)
+	_ beep.FlatQuiescer = (*adaptiveSlab)(nil)
+)
+
+// flatBern draws one Bernoulli(2^-l) trial for vertex v from whichever
+// source the environment configured: the amortized batch sampler when
+// present, the vertex's private stream otherwise. l <= 0 succeeds
+// without consuming randomness on either path (and therefore without
+// setting env.Drew).
+func flatBern(env *beep.FlatEnv, v int, l int32) bool {
+	if l <= 0 {
+		return true
+	}
+	env.Drew = true
+	if env.Sampler != nil {
+		return env.Sampler.Bernoulli2Pow(int(l))
+	}
+	return env.Srcs[v].Bernoulli2Pow(int(l))
+}
+
+// --- Algorithm 1 ---
+
+// alg1EmitAll is alg1Machine.Emit over a slab of Algorithm 1 states
+// (shared verbatim by the adaptive heuristic, which promotes the emit
+// rule unchanged): beep with probability min{2^-ℓ, 1} while ℓ < ℓmax.
+// Vertices at ℓ ≤ 0 beep surely and, like the per-machine path, consume
+// no randomness — in a stabilized configuration (MIS members at -ℓmax,
+// the rest at ℓmax) the whole loop makes zero generator calls.
+func alg1EmitAll[M any](env *beep.FlatEnv, ms []M, state func(*M) *alg1Machine) {
+	sent := env.Sent
+	if env.Skip == nil && env.Sampler == nil {
+		srcs := env.Srcs
+		drew := false
+		for v := range ms {
+			m := state(&ms[v])
+			lv := m.level
+			switch {
+			case lv >= m.lmax:
+				sent[v] = beep.Silent
+			case lv <= 0:
+				sent[v] = beep.Chan1
+			default:
+				drew = true
+				if srcs[v].Bernoulli2Pow(int(lv)) {
+					sent[v] = beep.Chan1
+				} else {
+					sent[v] = beep.Silent
+				}
+			}
+		}
+		if drew {
+			env.Drew = true
+		}
+		return
+	}
+	for v := range ms {
+		if env.Skipped(v) {
+			continue
+		}
+		m := state(&ms[v])
+		if m.level < m.lmax && flatBern(env, v, m.level) {
+			sent[v] = beep.Chan1
+		} else {
+			sent[v] = beep.Silent
+		}
+	}
+}
+
+// EmitAll implements beep.FlatProtocol.
+func (s *alg1Slab) EmitAll(env *beep.FlatEnv) {
+	alg1EmitAll(env, s.ms, func(m *alg1Machine) *alg1Machine { return m })
+}
+
+// alg1Step is the Algorithm 1 level transition (alg1Machine.Update) on
+// a slab entry, reporting whether the level moved.
+func alg1Step(m *alg1Machine, sent, heard beep.Signal) bool {
+	lv := m.level
+	var nl int32
+	switch {
+	case heard&beep.Chan1 != 0:
+		nl = lv + 1
+		if nl > m.lmax {
+			nl = m.lmax
+		}
+	case sent&beep.Chan1 != 0:
+		nl = -m.lmax
+	default:
+		nl = lv - 1
+		if nl < 1 {
+			nl = 1
+		}
+	}
+	m.level = nl
+	return nl != lv
+}
+
+// UpdateAll is alg1Machine.Update over the slab.
+func (s *alg1Slab) UpdateAll(env *beep.FlatEnv) {
+	ms := s.ms
+	sent, heard := env.Sent, env.Heard
+	changed := false
+	if env.Skip == nil {
+		for v := range ms {
+			if alg1Step(&ms[v], sent[v], heard[v]) {
+				changed = true
+			}
+		}
+	} else {
+		for v := range ms {
+			if env.Skipped(v) {
+				continue
+			}
+			if alg1Step(&ms[v], sent[v], heard[v]) {
+				changed = true
+			}
+		}
+	}
+	if changed {
+		env.Changed = true
+	}
+}
+
+// ReinitAll restores every machine to its construction-time state for
+// g, exactly as NewMachines would have built it (beep.FlatReiniter).
+func (s *alg1Slab) ReinitAll(g *graph.Graph) {
+	for v := range s.ms {
+		s.p.initMachine(&s.ms[v], v, g)
+	}
+}
+
+// SnapshotState records the full machine state for quiescence elision
+// (beep.FlatQuiescer).
+func (s *alg1Slab) SnapshotState() { s.shadow = snapshotSlab(s.shadow, s.ms) }
+
+// StateUnchanged reports whether the state matches the last snapshot.
+func (s *alg1Slab) StateUnchanged() bool { return slabEqual(s.shadow, s.ms) }
+
+// --- Algorithm 2 ---
+
+// EmitAll is alg2Machine.Emit over the slab: beep₂ at ℓ = 0 (the MIS
+// announcement, no randomness), beep₁ with probability 2^-ℓ while
+// 0 < ℓ < ℓmax.
+func (s *alg2Slab) EmitAll(env *beep.FlatEnv) {
+	ms := s.ms
+	sent := env.Sent
+	if env.Skip == nil && env.Sampler == nil {
+		srcs := env.Srcs
+		drew := false
+		for v := range ms {
+			lv := ms[v].level
+			switch {
+			case lv == 0:
+				sent[v] = beep.Chan2
+			case lv >= ms[v].lmax:
+				sent[v] = beep.Silent
+			default:
+				drew = true
+				if srcs[v].Bernoulli2Pow(int(lv)) {
+					sent[v] = beep.Chan1
+				} else {
+					sent[v] = beep.Silent
+				}
+			}
+		}
+		if drew {
+			env.Drew = true
+		}
+		return
+	}
+	for v := range ms {
+		if env.Skipped(v) {
+			continue
+		}
+		lv, lmax := ms[v].level, ms[v].lmax
+		switch {
+		case lv == 0:
+			sent[v] = beep.Chan2
+		case lv < lmax && flatBern(env, v, lv):
+			sent[v] = beep.Chan1
+		default:
+			sent[v] = beep.Silent
+		}
+	}
+}
+
+// alg2Step is the Algorithm 2 level transition (alg2Machine.Update) on
+// a slab entry, reporting whether the level moved.
+func alg2Step(m *alg2Machine, sent, heard beep.Signal) bool {
+	lv := m.level
+	nl := lv
+	switch {
+	case heard&beep.Chan2 != 0:
+		nl = m.lmax
+	case heard&beep.Chan1 != 0:
+		nl = lv + 1
+		if nl > m.lmax {
+			nl = m.lmax
+		}
+	case sent&beep.Chan1 != 0:
+		nl = 0
+	case sent&beep.Chan2 == 0:
+		nl = lv - 1
+		if nl < 1 {
+			nl = 1
+		}
+	}
+	m.level = nl
+	return nl != lv
+}
+
+// UpdateAll is alg2Machine.Update over the slab.
+func (s *alg2Slab) UpdateAll(env *beep.FlatEnv) {
+	ms := s.ms
+	sent, heard := env.Sent, env.Heard
+	changed := false
+	if env.Skip == nil {
+		for v := range ms {
+			if alg2Step(&ms[v], sent[v], heard[v]) {
+				changed = true
+			}
+		}
+	} else {
+		for v := range ms {
+			if env.Skipped(v) {
+				continue
+			}
+			if alg2Step(&ms[v], sent[v], heard[v]) {
+				changed = true
+			}
+		}
+	}
+	if changed {
+		env.Changed = true
+	}
+}
+
+// ReinitAll restores every machine to its construction-time state for
+// g (beep.FlatReiniter).
+func (s *alg2Slab) ReinitAll(g *graph.Graph) {
+	for v := range s.ms {
+		s.p.initMachine(&s.ms[v], v, g)
+	}
+}
+
+// SnapshotState records the full machine state for quiescence elision
+// (beep.FlatQuiescer).
+func (s *alg2Slab) SnapshotState() { s.shadow = snapshotSlab(s.shadow, s.ms) }
+
+// StateUnchanged reports whether the state matches the last snapshot.
+func (s *alg2Slab) StateUnchanged() bool { return slabEqual(s.shadow, s.ms) }
+
+// --- Adaptive heuristic ---
+
+// EmitAll is the Algorithm 1 emit rule over the adaptive slab
+// (adaptiveMachine promotes alg1Machine.Emit unchanged).
+func (s *adaptiveSlab) EmitAll(env *beep.FlatEnv) {
+	alg1EmitAll(env, s.ms, func(m *adaptiveMachine) *alg1Machine { return &m.alg1Machine })
+}
+
+// adaptiveStep is adaptiveMachine.Update on a slab entry: the Algorithm
+// 1 transition followed by the collision-driven cap doubling. It
+// reports whether any state (level, cap, or collision counter) moved —
+// a collision always moves the counter or the cap.
+func adaptiveStep(m *adaptiveMachine, sent, heard beep.Signal) bool {
+	collided := sent&beep.Chan1 != 0 && heard&beep.Chan1 != 0
+	changed := alg1Step(&m.alg1Machine, sent, heard)
+	if !collided {
+		return changed
+	}
+	m.collisions++
+	if m.collisions >= m.threshold {
+		m.collisions = 0
+		newCap := 2 * int(m.lmax)
+		if newCap > m.maxCap {
+			newCap = m.maxCap
+		}
+		m.lmax = int32(newCap)
+	}
+	return true
+}
+
+// UpdateAll is adaptiveMachine.Update over the slab.
+func (s *adaptiveSlab) UpdateAll(env *beep.FlatEnv) {
+	ms := s.ms
+	sent, heard := env.Sent, env.Heard
+	changed := false
+	if env.Skip == nil {
+		for v := range ms {
+			if adaptiveStep(&ms[v], sent[v], heard[v]) {
+				changed = true
+			}
+		}
+	} else {
+		for v := range ms {
+			if env.Skipped(v) {
+				continue
+			}
+			if adaptiveStep(&ms[v], sent[v], heard[v]) {
+				changed = true
+			}
+		}
+	}
+	if changed {
+		env.Changed = true
+	}
+}
+
+// ReinitAll restores every machine to its construction-time state
+// (beep.FlatReiniter; the adaptive machines carry no per-vertex
+// topology knowledge, so g is unused beyond the interface contract).
+func (s *adaptiveSlab) ReinitAll(*graph.Graph) {
+	for v := range s.ms {
+		s.p.initMachine(&s.ms[v])
+	}
+}
+
+// SnapshotState records the full machine state — including the mutable
+// caps and collision counters — for quiescence elision
+// (beep.FlatQuiescer).
+func (s *adaptiveSlab) SnapshotState() { s.shadow = snapshotSlab(s.shadow, s.ms) }
+
+// StateUnchanged reports whether the state matches the last snapshot.
+func (s *adaptiveSlab) StateUnchanged() bool { return slabEqual(s.shadow, s.ms) }
+
+// snapshotSlab copies src into the reusable shadow buffer.
+func snapshotSlab[M any](shadow, src []M) []M {
+	if cap(shadow) < len(src) {
+		shadow = make([]M, len(src))
+	}
+	shadow = shadow[:len(src)]
+	copy(shadow, src)
+	return shadow
+}
+
+// slabEqual reports element-wise equality; a shadow of the wrong length
+// (never snapshotted, or the cohort was resized by Rewire) never
+// matches. Machine structs are comparable by design — all fields are
+// plain integers — so this compares the complete mutable state.
+func slabEqual[M comparable](shadow, ms []M) bool {
+	if len(shadow) != len(ms) {
+		return false
+	}
+	for i := range ms {
+		if ms[i] != shadow[i] {
+			return false
+		}
+	}
+	return true
+}

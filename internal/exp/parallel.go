@@ -3,6 +3,7 @@ package exp
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // runTrials executes fn(trial) for every trial in [0, trials)
@@ -10,6 +11,12 @@ import (
 // error encountered. Trials must be independent (each derives its own
 // seeds), so results remain deterministic regardless of scheduling;
 // fn must write its outputs to trial-indexed slots, never append.
+//
+// After the first error the dispatcher stops handing out new trials:
+// trials already in flight finish (their writes stay trial-indexed and
+// harmless), but no further fn calls start, so a broken cell fails in
+// O(workers) trials instead of grinding through the whole pool
+// (TestRunTrialsStopsDispatchAfterError).
 func runTrials(trials int, fn func(trial int) error) error {
 	if trials <= 1 {
 		if trials == 1 {
@@ -25,6 +32,7 @@ func runTrials(trials int, fn func(trial int) error) error {
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		failed   atomic.Bool
 	)
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -38,11 +46,12 @@ func runTrials(trials int, fn func(trial int) error) error {
 						firstErr = err
 					}
 					mu.Unlock()
+					failed.Store(true)
 				}
 			}
 		}()
 	}
-	for t := 0; t < trials; t++ {
+	for t := 0; t < trials && !failed.Load(); t++ {
 		next <- t
 	}
 	close(next)

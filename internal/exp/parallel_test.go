@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunTrialsStopsDispatchAfterError is the regression test for the
+// early-exit bug: runTrials used to keep handing out trials after a
+// failure, so a broken cell ground through its whole trial pool before
+// reporting. After the fix the dispatcher stops at the first error and
+// only the O(workers) in-flight trials still execute.
+func TestRunTrialsStopsDispatchAfterError(t *testing.T) {
+	const trials = 10_000
+	boom := errors.New("boom")
+	var started atomic.Int64
+	err := runTrials(trials, func(trial int) error {
+		started.Add(1)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	// Every running worker may start at most a handful of trials before
+	// observing the failure flag; the pre-fix behavior starts all 10k.
+	if n := started.Load(); n > trials/2 {
+		t.Fatalf("dispatch did not stop after error: %d/%d trials started", n, trials)
+	}
+}
+
+// TestRunTrialsCompletesWithoutError checks the happy path visits every
+// trial exactly once.
+func TestRunTrialsCompletesWithoutError(t *testing.T) {
+	const trials = 257
+	seen := make([]atomic.Int32, trials)
+	if err := runTrials(trials, func(trial int) error {
+		seen[trial].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("trial %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestRunTrialsFirstErrorWins checks the reported error is stable: the
+// first one observed, never overwritten by later failures.
+func TestRunTrialsFirstErrorWins(t *testing.T) {
+	first := errors.New("first")
+	later := errors.New("later")
+	err := runTrials(64, func(trial int) error {
+		if trial == 0 {
+			return first
+		}
+		return later
+	})
+	if err == nil {
+		t.Fatal("want an error")
+	}
+	if !errors.Is(err, first) && !errors.Is(err, later) {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+// TestRunTrialsSmall covers the trials <= 1 fast paths.
+func TestRunTrialsSmall(t *testing.T) {
+	if err := runTrials(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("0 trials: %v", err)
+	}
+	ran := false
+	if err := runTrials(1, func(trial int) error {
+		if trial != 0 {
+			t.Fatalf("trial = %d", trial)
+		}
+		ran = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("single trial did not run")
+	}
+}

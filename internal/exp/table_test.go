@@ -66,8 +66,8 @@ func TestSeriesRenderPreservesOrder(t *testing.T) {
 
 func TestLookupAndIDs(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 {
-		t.Fatalf("registered %d experiments, want 18", len(ids))
+	if len(ids) != 19 {
+		t.Fatalf("registered %d experiments, want 19 (F1, E1–E18)", len(ids))
 	}
 	for _, id := range ids {
 		e, err := Lookup(id)

@@ -23,6 +23,10 @@ type Graph struct {
 	name string
 	off  []int32
 	adj  []int32
+	// maxDeg caches Δ(G), computed once at construction. Per-vertex
+	// knowledge variants (e.g. core.KnownMaxDegreeExact) query Δ for
+	// every vertex; without the cache that is an O(n²) trap at scale.
+	maxDeg int32
 }
 
 // Edge is an undirected edge between two vertices.
@@ -72,6 +76,11 @@ func New(n int, edges []Edge) (*Graph, error) {
 
 	g := &Graph{off: off, adj: adj}
 	g.sortAndDedup()
+	for v := 0; v < n; v++ {
+		if d := int32(g.Degree(v)); d > g.maxDeg {
+			g.maxDeg = d
+		}
+	}
 	return g, nil
 }
 
@@ -146,14 +155,10 @@ func (g *Graph) HasEdge(u, v int) bool {
 }
 
 // MaxDegree returns Δ(G), the maximum degree; 0 for the empty graph.
+// The value is cached at construction, so calling it per vertex (as the
+// knowledge variants do) costs O(1), not O(n).
 func (g *Graph) MaxDegree() int {
-	max := 0
-	for v := 0; v < g.N(); v++ {
-		if d := g.Degree(v); d > max {
-			max = d
-		}
-	}
-	return max
+	return int(g.maxDeg)
 }
 
 // Degree2 returns deg₂(v) = max over u in N(v) ∪ {v} of deg(u): the

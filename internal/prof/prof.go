@@ -1,0 +1,55 @@
+// Package prof wires the runtime/pprof collectors to atomic file writes
+// for the CLI drivers' -cpuprofile / -memprofile flags. Profiles are
+// collected into memory and flushed through atomicio, so an interrupted
+// run never leaves a truncated profile behind — the same durability
+// contract as the checkpoint and CSV writers.
+package prof
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"runtime/pprof"
+
+	"repro/internal/atomicio"
+)
+
+// Start begins the requested profiling and returns a finish function
+// that stops the CPU profile, captures the heap profile, and writes
+// both atomically. Either path may be empty (that collector is skipped);
+// with both empty, Start is a no-op and finish never fails.
+//
+// Typical driver use, preserving the body's error:
+//
+//	finish, err := prof.Start(*cpuProfile, *memProfile)
+//	if err != nil { return err }
+//	defer func() {
+//		if ferr := finish(); ferr != nil && retErr == nil { retErr = ferr }
+//	}()
+func Start(cpuPath, memPath string) (finish func() error, err error) {
+	var cpu bytes.Buffer
+	if cpuPath != "" {
+		if err := pprof.StartCPUProfile(&cpu); err != nil {
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+			if err := atomicio.WriteFileBytes(cpuPath, cpu.Bytes()); err != nil {
+				return fmt.Errorf("prof: write cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			runtime.GC() // materialize final heap statistics
+			var mem bytes.Buffer
+			if err := pprof.WriteHeapProfile(&mem); err != nil {
+				return fmt.Errorf("prof: collect heap profile: %w", err)
+			}
+			if err := atomicio.WriteFileBytes(memPath, mem.Bytes()); err != nil {
+				return fmt.Errorf("prof: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

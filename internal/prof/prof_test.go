@@ -1,0 +1,61 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartWritesBothProfiles checks the full collect-and-write cycle
+// produces non-empty pprof files at both paths.
+func TestStartWritesBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	finish, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestStartNoOp checks the empty-path fast path never touches the
+// filesystem and never fails.
+func TestStartNoOp(t *testing.T) {
+	finish, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStartBadPath checks a write failure surfaces as an error instead
+// of being dropped.
+func TestStartBadPath(t *testing.T) {
+	finish, err := Start("", filepath.Join(t.TempDir(), "no", "such", "dir", "mem.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := finish(); err == nil {
+		t.Fatal("want an error for an unwritable profile path")
+	}
+}

@@ -1,0 +1,79 @@
+package rng
+
+// Batch is an amortized sampler of Bernoulli(2^-l) trials, the only
+// distribution the paper's algorithms draw from. A single uniform
+// 64-bit word contains ⌊64/l⌋ independent l-bit fields, and each field
+// is all-zero with probability exactly 2^-l — so one generator call can
+// service up to ⌊64/l⌋ trials at level l instead of one. The sampler
+// keeps one partially consumed word per level, refilled on demand from
+// its backing stream.
+//
+// Every trial drawn from a Batch has exactly the distribution of
+// Source.Bernoulli2Pow (see TestBatchChiSquared, which certifies this
+// against both the analytic probability and the per-vertex path).
+// What a Batch does NOT preserve is the *draw sequence*: trials at
+// different levels interleave on one shared stream instead of each
+// vertex consuming its private stream, so executions sampled through a
+// Batch are statistically — not bit-for-bit — equivalent to exact ones.
+// The flat engine therefore uses a Batch only when explicitly enabled
+// (beep.WithBatchedSampling), never on the default trace-equivalent
+// path.
+//
+// The zero value is not usable; construct with NewBatch.
+type Batch struct {
+	src Source
+	// word[l] holds the unconsumed bits of the current 64-bit draw for
+	// level l; rem[l] counts the l-bit trial fields still available in
+	// it. Index 0 is unused (l <= 0 succeeds with probability 1 and
+	// consumes no randomness), indexes beyond 64 take the multi-word
+	// slow path.
+	word [65]uint64
+	rem  [65]uint8
+}
+
+// NewBatch returns a sampler backed by a dedicated stream seeded from
+// seed (via the same splitmix64 procedure as New).
+func NewBatch(seed uint64) *Batch {
+	b := &Batch{}
+	b.Reseed(seed)
+	return b
+}
+
+// Reseed resets the sampler to its initial state for the given seed,
+// discarding all partially consumed words; equivalent to NewBatch(seed)
+// but allocation-free.
+func (b *Batch) Reseed(seed uint64) {
+	b.src.Reseed(seed)
+	for i := range b.word {
+		b.word[i] = 0
+		b.rem[i] = 0
+	}
+}
+
+// Bernoulli2Pow reports a Bernoulli trial succeeding with probability
+// exactly min(2^-l, 1), amortizing ⌊64/l⌋ trials per generator call for
+// 1 <= l <= 64. Levels above 64 fall back to the exact multi-word scan
+// of Source.Bernoulli2Pow on the sampler's stream (they cannot share a
+// word, and at probability <= 2^-65 they are vanishingly rare anyway).
+func (b *Batch) Bernoulli2Pow(l int) bool {
+	if l <= 0 {
+		return true
+	}
+	if l > 64 {
+		return b.src.Bernoulli2Pow(l)
+	}
+	if b.rem[l] == 0 {
+		b.word[l] = b.src.Uint64()
+		b.rem[l] = uint8(64 / l)
+	}
+	b.rem[l]--
+	var field uint64
+	if l == 64 {
+		field = b.word[l]
+		b.word[l] = 0
+	} else {
+		field = b.word[l] & (1<<uint(l) - 1)
+		b.word[l] >>= uint(l)
+	}
+	return field == 0
+}

@@ -1,0 +1,136 @@
+package rng
+
+import (
+	"testing"
+)
+
+// TestBatchChiSquared certifies the amortized sampler against the
+// analytic success probability 2^-l AND against the exact per-vertex
+// path, level by level: both samplers' success counts must pass a
+// two-bin chi-squared test at a threshold far beyond any plausible
+// sampling fluctuation (χ² ≥ 28 has p < 1e-7 at 1 degree of freedom,
+// and the seeds are fixed, so the test is deterministic).
+func TestBatchChiSquared(t *testing.T) {
+	const draws = 400_000
+	const chiLimit = 28.0
+	for _, l := range []int{1, 2, 3, 4, 6, 8, 10, 12} {
+		p := 1.0
+		for i := 0; i < l; i++ {
+			p /= 2
+		}
+		expSucc := p * draws
+		expFail := (1 - p) * draws
+		chi := func(succ int) float64 {
+			ds := float64(succ) - expSucc
+			df := float64(draws-succ) - expFail
+			return ds*ds/expSucc + df*df/expFail
+		}
+
+		batch := NewBatch(uint64(1000 + l))
+		bSucc := 0
+		for i := 0; i < draws; i++ {
+			if batch.Bernoulli2Pow(l) {
+				bSucc++
+			}
+		}
+		exact := New(uint64(2000 + l))
+		eSucc := 0
+		for i := 0; i < draws; i++ {
+			if exact.Bernoulli2Pow(l) {
+				eSucc++
+			}
+		}
+		if c := chi(bSucc); c > chiLimit {
+			t.Errorf("l=%d: batch sampler χ²=%.1f (successes %d, expected %.1f)", l, c, bSucc, expSucc)
+		}
+		if c := chi(eSucc); c > chiLimit {
+			t.Errorf("l=%d: exact sampler χ²=%.1f (successes %d, expected %.1f)", l, c, eSucc, expSucc)
+		}
+	}
+}
+
+// TestBatchInterleavedLevels checks that interleaving levels on one
+// sampler (the access pattern of a real emit pass over mixed-level
+// vertices) keeps every level's marginal frequency correct.
+func TestBatchInterleavedLevels(t *testing.T) {
+	const rounds = 120_000
+	levels := []int{1, 3, 3, 7, 2, 5, 1, 9}
+	b := NewBatch(77)
+	succ := make(map[int]int)
+	count := make(map[int]int)
+	for r := 0; r < rounds; r++ {
+		for _, l := range levels {
+			count[l]++
+			if b.Bernoulli2Pow(l) {
+				succ[l]++
+			}
+		}
+	}
+	for _, l := range []int{1, 2, 3, 5, 7, 9} {
+		p := 1.0
+		for i := 0; i < l; i++ {
+			p /= 2
+		}
+		n := float64(count[l])
+		exp := p * n
+		dev := float64(succ[l]) - exp
+		// 6 standard deviations of the binomial: far beyond noise,
+		// deterministic under the fixed seed.
+		limit := 6 * sqrtApprox(n*p*(1-p))
+		if dev < -limit || dev > limit {
+			t.Errorf("l=%d: %d/%d successes, expected %.1f ± %.1f", l, succ[l], count[l], exp, limit)
+		}
+	}
+}
+
+// sqrtApprox is a dependency-free Newton sqrt (avoids importing math in
+// a package that deliberately has no dependencies).
+func sqrtApprox(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// TestBatchEdgeLevels pins the degenerate levels: l <= 0 always
+// succeeds without consuming randomness, l > 64 takes the multi-word
+// path and essentially never succeeds.
+func TestBatchEdgeLevels(t *testing.T) {
+	b := NewBatch(5)
+	before := b.src
+	for i := 0; i < 100; i++ {
+		if !b.Bernoulli2Pow(0) || !b.Bernoulli2Pow(-3) {
+			t.Fatal("l <= 0 must always succeed")
+		}
+	}
+	if b.src != before {
+		t.Fatal("l <= 0 consumed randomness")
+	}
+	for i := 0; i < 1000; i++ {
+		if b.Bernoulli2Pow(80) {
+			t.Fatal("a 2^-80 event fired in 1000 draws: the multi-word path is broken")
+		}
+	}
+}
+
+// TestBatchReseedDeterminism checks Reseed discards partial words and
+// restores the exact draw sequence of a fresh sampler.
+func TestBatchReseedDeterminism(t *testing.T) {
+	a := NewBatch(9)
+	for i := 0; i < 37; i++ { // leave partially consumed words behind
+		a.Bernoulli2Pow(3)
+		a.Bernoulli2Pow(5)
+	}
+	a.Reseed(123)
+	b := NewBatch(123)
+	for i := 0; i < 500; i++ {
+		l := 1 + i%13
+		if a.Bernoulli2Pow(l) != b.Bernoulli2Pow(l) {
+			t.Fatalf("draw %d (l=%d) diverged after Reseed", i, l)
+		}
+	}
+}

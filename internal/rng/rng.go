@@ -35,16 +35,25 @@ type Source struct {
 // reference seeding procedure recommended by the xoshiro authors.
 func New(seed uint64) *Source {
 	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed re-initializes the receiver exactly as New(seed) would,
+// without allocating: after the call the receiver's stream is
+// indistinguishable from a freshly constructed Source. It is the
+// building block of allocation-free network re-seeding (replication
+// pools reuse one Source value per vertex across trials).
+func (s *Source) Reseed(seed uint64) {
 	sm := seed
-	for i := range src.s {
-		src.s[i] = splitMix64(&sm)
+	for i := range s.s {
+		s.s[i] = splitMix64(&sm)
 	}
 	// Guard against the (astronomically unlikely) all-zero state, which
 	// is the one fixed point of the generator.
-	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
-		src.s[0] = 0x9e3779b97f4a7c15
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &src
 }
 
 // Split derives the i-th child stream of s without perturbing s.
@@ -52,9 +61,18 @@ func New(seed uint64) *Source {
 // non-overlapping streams because each is re-seeded through splitmix64
 // with a distinct derived seed.
 func (s *Source) Split(i uint64) *Source {
+	child := &Source{}
+	s.SplitInto(i, child)
+	return child
+}
+
+// SplitInto seeds dst with the i-th child stream of s, the
+// allocation-free form of Split: dst ends in exactly the state
+// Split(i) would have returned.
+func (s *Source) SplitInto(i uint64, dst *Source) {
 	// Mix the parent state and the child index into a fresh seed.
 	seed := s.s[0] ^ bits.RotateLeft64(s.s[2], 17) ^ (i * 0xd1342543de82ef95)
-	return New(seed)
+	dst.Reseed(seed)
 }
 
 // State returns the generator's internal state for checkpointing.

@@ -63,12 +63,14 @@ func chaosScenarios(t *testing.T) []ChaosScenario {
 
 // TestChaosKillResume is the acceptance gate of the crash-safety work:
 // ≥ 200 randomized kill points across {noise, adversaries, churn} ×
-// {sequential, parallel, per-vertex} must all resume from their last
-// auto-checkpoint with bit-exact trace equivalence against the
-// uninterrupted execution.
+// {sequential, parallel, per-vertex, flat} must all resume from their
+// last auto-checkpoint with bit-exact trace equivalence against the
+// uninterrupted execution. Including the flat engine here certifies the
+// vectorized kernels against checkpoint v2 and the quiescence-elision
+// fast path under kill/resume.
 func TestChaosKillResume(t *testing.T) {
 	const killsPerCombo = 23
-	engines := []beep.Engine{beep.Sequential, beep.Parallel, beep.PerVertex}
+	engines := []beep.Engine{beep.Sequential, beep.Parallel, beep.PerVertex, beep.Flat}
 	src := rng.New(4242)
 	total, combo := 0, 0
 	for _, base := range chaosScenarios(t) {
