@@ -113,6 +113,48 @@ func BenchmarkRoundParallel4k(b *testing.B)   { benchEngine(b, beep.Parallel, 40
 func BenchmarkRoundPerVertex4k(b *testing.B)  { benchEngine(b, beep.PerVertex, 4096) }
 func BenchmarkRoundFlat4k(b *testing.B)       { benchEngine(b, beep.Flat, 4096) }
 
+// BenchmarkRoundFlatParallel4k runs the sharded flat engine with its
+// default worker count (GOMAXPROCS); the W-suffixed variants pin
+// explicit counts for the scaling table in BENCH_parflat.json. W1 is
+// the sharding-overhead floor: the same stripe kernels and merge
+// phases on a single worker, so (W1 − Flat) is the price of the
+// machinery and (W1 − Wk) is the parallel payoff.
+func BenchmarkRoundFlatParallel4k(b *testing.B) { benchEngine(b, beep.FlatParallel, 4096) }
+func BenchmarkRoundFlatParallel4kW1(b *testing.B) {
+	benchEngine(b, beep.FlatParallel, 4096, beep.WithWorkers(1))
+}
+func BenchmarkRoundFlatParallel4kW2(b *testing.B) {
+	benchEngine(b, beep.FlatParallel, 4096, beep.WithWorkers(2))
+}
+func BenchmarkRoundFlatParallel4kW4(b *testing.B) {
+	benchEngine(b, beep.FlatParallel, 4096, beep.WithWorkers(4))
+}
+func BenchmarkRoundFlatParallel4kW8(b *testing.B) {
+	benchEngine(b, beep.FlatParallel, 4096, beep.WithWorkers(8))
+}
+
+// BenchmarkRoundFlatRelabeled4k isolates the cache-locality effect of
+// graph.Relabel: the same G(n,p) instance as the other 4k round
+// benches, BFS-relabeled before network construction, run on the
+// sequential flat engine. The delta against BenchmarkRoundFlat4k is
+// pure memory-layout effect — the relabeled graph is isomorphic and
+// every kernel does identical arithmetic.
+func BenchmarkRoundFlatRelabeled4k(b *testing.B) {
+	g := graph.Relabel(graph.GNPAvgDegree(4096, 8, rng.New(2)), graph.OrderBFS).Graph
+	proto := core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))
+	net, err := beep.NewNetwork(g, proto, 3, beep.WithEngine(beep.Flat))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Close()
+	net.RandomizeAll()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
 // BenchmarkRoundSequentialRef4k pins the pre-flat reference loop
 // (per-vertex interface dispatch) so the flat-kernel speedup stays
 // measurable after Sequential's transparent upgrade.
@@ -143,6 +185,38 @@ func BenchmarkRoundFlat1M(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.Step()
+	}
+}
+
+// BenchmarkRoundFlatParallel1M is BenchmarkRoundFlat1M through the
+// sharded engine, with sub-benchmarks per worker count: the scaling
+// measurement behind BENCH_parflat.json. Skipped under -short for the
+// same reason (UnitDisk generation at n = 10⁶ takes seconds). Combine
+// with -cpu to also scale GOMAXPROCS; with a single allotted CPU the
+// worker counts measure sharding overhead, not speedup.
+func BenchmarkRoundFlatParallel1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("n=10^6 round benchmark skipped in -short mode")
+	}
+	const n = 1_000_000
+	r := math.Sqrt(8 / (math.Pi * float64(n)))
+	g := graph.UnitDisk(n, r, rng.New(9))
+	proto := core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			net, err := beep.NewNetwork(g, proto, 3,
+				beep.WithEngine(beep.FlatParallel), beep.WithWorkers(w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer net.Close()
+			net.RandomizeAll()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Step()
+			}
+		})
 	}
 }
 

@@ -86,7 +86,8 @@ func run(args []string) (retErr error) {
 	resumePath := fs.String("resume", "", "resume from a checkpoint file instead of starting fresh (same -family/-seed/-alg)")
 	deadline := fs.Duration("deadline", 0, "wall-clock deadline per attempt, e.g. 30s (0 = none)")
 	maxRetries := fs.Int("max-retries", 0, "budget escalations after the first attempt (the run is extended, not restarted)")
-	engineName := fs.String("engine", "sequential", "round engine: sequential | parallel | pervertex | flat")
+	engineName := fs.String("engine", "sequential", "round engine: sequential | parallel | pervertex | flat | flatparallel")
+	workers := fs.Int("workers", 0, "worker count for the parallel engines (0 = GOMAXPROCS; ignored by sequential engines)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (written atomically)")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file (written atomically)")
 	helpFams := fs.Bool("help-families", false, "list graph family specs and exit")
@@ -100,6 +101,20 @@ func run(args []string) (retErr error) {
 	engine, err := beep.ParseEngine(*engineName)
 	if err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d: worker count must be non-negative (0 = GOMAXPROCS)", *workers)
+	}
+	// engineOpts builds the engine configuration (engine choice plus the
+	// optional explicit worker count) shared by every network this
+	// invocation constructs; each call returns a fresh slice, so the
+	// per-path appends never alias.
+	engineOpts := func(extra ...beep.Option) []beep.Option {
+		opts := []beep.Option{beep.WithEngine(engine)}
+		if *workers > 0 {
+			opts = append(opts, beep.WithWorkers(*workers))
+		}
+		return append(opts, extra...)
 	}
 	finishProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -137,6 +152,9 @@ func run(args []string) (retErr error) {
 		if engine != beep.Sequential {
 			return fmt.Errorf("-engine applies to the self-stabilizing algorithms only, not %q", *alg)
 		}
+		if *workers > 0 {
+			return fmt.Errorf("-workers applies to the self-stabilizing algorithms only, not %q", *alg)
+		}
 		if supervised {
 			return fmt.Errorf("-checkpoint/-resume/-deadline/-max-retries apply to the self-stabilizing algorithms only, not %q", *alg)
 		}
@@ -165,7 +183,7 @@ func run(args []string) (retErr error) {
 		if supervised {
 			return fmt.Errorf("-churn cannot be combined with -checkpoint/-resume/-deadline/-max-retries")
 		}
-		opts := []beep.Option{beep.WithEngine(engine)}
+		opts := engineOpts()
 		if len(advVerts) > 0 {
 			opts = append(opts, beep.WithAdversaries(advPol, advVerts))
 		}
@@ -182,9 +200,9 @@ func run(args []string) (retErr error) {
 			// The supervisor masks adversaries out of the legality probe
 			// itself, so the supervised path covers adversarial runs too.
 			return runSupervised(g, proto, *seed, initMode, *maxRounds, sup,
-				[]beep.Option{beep.WithEngine(engine), beep.WithAdversaries(advPol, advVerts)}, *printMIS)
+				engineOpts(beep.WithAdversaries(advPol, advVerts)), *printMIS)
 		}
-		return runAdversarial(g, proto, *seed, engine, advPol, advVerts, *maxRounds, initMode, *printMIS)
+		return runAdversarial(g, proto, *seed, engineOpts(), advPol, advVerts, *maxRounds, initMode, *printMIS)
 	}
 	runCfg := core.RunConfig{
 		Graph:     g,
@@ -204,7 +222,7 @@ func run(args []string) (retErr error) {
 				rec.Observer()(round, sent, heard)
 			}
 		}
-		net, err := beep.NewNetwork(g, proto, *seed, beep.WithEngine(engine), beep.WithObserver(obs), beep.WithNoise(runCfg.Noise))
+		net, err := beep.NewNetwork(g, proto, *seed, engineOpts(beep.WithObserver(obs), beep.WithNoise(runCfg.Noise))...)
 		if err != nil {
 			return err
 		}
@@ -243,11 +261,11 @@ func run(args []string) (retErr error) {
 		return nil
 	}
 	if err := runSupervised(g, proto, *seed, initMode, *maxRounds, sup,
-		[]beep.Option{beep.WithEngine(engine), beep.WithNoise(runCfg.Noise)}, *printMIS); err != nil {
+		engineOpts(beep.WithNoise(runCfg.Noise)), *printMIS); err != nil {
 		return err
 	}
 	if *faults > 0 {
-		return recoverFromFaults(g, proto, *seed, engine, *faults, *maxRounds)
+		return recoverFromFaults(g, proto, *seed, engineOpts(), *faults, *maxRounds)
 	}
 	return nil
 }
@@ -384,8 +402,8 @@ func runBaseline(g *graph.Graph, alg string, seed uint64, maxRounds int, init st
 	return nil
 }
 
-func recoverFromFaults(g *graph.Graph, proto beep.Protocol, seed uint64, engine beep.Engine, k, maxRounds int) error {
-	net, err := beep.NewNetwork(g, proto, seed, beep.WithEngine(engine))
+func recoverFromFaults(g *graph.Graph, proto beep.Protocol, seed uint64, opts []beep.Option, k, maxRounds int) error {
+	net, err := beep.NewNetwork(g, proto, seed, opts...)
 	if err != nil {
 		return err
 	}
@@ -552,8 +570,8 @@ func runChurn(g *graph.Graph, proto beep.Protocol, seed uint64, spec string, max
 // masked MIS when it stabilizes, or the stable fraction of correct
 // vertices at the horizon when it cannot (the expected outcome around
 // jammers, which deny their neighbors every silent round).
-func runAdversarial(g *graph.Graph, proto beep.Protocol, seed uint64, engine beep.Engine, policy beep.AdversaryPolicy, verts []int, maxRounds int, init core.InitMode, printMIS bool) error {
-	net, err := beep.NewNetwork(g, proto, seed, beep.WithEngine(engine), beep.WithAdversaries(policy, verts))
+func runAdversarial(g *graph.Graph, proto beep.Protocol, seed uint64, opts []beep.Option, policy beep.AdversaryPolicy, verts []int, maxRounds int, init core.InitMode, printMIS bool) error {
+	net, err := beep.NewNetwork(g, proto, seed, append(opts, beep.WithAdversaries(policy, verts))...)
 	if err != nil {
 		return err
 	}

@@ -157,10 +157,10 @@ func TestRunGraph6File(t *testing.T) {
 	}
 }
 
-// TestRunEngines exercises the -engine flag across all four engines and
+// TestRunEngines exercises the -engine flag across all five engines and
 // the error path for unknown names and baseline combinations.
 func TestRunEngines(t *testing.T) {
-	for _, engine := range []string{"sequential", "parallel", "pervertex", "flat"} {
+	for _, engine := range []string{"sequential", "parallel", "pervertex", "flat", "flatparallel"} {
 		if err := run([]string{"-family", "cycle:24", "-engine", engine, "-seed", "3"}); err != nil {
 			t.Fatalf("%s: %v", engine, err)
 		}
@@ -170,6 +170,35 @@ func TestRunEngines(t *testing.T) {
 	}
 	if err := run([]string{"-family", "cycle:16", "-alg", "luby", "-engine", "flat"}); err == nil {
 		t.Fatal("want error for -engine with a baseline algorithm")
+	}
+}
+
+// TestRunWorkersFlag covers -workers: explicit counts on the parallel
+// engines (including counts above the vertex count, which the network
+// clamps), acceptance on the churn and adversary paths, rejection of
+// negative values, and rejection for baseline algorithms.
+func TestRunWorkersFlag(t *testing.T) {
+	for _, engine := range []string{"flatparallel", "parallel"} {
+		for _, w := range []string{"1", "2", "999"} {
+			if err := run([]string{"-family", "cycle:24", "-engine", engine, "-workers", w, "-seed", "3"}); err != nil {
+				t.Fatalf("%s/-workers=%s: %v", engine, w, err)
+			}
+		}
+	}
+	if err := run([]string{"-family", "cycle:24", "-engine", "flatparallel", "-workers", "2",
+		"-churn", "flap:2:2", "-seed", "3"}); err != nil {
+		t.Fatalf("churn with -workers: %v", err)
+	}
+	if err := run([]string{"-family", "cycle:24", "-engine", "flatparallel", "-workers", "2",
+		"-adversaries", "0", "-adversary-policy", "mute", "-seed", "3"}); err != nil {
+		t.Fatalf("adversaries with -workers: %v", err)
+	}
+	if err := run([]string{"-family", "cycle:24", "-workers", "-1"}); err == nil ||
+		!strings.Contains(err.Error(), "non-negative") {
+		t.Fatalf("want non-negative validation error, got %v", err)
+	}
+	if err := run([]string{"-family", "cycle:16", "-alg", "luby", "-init", "fresh", "-workers", "2"}); err == nil {
+		t.Fatal("want error for -workers with a baseline algorithm")
 	}
 }
 

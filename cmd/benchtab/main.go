@@ -33,6 +33,7 @@ func run(args []string) (retErr error) {
 	seed := fs.Uint64("seed", 1, "root random seed")
 	trials := fs.Int("trials", 0, "override per-cell trial count (0 = default)")
 	jsonOut := fs.Bool("json", false, "emit one JSON document per table/series instead of aligned text")
+	workers := fs.Int("workers", 0, "trial-level worker bound for replication pools, e.g. E18 (0 = GOMAXPROCS)")
 	resume := fs.String("resume", "", "manifest file making the sweeps resumable: finished cells are logged (fsynced) as they complete and reused on the next run")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file (written atomically)")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file (written atomically)")
@@ -60,12 +61,16 @@ func run(args []string) (retErr error) {
 		return nil
 	}
 
+	if *workers < 0 {
+		return fmt.Errorf("-workers %d: worker count must be non-negative (0 = GOMAXPROCS)", *workers)
+	}
 	cfg := exp.Config{
-		Full:   *full,
-		Seed:   *seed,
-		Trials: *trials,
-		Out:    os.Stdout,
-		JSON:   *jsonOut,
+		Full:    *full,
+		Seed:    *seed,
+		Trials:  *trials,
+		Out:     os.Stdout,
+		JSON:    *jsonOut,
+		Workers: *workers,
 	}
 	if *resume != "" {
 		m, err := exp.OpenManifest(*resume)

@@ -18,6 +18,18 @@ func TestRunWithTrials(t *testing.T) {
 	}
 }
 
+// TestRunWorkersFlag covers -workers on the replication-pool experiment
+// (E18 routes it into exp.RunReplicated) and the validation of negative
+// counts.
+func TestRunWorkersFlag(t *testing.T) {
+	if err := run([]string{"-exp", "E18", "-trials", "2", "-workers", "2", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "F1", "-workers", "-3"}); err == nil {
+		t.Fatal("negative -workers accepted")
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-exp", "E99"}); err == nil {
 		t.Fatal("unknown experiment accepted")

@@ -125,6 +125,14 @@ const (
 	// requires the protocol's bulk state to implement FlatProtocol and
 	// is the only engine that accepts WithBatchedSampling.
 	Flat
+	// FlatParallel shards the flat cohort kernels over the
+	// sense-reversing worker pool: contiguous 64-vertex-aligned slab
+	// stripes per worker for emit/update, word-range-partitioned sender
+	// packing, per-worker scatter masks merged by word-range ownership
+	// for delivery (see flatparallel.go). Like Flat it requires
+	// FlatProtocol kernels, and like every other engine it is
+	// trace-equivalent to the sequential reference for a fixed seed.
+	FlatParallel
 )
 
 // String names the engine for tables and errors.
@@ -138,6 +146,8 @@ func (e Engine) String() string {
 		return "pervertex"
 	case Flat:
 		return "flat"
+	case FlatParallel:
+		return "flatparallel"
 	default:
 		return fmt.Sprintf("engine(%d)", int(e))
 	}
@@ -155,7 +165,9 @@ func ParseEngine(name string) (Engine, error) {
 		return PerVertex, nil
 	case "flat":
 		return Flat, nil
+	case "flatparallel":
+		return FlatParallel, nil
 	default:
-		return 0, fmt.Errorf("beep: unknown engine %q (want sequential, parallel, pervertex or flat)", name)
+		return 0, fmt.Errorf("beep: unknown engine %q (want sequential, parallel, pervertex, flat or flatparallel)", name)
 	}
 }

@@ -68,17 +68,35 @@ func (e *FlatEnv) Skipped(v int) bool {
 }
 
 // FlatProtocol is the optional extension implemented by the bulk-state
-// handles of protocols that support the flat engine (for the paper's
+// handles of protocols that support the flat engines (for the paper's
 // protocols these are the contiguous int32 level/cap slabs introduced
 // with BatchProtocol). EmitAll and UpdateAll must be observationally
 // identical to calling Emit/Update on every non-skipped machine in
 // vertex order.
+//
+// The range forms are the unit of work of the FlatParallel engine: each
+// worker runs one contiguous slab stripe [lo, hi). EmitRange(env, lo,
+// hi) must behave exactly like the [lo, hi) sub-loop of EmitAll —
+// touching only Sent[lo:hi] and the streams of vertices in [lo, hi), so
+// disjoint stripes never write shared state — and EmitAll(env) must be
+// equivalent to EmitRange(env, 0, len(Sent)) (same for UpdateAll /
+// UpdateRange). Because each vertex consumes randomness only from its
+// own private stream, stripes can execute in any order or concurrently
+// without perturbing any vertex's draw sequence: that is the whole
+// determinism argument of the parallel flat engine.
+//
+// Each worker passes its own FlatEnv, so the Drew/Changed flags are
+// per-stripe and race-free; the engine ORs them after the barrier.
 type FlatProtocol interface {
 	// EmitAll decides every non-skipped vertex's signal for the round.
 	EmitAll(env *FlatEnv)
 	// UpdateAll applies every non-skipped vertex's state transition
 	// given the round's Sent and Heard signals.
 	UpdateAll(env *FlatEnv)
+	// EmitRange is the [lo, hi) stripe of EmitAll.
+	EmitRange(env *FlatEnv, lo, hi int)
+	// UpdateRange is the [lo, hi) stripe of UpdateAll.
+	UpdateRange(env *FlatEnv, lo, hi int)
 }
 
 // FlatQuiescer is the optional extension that enables quiescence
@@ -152,16 +170,19 @@ const (
 // sampler when requested.
 func (n *Network) finishFlatSetup(proto Protocol, seed uint64) error {
 	n.bindFlatOps()
-	if n.engine == Flat {
+	if n.engine == Flat || n.engine == FlatParallel {
 		if n.noFlat {
-			return fmt.Errorf("beep: WithFlatKernels(false) conflicts with the flat engine")
+			return fmt.Errorf("beep: WithFlatKernels(false) conflicts with the %v engine", n.engine)
 		}
 		if n.flatOps == nil {
-			return fmt.Errorf("beep: flat engine requires flat kernels, but %T's bulk state (%T) does not implement FlatProtocol", proto, n.bulk)
+			return fmt.Errorf("beep: %v engine requires flat kernels, but %T's bulk state (%T) does not implement FlatProtocol", n.engine, proto, n.bulk)
 		}
 	}
 	if n.batched {
 		if n.engine != Flat {
+			// FlatParallel is also excluded: the amortized sampler is one
+			// shared sequential stream, which worker stripes cannot share
+			// without serializing (or re-ordering) draws.
 			return fmt.Errorf("beep: WithBatchedSampling requires the flat engine (got %v): only the explicitly non-trace-equivalent engine may re-order draws", n.engine)
 		}
 		n.sampler = rng.NewBatch(seed ^ batchSalt)
@@ -296,35 +317,61 @@ func (n *Network) buildFlatSkip() *bitset.Set {
 // of the heard array.
 var zeroSignals [64]Signal
 
+// GatherCrossoverFactor is the sparse/dense crossover of the flat
+// delivery kernel: the scatter path (OR each sender's CSR row into a
+// heard bitset) is taken while its estimated cost, senders × (avgDeg +
+// 1), stays at or below GatherCrossoverFactor × N; beyond that the
+// per-vertex gather scan wins, because it costs at most O(N · channels)
+// probes with early exit once every channel has been heard, while the
+// scatter cost keeps growing with the number of senders.
+//
+// The default of 2 ("scatter until it would touch more than ~2 words
+// per vertex") was chosen by measurement: BenchmarkDeliverCrossover
+// sweeps the sender fraction on an avg-degree-8 G(n,p) graph and the
+// scatter/gather cost curves cross within a factor of ~1.5 of this
+// setting, with both paths within noise of each other at the boundary
+// itself — so the exact constant is uncritical, which is what a
+// hard-coded crossover needs to be. Both paths produce the exact same
+// heard masks (pinned by TestDeliverCrossoverBoundary), so the choice
+// is invisible to traces.
+const GatherCrossoverFactor = 2
+
+// deliveryWantsGather applies the crossover cost model shared by the
+// sequential flat engine and the parallel one (where senders is the sum
+// of the per-worker pack counts).
+func deliveryWantsGather(senders, avgDeg, N int) bool {
+	return senders*(avgDeg+1) > GatherCrossoverFactor*N
+}
+
+// avgDegree returns the integer average degree ⌊2M/N⌋ used by the
+// delivery cost model.
+func (n *Network) avgDegree() int {
+	N := n.N()
+	if N == 0 {
+		return 0
+	}
+	return 2 * n.g.M() / N
+}
+
 // deliverFlat computes heard[v] for every vertex with word-level bitset
 // operations: per channel, the senders are packed into a bitset, and
 // the neighborhood OR is produced either by *scattering* each sender's
 // CSR row into a heard bitset (cost Σ_{senders} deg, the win whenever
 // few vertices beep — the steady state of a stabilized MIS) or, when
-// the estimated scatter cost exceeds the early-exit gather bound, by
-// the reference per-vertex scan. Both produce the exact OR, so the
-// choice is invisible to traces.
+// the estimated scatter cost exceeds the early-exit gather bound (see
+// GatherCrossoverFactor), by the reference per-vertex scan. Both
+// produce the exact OR, so the choice is invisible to traces.
 func (n *Network) deliverFlat() {
 	N := n.N()
 	if N == 0 {
 		return
 	}
-	degSum := 0
-	if N > 0 {
-		degSum = 2 * n.g.M()
-	}
 	senders := 0
 	for c := 0; c < n.channels; c++ {
-		senders += n.packSenders(c)
+		n.sizeSendBits(c)
+		senders += n.packSendersRange(c, 0, N)
 	}
-	// Estimated scatter cost: senders × average degree. The gather scan
-	// costs O(N) probes with early exit when beeping is ubiquitous, so
-	// prefer it once scatter would touch more than ~2 words per vertex.
-	avgDeg := 0
-	if N > 0 {
-		avgDeg = degSum / N
-	}
-	if senders*(avgDeg+1) > 2*N {
+	if deliveryWantsGather(senders, n.avgDegree(), N) {
 		n.deliverRange(0, N)
 		return
 	}
@@ -334,21 +381,28 @@ func (n *Network) deliverFlat() {
 	n.composeHeard()
 }
 
-// packSenders builds the channel-c sender bitset from the sent array
-// and returns the number of senders.
-func (n *Network) packSenders(c int) int {
-	N := n.N()
-	mask := Signal(1) << uint(c)
-	sb := &n.sendBits[c]
-	if sb.Len() != N {
-		sb.Resize(N)
+// sizeSendBits makes the channel-c sender bitset match the current
+// vertex count. Sizing is separated from packing so the parallel engine
+// can resize once, sequentially, before the pack phase fans out.
+func (n *Network) sizeSendBits(c int) {
+	if sb := &n.sendBits[c]; sb.Len() != n.N() {
+		sb.Resize(n.N())
 	}
-	words := sb.Words()
+}
+
+// packSendersRange builds the channel-c sender bits for the vertex
+// range [lo, hi) and returns the number of senders in the range. lo
+// must be 64-aligned and hi either 64-aligned or N, so distinct ranges
+// own disjoint words of the bitset — the property that lets the
+// parallel engine pack stripes concurrently with no atomics.
+func (n *Network) packSendersRange(c, lo, hi int) int {
+	mask := Signal(1) << uint(c)
+	words := n.sendBits[c].Words()
 	sent := n.sent
 	count := 0
 	var w uint64
-	wi := 0
-	for v := 0; v < N; v++ {
+	wi := lo >> 6
+	for v := lo; v < hi; v++ {
 		if sent[v]&mask != 0 {
 			w |= 1 << uint(v&63)
 		}
@@ -359,7 +413,7 @@ func (n *Network) packSenders(c int) int {
 			wi++
 		}
 	}
-	if N&63 != 0 {
+	if hi&63 != 0 {
 		words[wi] = w
 		count += bits.OnesCount64(w)
 	}
@@ -376,8 +430,18 @@ func (n *Network) scatterChannel(c int) {
 	} else {
 		hb.Reset()
 	}
-	hw := hb.Words()
-	for wi, w := range n.sendBits[c].Words() {
+	n.scatterWordsInto(c, hb.Words(), 0, len(n.sendBits[c].Words()))
+}
+
+// scatterWordsInto ORs the CSR rows of the channel-c senders found in
+// sender-bitset words [wlo, whi) into hw, a full-length heard word
+// array. The *reads* are word-range-partitioned; the *writes* land
+// anywhere in hw (a sender's neighbors are arbitrary), which is why the
+// parallel engine hands each worker a private hw and merges afterwards.
+func (n *Network) scatterWordsInto(c int, hw []uint64, wlo, whi int) {
+	sw := n.sendBits[c].Words()
+	for wi := wlo; wi < whi; wi++ {
+		w := sw[wi]
 		base := wi * 64
 		for w != 0 {
 			u := base + bits.TrailingZeros64(w)
@@ -390,21 +454,27 @@ func (n *Network) scatterChannel(c int) {
 }
 
 // composeHeard expands the per-channel heard bitsets into the heard
-// signal array, clearing 64 vertices at a time in the silent common
-// case.
+// signal array.
 func (n *Network) composeHeard() {
-	N := n.N()
+	n.composeHeardRange(0, n.N())
+}
+
+// composeHeardRange expands vertices [lo, hi) of the per-channel heard
+// bitsets into the heard signal array, clearing 64 vertices at a time
+// in the silent common case. lo must be 64-aligned (hi either
+// 64-aligned or N) so parallel stripes touch disjoint words.
+func (n *Network) composeHeardRange(lo, hi int) {
 	h1 := n.heardBits[0].Words()
 	var h2 []uint64
 	if n.channels == 2 {
 		h2 = n.heardBits[1].Words()
 	}
 	heard := n.heard
-	for wi := range h1 {
+	for wi := lo >> 6; wi < (hi+63)>>6; wi++ {
 		base := wi * 64
 		end := base + 64
-		if end > N {
-			end = N
+		if end > hi {
+			end = hi
 		}
 		w1 := h1[wi]
 		var w2 uint64
@@ -464,5 +534,20 @@ func (n *Network) Reseed(seed uint64) error {
 	n.failed = nil
 	n.quiet = false // sent/heard were cleared: a stale snapshot must not elide
 	n.advEpoch++    // new execution: legality observers must re-key
+	if n.workers != nil {
+		// Flat-parallel stripe state is per-round (reset by every
+		// stepFlatParallel), but a reseed starts a NEW execution on the
+		// same pool: clear the pack counters, activity flags and
+		// environments eagerly so nothing from the previous trial can
+		// leak into round 1 — the property the replication pools
+		// (exp.RunReplicated) and the post-Rewire regression test
+		// (TestFlatParallelRewireReseedBitExact) rely on.
+		for i := range n.workers.flat {
+			w := &n.workers.flat[i]
+			w.env = FlatEnv{}
+			w.senders = 0
+			w.active = false
+		}
+	}
 	return nil
 }

@@ -1,0 +1,80 @@
+package beep
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestWithWorkersValidation covers the WithWorkers option contract:
+// negative counts are a construction error, zero means "pick for me",
+// explicit counts are honored by the pooled engines (up to the 64-
+// vertex stripe granularity) and ignored by the single-threaded ones.
+func TestWithWorkersValidation(t *testing.T) {
+	g := graph.Cycle(200)
+
+	if _, err := NewNetwork(g, xoverProtocol{channels: 1}, 1, WithWorkers(-1)); err == nil {
+		t.Fatal("negative WithWorkers accepted")
+	}
+
+	// kernels is a protocol with flat cohort kernels (required by the
+	// Flat/FlatParallel engines) that never injects a fault.
+	kernels := flatPanicProtocol{round: -1}
+
+	// Sequential engines: no pool regardless of the requested count.
+	for _, e := range []Engine{Sequential, Flat} {
+		net, err := NewNetwork(g, kernels, 1, WithEngine(e), WithWorkers(8))
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if net.workers != nil {
+			t.Fatalf("%v: sequential engine built a worker pool", e)
+		}
+		net.Close()
+	}
+
+	// Pooled engines: the pool exists and never exceeds the request.
+	for _, e := range []Engine{Parallel, FlatParallel} {
+		for _, want := range []int{1, 2, 3, 999} {
+			net, err := NewNetwork(g, kernels, 1, WithEngine(e), WithWorkers(want))
+			if err != nil {
+				t.Fatalf("%v/w%d: %v", e, want, err)
+			}
+			if net.workers == nil {
+				t.Fatalf("%v/w%d: no worker pool", e, want)
+			}
+			if got := len(net.workers.shards); got > want {
+				t.Fatalf("%v/w%d: %d shards exceed the requested worker count", e, want, got)
+			}
+			if e == FlatParallel {
+				if len(net.workers.flat) != len(net.workers.shards) {
+					t.Fatalf("flat worker state count %d != shard count %d",
+						len(net.workers.flat), len(net.workers.shards))
+				}
+				// Stripe ownership: every shard boundary except the last
+				// must be 64-aligned, the word-disjointness contract of
+				// the pack and merge phases.
+				for i, sh := range net.workers.shards {
+					if sh[0]&63 != 0 {
+						t.Fatalf("shard %d starts at unaligned vertex %d", i, sh[0])
+					}
+					if i < len(net.workers.shards)-1 && sh[1]&63 != 0 {
+						t.Fatalf("shard %d ends at unaligned vertex %d", i, sh[1])
+					}
+				}
+			}
+			net.Close()
+		}
+	}
+
+	// PerVertex keeps its one-goroutine-per-vertex model: the request is
+	// ignored rather than silently resharding the engine's semantics.
+	net, err := NewNetwork(graph.Cycle(16), xoverProtocol{channels: 1}, 1, WithEngine(PerVertex), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(net.workers.shards); got != 16 {
+		t.Fatalf("PerVertex with WithWorkers(2) built %d shards, want 16", got)
+	}
+	net.Close()
+}

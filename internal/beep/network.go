@@ -67,7 +67,11 @@ type Network struct {
 	// the bitsets are the reusable buffers of the delivery kernel.
 	flatOps      FlatProtocol
 	flatQuiescer FlatQuiescer
-	flatEnv      FlatEnv
+	// flatParOps is the kernel handle the FlatParallel workers invoke;
+	// set by the coordinator before the first flat phase of each round
+	// (every publication is ordered by the pool's phase barrier).
+	flatParOps FlatProtocol
+	flatEnv    FlatEnv
 	quiet        bool
 	noFlat       bool
 	batched      bool
@@ -85,7 +89,10 @@ type Network struct {
 	failed *RunError
 
 	workers *workerPool
-	closed  bool
+	// reqWorkers is the WithWorkers override for the sharded engines
+	// (0 = GOMAXPROCS; validated non-negative at construction).
+	reqWorkers int
+	closed     bool
 }
 
 // Option configures a Network.
@@ -101,6 +108,18 @@ func WithEngine(e Engine) Option {
 // be retained.
 func WithObserver(fn func(round int, sent, heard []Signal)) Option {
 	return func(n *Network) { n.observer = fn }
+}
+
+// WithWorkers sets the worker-goroutine count of the sharded engines
+// (Parallel and FlatParallel); 0, the default, means GOMAXPROCS. The
+// count is capped at the vertex count. Negative values are a
+// construction error. Sequential and Flat run no pool and ignore the
+// option; PerVertex always runs one goroutine per vertex (that IS the
+// engine) and ignores it too. Because every engine is trace-equivalent
+// by construction, the worker count never changes results — only
+// wall-clock time (see BENCH_parflat.json for the scaling table).
+func WithWorkers(k int) Option {
+	return func(n *Network) { n.reqWorkers = k }
 }
 
 // NewNetwork instantiates proto on every vertex of g. Each vertex gets
@@ -151,6 +170,9 @@ func NewNetwork(g *graph.Graph, proto Protocol, seed uint64, opts ...Option) (*N
 	for _, opt := range opts {
 		opt(net)
 	}
+	if net.reqWorkers < 0 {
+		return nil, fmt.Errorf("beep: WithWorkers(%d): worker count must be non-negative (0 = GOMAXPROCS)", net.reqWorkers)
+	}
 	if err := net.noise.validate(); err != nil {
 		return nil, err
 	}
@@ -163,21 +185,37 @@ func NewNetwork(g *graph.Graph, proto Protocol, seed uint64, opts ...Option) (*N
 	if err := net.finishFlatSetup(proto, seed); err != nil {
 		return nil, err
 	}
-	if net.engine == Parallel || net.engine == PerVertex {
+	if net.usesPool() {
 		net.workers = newWorkerPool(net, net.poolSize())
 	}
 	return net, nil
 }
 
+// usesPool reports whether the configured engine runs on the worker
+// pool (and therefore whether Rewire must rebuild it).
+func (n *Network) usesPool() bool {
+	return n.engine == Parallel || n.engine == PerVertex || n.engine == FlatParallel
+}
+
 // poolSize returns the number of worker goroutines for the configured
-// engine: one per vertex for PerVertex, one per available CPU for
-// Parallel.
+// engine: one per vertex for PerVertex, and for the sharded engines the
+// WithWorkers override when given, one per available CPU otherwise.
 func (n *Network) poolSize() int {
 	if n.engine == PerVertex {
 		if n.N() < 1 {
 			return 1
 		}
 		return n.N()
+	}
+	if n.reqWorkers > 0 {
+		w := n.reqWorkers
+		if w > n.N() {
+			w = n.N()
+		}
+		if w < 1 {
+			w = 1
+		}
+		return w
 	}
 	return workerCount(n.N())
 }
@@ -271,6 +309,15 @@ func (n *Network) TryStep() error {
 	switch n.engine {
 	case Parallel, PerVertex:
 		rerr = n.stepParallel()
+	case FlatParallel:
+		// Construction requires the kernels, but a Rewire can drop the
+		// bulk handle (non-codec machine cohorts); the interface-loop
+		// pool remains trace-equivalent, so fall back to it.
+		if n.flatOps != nil {
+			rerr = n.stepFlatParallel(n.flatOps)
+		} else {
+			rerr = n.stepParallel()
+		}
 	default:
 		// Sequential and Flat: the flat kernels are the sequential
 		// semantics without per-vertex dispatch, so Sequential upgrades
@@ -441,6 +488,12 @@ type workerPool struct {
 	// vertex never orphans the barrier; the coordinator collects the
 	// error after the phase completes on every shard.
 	failed atomic.Pointer[RunError]
+
+	// flat holds the per-worker state of the FlatParallel engine (one
+	// entry per shard, nil for the other engines): the worker's private
+	// FlatEnv, its scatter scratch masks and its pack count. See
+	// flatparallel.go.
+	flat []flatWorker
 }
 
 const (
@@ -448,6 +501,16 @@ const (
 	phaseDeliver
 	phaseUpdate
 	phaseExit
+	// Flat-parallel phases (see flatparallel.go): cohort-kernel stripes
+	// for emit/update, word-range sender packing, per-worker scatter,
+	// word-range-ownership merge + compose, and the dense gather
+	// fallback.
+	phaseFlatEmit
+	phaseFlatPack
+	phaseFlatScatter
+	phaseFlatMerge
+	phaseFlatGather
+	phaseFlatUpdate
 )
 
 func newWorkerPool(net *Network, workers int) *workerPool {
@@ -458,8 +521,12 @@ func newWorkerPool(net *Network, workers int) *workerPool {
 	// Pad shard boundaries to cache-line multiples (64 signals = 64
 	// bytes) so adjacent shards never write the same line of the
 	// sent/heard arrays. Single-vertex shards (PerVertex) are left
-	// alone: padding them would collapse the per-vertex model.
-	if per > 1 {
+	// alone: padding them would collapse the per-vertex model. The
+	// flat-parallel engine additionally NEEDS 64-alignment — its pack
+	// and merge phases own whole 64-bit words of the sender/heard
+	// bitsets per stripe — so its shards are padded even when a shard
+	// would cover fewer than 64 vertices.
+	if per > 1 || net.engine == FlatParallel {
 		per = (per + 63) &^ 63
 	}
 	for lo := 0; lo < n; lo += per {
@@ -468,6 +535,9 @@ func newWorkerPool(net *Network, workers int) *workerPool {
 			hi = n
 		}
 		p.shards = append(p.shards, [2]int{lo, hi})
+	}
+	if net.engine == FlatParallel {
+		p.flat = make([]flatWorker, len(p.shards))
 	}
 	for i := range p.shards {
 		go p.worker(i)
@@ -500,6 +570,22 @@ func (p *workerPool) worker(i int) {
 			net.deliverRange(lo, hi)
 		case phaseUpdate:
 			if err := net.updateRange(lo, hi); err != nil {
+				p.failed.CompareAndSwap(nil, err)
+			}
+		case phaseFlatEmit:
+			if err := net.flatKernelRange("emit", &p.flat[i], lo, hi); err != nil {
+				p.failed.CompareAndSwap(nil, err)
+			}
+		case phaseFlatPack:
+			net.flatPackRange(&p.flat[i], lo, hi)
+		case phaseFlatScatter:
+			net.flatScatterRange(&p.flat[i], lo, hi)
+		case phaseFlatMerge:
+			net.flatMergeRange(p, lo, hi)
+		case phaseFlatGather:
+			net.deliverRange(lo, hi)
+		case phaseFlatUpdate:
+			if err := net.flatKernelRange("update", &p.flat[i], lo, hi); err != nil {
 				p.failed.CompareAndSwap(nil, err)
 			}
 		}

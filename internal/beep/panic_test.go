@@ -211,11 +211,15 @@ type flatPanicOps struct {
 
 func (o *flatPanicOps) EmitAll(env *FlatEnv) {
 	o.round++
+	o.EmitRange(env, 0, len(env.Sent))
+}
+
+func (o *flatPanicOps) EmitRange(env *FlatEnv, lo, hi int) {
 	if o.proto.phase == "emit" && o.round == o.proto.round {
 		panic("injected emit fault")
 	}
 	env.Drew = true
-	for v := range env.Sent {
+	for v := lo; v < hi; v++ {
 		if env.Skip != nil && env.Skip.Get(v) {
 			continue
 		}
@@ -227,7 +231,9 @@ func (o *flatPanicOps) EmitAll(env *FlatEnv) {
 	}
 }
 
-func (o *flatPanicOps) UpdateAll(env *FlatEnv) {
+func (o *flatPanicOps) UpdateAll(env *FlatEnv) { o.UpdateRange(env, 0, len(env.Sent)) }
+
+func (o *flatPanicOps) UpdateRange(env *FlatEnv, lo, hi int) {
 	if o.proto.phase == "update" && o.round == o.proto.round {
 		panic("injected update fault")
 	}
@@ -275,6 +281,55 @@ func TestFlatEnginePanicContainment(t *testing.T) {
 			case <-closed:
 			case <-time.After(5 * time.Second):
 				t.Fatal("Close deadlocked after a contained kernel panic")
+			}
+		})
+	}
+}
+
+// TestFlatParallelEnginePanicContainment mirrors the Flat containment
+// test for the sharded kernels: a panic inside a worker's
+// EmitRange/UpdateRange stripe is recovered BEFORE the barrier join (so
+// the pool is never orphaned — Close must return promptly), surfaces as
+// the same typed sticky *RunError with Vertex == -1, and poisons the
+// network against checkpoints. With several workers every stripe may
+// panic in the same round; the pool keeps the first error.
+func TestFlatParallelEnginePanicContainment(t *testing.T) {
+	g := graph.GNP(130, 0.05, rng.New(8))
+	for _, phase := range []string{"emit", "update"} {
+		t.Run(phase, func(t *testing.T) {
+			// round 0 == counter start: the stripe kernels (which do not
+			// advance the per-cohort round counter — that is EmitAll's
+			// job, and the sharded engine never calls EmitAll) panic on
+			// their very first invocation.
+			net, err := NewNetwork(g, flatPanicProtocol{round: 0, phase: phase}, 1,
+				WithEngine(FlatParallel), WithWorkers(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepErr := net.TryStep()
+			var rerr *RunError
+			if !errors.As(stepErr, &rerr) {
+				t.Fatalf("got %v, want *RunError", stepErr)
+			}
+			if rerr.Vertex != -1 || rerr.Round != 1 || rerr.Phase != phase || rerr.Engine != FlatParallel {
+				t.Fatalf("RunError = vertex %d round %d phase %q engine %v, want -1/1/%q/FlatParallel",
+					rerr.Vertex, rerr.Round, rerr.Phase, rerr.Engine, phase)
+			}
+			if len(rerr.Stack) == 0 {
+				t.Fatal("no stack captured")
+			}
+			if err := net.TryStep(); err != rerr {
+				t.Fatalf("second TryStep returned %v, want the original *RunError", err)
+			}
+			if _, err := net.Checkpoint(); err == nil {
+				t.Fatal("checkpoint of a failed network accepted")
+			}
+			closed := make(chan struct{})
+			go func() { net.Close(); close(closed) }()
+			select {
+			case <-closed:
+			case <-time.After(5 * time.Second):
+				t.Fatal("Close deadlocked after a contained stripe panic")
 			}
 		})
 	}

@@ -181,7 +181,7 @@ func TestDetectorAcrossChurnAndAdversaries(t *testing.T) {
 }
 
 // TestEngineEquivalenceThroughChurn extends the engine contract to the
-// new fault model on the paper's own protocol: all four engines must
+// new fault model on the paper's own protocol: all five engines must
 // produce bit-identical signal traces through a scripted crash-and-grow
 // Rewire with adversaries installed, exercising the BatchProtocol slab
 // path of the survivor state transfer (and, for the flat kernels, the
@@ -230,7 +230,7 @@ func TestEngineEquivalenceThroughChurn(t *testing.T) {
 		return trace
 	}
 	ref := run(beep.Sequential, beep.WithFlatKernels(false))
-	for _, engine := range []beep.Engine{beep.Sequential, beep.Parallel, beep.PerVertex, beep.Flat} {
+	for _, engine := range []beep.Engine{beep.Sequential, beep.Parallel, beep.PerVertex, beep.Flat, beep.FlatParallel} {
 		got := run(engine)
 		if len(got) != len(ref) {
 			t.Fatalf("engine %v recorded %d rounds, reference %d", engine, len(got), len(ref))

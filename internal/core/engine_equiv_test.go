@@ -55,15 +55,16 @@ func runEngineTrace(t *testing.T, g *graph.Graph, proto beep.Protocol, seed uint
 }
 
 // TestEngineTraceEquivalence asserts the engine contract end to end on
-// the paper's protocols: all four engines — Sequential (which silently
-// upgrades to the flat kernels), Parallel, PerVertex and Flat — produce
+// the paper's protocols: all five engines — Sequential (which silently
+// upgrades to the flat kernels), Parallel, PerVertex, Flat and
+// FlatParallel (at several explicit worker counts) — produce
 // bit-identical (sent, heard) traces and the same stabilization round
 // for a fixed seed, across graph families with distinct degree
 // profiles. The reference is Sequential with the flat kernels forced
 // OFF (the plain per-machine interface loop), so the comparison also
 // certifies the kernels against the reference semantics. Run with -race
-// this exercises the worker-pool barrier under both the sharded and the
-// goroutine-per-vertex engines.
+// this exercises the worker-pool barrier under the sharded, the
+// goroutine-per-vertex and the sharded-kernel engines.
 func TestEngineTraceEquivalence(t *testing.T) {
 	families := []struct {
 		name string
@@ -87,11 +88,19 @@ func TestEngineTraceEquivalence(t *testing.T) {
 	engines := []struct {
 		name   string
 		engine beep.Engine
+		opts   []beep.Option
 	}{
-		{"sequential+kernels", beep.Sequential},
-		{"parallel", beep.Parallel},
-		{"pervertex", beep.PerVertex},
-		{"flat", beep.Flat},
+		{"sequential+kernels", beep.Sequential, nil},
+		{"parallel", beep.Parallel, nil},
+		{"pervertex", beep.PerVertex, nil},
+		{"flat", beep.Flat, nil},
+		{"flatparallel", beep.FlatParallel, nil},
+		// Explicit worker counts: the trace must be invariant in the
+		// stripe partition, including the degenerate single-worker pool
+		// and a count that exceeds some of the family sizes.
+		{"flatparallel-w1", beep.FlatParallel, []beep.Option{beep.WithWorkers(1)}},
+		{"flatparallel-w3", beep.FlatParallel, []beep.Option{beep.WithWorkers(3)}},
+		{"flatparallel-w8", beep.FlatParallel, []beep.Option{beep.WithWorkers(8)}},
 	}
 	const seed, maxRounds = 90210, 20000
 	for _, fam := range families {
@@ -103,7 +112,7 @@ func TestEngineTraceEquivalence(t *testing.T) {
 					t.Fatalf("reference run did not stabilize within %d rounds", maxRounds)
 				}
 				for _, e := range engines {
-					got := runEngineTrace(t, fam.g, p.proto, seed, e.engine, maxRounds)
+					got := runEngineTrace(t, fam.g, p.proto, seed, e.engine, maxRounds, e.opts...)
 					if got.stabilized != ref.stabilized {
 						t.Fatalf("engine %s stabilized at round %d, reference at %d", e.name, got.stabilized, ref.stabilized)
 					}

@@ -54,18 +54,21 @@ func flatBern(env *beep.FlatEnv, v int, l int32) bool {
 
 // --- Algorithm 1 ---
 
-// alg1EmitAll is alg1Machine.Emit over a slab of Algorithm 1 states
-// (shared verbatim by the adaptive heuristic, which promotes the emit
-// rule unchanged): beep with probability min{2^-ℓ, 1} while ℓ < ℓmax.
-// Vertices at ℓ ≤ 0 beep surely and, like the per-machine path, consume
-// no randomness — in a stabilized configuration (MIS members at -ℓmax,
-// the rest at ℓmax) the whole loop makes zero generator calls.
-func alg1EmitAll[M any](env *beep.FlatEnv, ms []M, state func(*M) *alg1Machine) {
+// alg1EmitRange is alg1Machine.Emit over the [lo, hi) stripe of a slab
+// of Algorithm 1 states (shared verbatim by the adaptive heuristic,
+// which promotes the emit rule unchanged): beep with probability
+// min{2^-ℓ, 1} while ℓ < ℓmax. Vertices at ℓ ≤ 0 beep surely and, like
+// the per-machine path, consume no randomness — in a stabilized
+// configuration (MIS members at -ℓmax, the rest at ℓmax) the whole loop
+// makes zero generator calls. The stripe touches only Sent[lo:hi) and
+// the streams of vertices in [lo, hi), the write-disjointness contract
+// of beep.FlatProtocol's range forms.
+func alg1EmitRange[M any](env *beep.FlatEnv, ms []M, lo, hi int, state func(*M) *alg1Machine) {
 	sent := env.Sent
 	if env.Skip == nil && env.Sampler == nil {
 		srcs := env.Srcs
 		drew := false
-		for v := range ms {
+		for v := lo; v < hi; v++ {
 			m := state(&ms[v])
 			lv := m.level
 			switch {
@@ -87,7 +90,7 @@ func alg1EmitAll[M any](env *beep.FlatEnv, ms []M, state func(*M) *alg1Machine) 
 		}
 		return
 	}
-	for v := range ms {
+	for v := lo; v < hi; v++ {
 		if env.Skipped(v) {
 			continue
 		}
@@ -101,8 +104,11 @@ func alg1EmitAll[M any](env *beep.FlatEnv, ms []M, state func(*M) *alg1Machine) 
 }
 
 // EmitAll implements beep.FlatProtocol.
-func (s *alg1Slab) EmitAll(env *beep.FlatEnv) {
-	alg1EmitAll(env, s.ms, func(m *alg1Machine) *alg1Machine { return m })
+func (s *alg1Slab) EmitAll(env *beep.FlatEnv) { s.EmitRange(env, 0, len(s.ms)) }
+
+// EmitRange implements beep.FlatProtocol ([lo, hi) stripe of EmitAll).
+func (s *alg1Slab) EmitRange(env *beep.FlatEnv, lo, hi int) {
+	alg1EmitRange(env, s.ms, lo, hi, func(m *alg1Machine) *alg1Machine { return m })
 }
 
 // alg1Step is the Algorithm 1 level transition (alg1Machine.Update) on
@@ -129,18 +135,21 @@ func alg1Step(m *alg1Machine, sent, heard beep.Signal) bool {
 }
 
 // UpdateAll is alg1Machine.Update over the slab.
-func (s *alg1Slab) UpdateAll(env *beep.FlatEnv) {
+func (s *alg1Slab) UpdateAll(env *beep.FlatEnv) { s.UpdateRange(env, 0, len(s.ms)) }
+
+// UpdateRange is the [lo, hi) stripe of UpdateAll (beep.FlatProtocol).
+func (s *alg1Slab) UpdateRange(env *beep.FlatEnv, lo, hi int) {
 	ms := s.ms
 	sent, heard := env.Sent, env.Heard
 	changed := false
 	if env.Skip == nil {
-		for v := range ms {
+		for v := lo; v < hi; v++ {
 			if alg1Step(&ms[v], sent[v], heard[v]) {
 				changed = true
 			}
 		}
 	} else {
-		for v := range ms {
+		for v := lo; v < hi; v++ {
 			if env.Skipped(v) {
 				continue
 			}
@@ -174,13 +183,16 @@ func (s *alg1Slab) StateUnchanged() bool { return slabEqual(s.shadow, s.ms) }
 // EmitAll is alg2Machine.Emit over the slab: beep₂ at ℓ = 0 (the MIS
 // announcement, no randomness), beep₁ with probability 2^-ℓ while
 // 0 < ℓ < ℓmax.
-func (s *alg2Slab) EmitAll(env *beep.FlatEnv) {
+func (s *alg2Slab) EmitAll(env *beep.FlatEnv) { s.EmitRange(env, 0, len(s.ms)) }
+
+// EmitRange is the [lo, hi) stripe of EmitAll (beep.FlatProtocol).
+func (s *alg2Slab) EmitRange(env *beep.FlatEnv, lo, hi int) {
 	ms := s.ms
 	sent := env.Sent
 	if env.Skip == nil && env.Sampler == nil {
 		srcs := env.Srcs
 		drew := false
-		for v := range ms {
+		for v := lo; v < hi; v++ {
 			lv := ms[v].level
 			switch {
 			case lv == 0:
@@ -201,7 +213,7 @@ func (s *alg2Slab) EmitAll(env *beep.FlatEnv) {
 		}
 		return
 	}
-	for v := range ms {
+	for v := lo; v < hi; v++ {
 		if env.Skipped(v) {
 			continue
 		}
@@ -243,18 +255,21 @@ func alg2Step(m *alg2Machine, sent, heard beep.Signal) bool {
 }
 
 // UpdateAll is alg2Machine.Update over the slab.
-func (s *alg2Slab) UpdateAll(env *beep.FlatEnv) {
+func (s *alg2Slab) UpdateAll(env *beep.FlatEnv) { s.UpdateRange(env, 0, len(s.ms)) }
+
+// UpdateRange is the [lo, hi) stripe of UpdateAll (beep.FlatProtocol).
+func (s *alg2Slab) UpdateRange(env *beep.FlatEnv, lo, hi int) {
 	ms := s.ms
 	sent, heard := env.Sent, env.Heard
 	changed := false
 	if env.Skip == nil {
-		for v := range ms {
+		for v := lo; v < hi; v++ {
 			if alg2Step(&ms[v], sent[v], heard[v]) {
 				changed = true
 			}
 		}
 	} else {
-		for v := range ms {
+		for v := lo; v < hi; v++ {
 			if env.Skipped(v) {
 				continue
 			}
@@ -287,8 +302,11 @@ func (s *alg2Slab) StateUnchanged() bool { return slabEqual(s.shadow, s.ms) }
 
 // EmitAll is the Algorithm 1 emit rule over the adaptive slab
 // (adaptiveMachine promotes alg1Machine.Emit unchanged).
-func (s *adaptiveSlab) EmitAll(env *beep.FlatEnv) {
-	alg1EmitAll(env, s.ms, func(m *adaptiveMachine) *alg1Machine { return &m.alg1Machine })
+func (s *adaptiveSlab) EmitAll(env *beep.FlatEnv) { s.EmitRange(env, 0, len(s.ms)) }
+
+// EmitRange is the [lo, hi) stripe of EmitAll (beep.FlatProtocol).
+func (s *adaptiveSlab) EmitRange(env *beep.FlatEnv, lo, hi int) {
+	alg1EmitRange(env, s.ms, lo, hi, func(m *adaptiveMachine) *alg1Machine { return &m.alg1Machine })
 }
 
 // adaptiveStep is adaptiveMachine.Update on a slab entry: the Algorithm
@@ -314,18 +332,21 @@ func adaptiveStep(m *adaptiveMachine, sent, heard beep.Signal) bool {
 }
 
 // UpdateAll is adaptiveMachine.Update over the slab.
-func (s *adaptiveSlab) UpdateAll(env *beep.FlatEnv) {
+func (s *adaptiveSlab) UpdateAll(env *beep.FlatEnv) { s.UpdateRange(env, 0, len(s.ms)) }
+
+// UpdateRange is the [lo, hi) stripe of UpdateAll (beep.FlatProtocol).
+func (s *adaptiveSlab) UpdateRange(env *beep.FlatEnv, lo, hi int) {
 	ms := s.ms
 	sent, heard := env.Sent, env.Heard
 	changed := false
 	if env.Skip == nil {
-		for v := range ms {
+		for v := lo; v < hi; v++ {
 			if adaptiveStep(&ms[v], sent[v], heard[v]) {
 				changed = true
 			}
 		}
 	} else {
-		for v := range ms {
+		for v := lo; v < hi; v++ {
 			if env.Skipped(v) {
 				continue
 			}

@@ -31,6 +31,11 @@ type Config struct {
 	// seeds are derived from (seed, experiment, n, trial), a resumed
 	// sweep's numbers are identical to an uninterrupted one's.
 	Manifest *Manifest
+	// Workers bounds trial-level parallelism for the experiments that
+	// fan replications across goroutines (E18's replication pools);
+	// 0 means GOMAXPROCS. Results never depend on it — trials derive
+	// all randomness from their own seeds.
+	Workers int
 }
 
 // trials returns the effective trial count.

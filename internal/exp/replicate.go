@@ -51,6 +51,14 @@ type ReplicatedConfig struct {
 	Options []beep.Option
 	// Workers bounds the worker pool (0 = GOMAXPROCS).
 	Workers int
+	// Relabel, when not OrderNone, runs every trial on a cache-aware
+	// relabeling of Graph (graph.Relabel) and maps the MIS back to the
+	// original identifiers before verification. Relabeling changes
+	// which private stream an original vertex draws from, so for a
+	// fixed seed the trial outcomes differ from the unrelabeled pool in
+	// the per-trial draws (not in distribution) — which is exactly why
+	// it is an opt-in, separately measured transform.
+	Relabel graph.Ordering
 }
 
 // ReplicatedResult holds the per-trial outcomes, trial-indexed.
@@ -91,6 +99,16 @@ func RunReplicated(cfg ReplicatedConfig) (*ReplicatedResult, error) {
 		Rounds:  make([]int, cfg.Trials),
 		MISSize: make([]int, cfg.Trials),
 	}
+	// Optional cache-aware relabeling: computed once, shared read-only
+	// by every worker. Trials then execute on rl.Graph and pull the MIS
+	// back through the inverse permutation for verification against the
+	// ORIGINAL topology (the stronger check: a bug in the permutation
+	// or the pullback fails verification even if the relabeled-space
+	// MIS is legal).
+	var rl *graph.Relabeling
+	if cfg.Relabel != graph.OrderNone {
+		rl = graph.Relabel(cfg.Graph, cfg.Relabel)
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -118,7 +136,7 @@ func RunReplicated(cfg ReplicatedConfig) (*ReplicatedResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			net, err := newReplicaNetwork(&cfg)
+			net, err := newReplicaNetwork(&cfg, rl)
 			if err != nil {
 				report(err)
 				for range next { // keep the dispatcher unblocked
@@ -127,8 +145,9 @@ func RunReplicated(cfg ReplicatedConfig) (*ReplicatedResult, error) {
 			}
 			defer net.Close()
 			var probe core.State
+			var scratch misScratch
 			for trial := range next {
-				if err := runReplica(&cfg, net, &probe, trial, res); err != nil {
+				if err := runReplica(&cfg, net, rl, &probe, &scratch, trial, res); err != nil {
 					report(fmt.Errorf("exp: RunReplicated trial %d: %w", trial, err))
 				}
 			}
@@ -145,21 +164,32 @@ func RunReplicated(cfg ReplicatedConfig) (*ReplicatedResult, error) {
 	return res, nil
 }
 
-// newReplicaNetwork builds one worker's reusable network. The
-// construction seed is irrelevant: every trial reseeds before running.
-func newReplicaNetwork(cfg *ReplicatedConfig) (*beep.Network, error) {
+// newReplicaNetwork builds one worker's reusable network (on the
+// relabeled topology when rl is set). The construction seed is
+// irrelevant: every trial reseeds before running.
+func newReplicaNetwork(cfg *ReplicatedConfig, rl *graph.Relabeling) (*beep.Network, error) {
 	engine := cfg.Engine
 	if engine == 0 {
 		engine = beep.Sequential
 	}
+	g := cfg.Graph
+	if rl != nil {
+		g = rl.Graph
+	}
 	opts := append([]beep.Option{beep.WithEngine(engine)}, cfg.Options...)
-	return beep.NewNetwork(cfg.Graph, cfg.Protocol, cfg.seedFor(0), opts...)
+	return beep.NewNetwork(g, cfg.Protocol, cfg.seedFor(0), opts...)
+}
+
+// misScratch holds one worker's reusable pullback buffers, so the
+// relabeled verification path stays allocation-free across trials.
+type misScratch struct {
+	mask, back []bool
 }
 
 // runReplica executes one trial on a reused network: reseed, re-init,
 // run to stabilization, verify, record. probe is reused across trials so
 // the per-round stabilization check stays allocation-free.
-func runReplica(cfg *ReplicatedConfig, net *beep.Network, probe *core.State, trial int, res *ReplicatedResult) error {
+func runReplica(cfg *ReplicatedConfig, net *beep.Network, rl *graph.Relabeling, probe *core.State, scratch *misScratch, trial int, res *ReplicatedResult) error {
 	if err := net.Reseed(cfg.seedFor(trial)); err != nil {
 		return err
 	}
@@ -190,6 +220,25 @@ func runReplica(cfg *ReplicatedConfig, net *beep.Network, probe *core.State, tri
 	}
 	if err := probe.VerifyMIS(); err != nil {
 		return fmt.Errorf("stabilized to an illegal state: %w", err)
+	}
+	if rl != nil {
+		// Pull the MIS back through the inverse permutation and verify
+		// it against the ORIGINAL topology, not just the relabeled one.
+		n := net.N()
+		if cap(scratch.mask) < n {
+			scratch.mask = make([]bool, n)
+			scratch.back = make([]bool, n)
+		}
+		mask, back := scratch.mask[:n], scratch.back[:n]
+		for v := 0; v < n; v++ {
+			mask[v] = probe.InMIS(v)
+		}
+		for old, nw := range rl.NewID {
+			back[old] = mask[nw]
+		}
+		if err := cfg.Graph.VerifyMIS(back); err != nil {
+			return fmt.Errorf("relabeled MIS does not pull back to a legal MIS on the original graph: %w", err)
+		}
 	}
 	mis := 0
 	for v := 0; v < net.N(); v++ {
@@ -244,6 +293,7 @@ func RunE18(cfg Config) error {
 				Seed:     root,
 				Trials:   trials,
 				Init:     init,
+				Workers:  cfg.Workers,
 			})
 			if err != nil {
 				return fmt.Errorf("E18 %s/%s: %w", fam.name, init, err)

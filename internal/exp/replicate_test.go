@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/beep"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -76,6 +77,59 @@ func TestRunReplicatedWorkerIndependence(t *testing.T) {
 			t.Fatalf("trial %d depends on worker count: 1w (rounds=%d, mis=%d) vs 4w (rounds=%d, mis=%d)",
 				trial, r1.Rounds[trial], r1.MISSize[trial], r4.Rounds[trial], r4.MISSize[trial])
 		}
+	}
+}
+
+// TestRunReplicatedRelabel runs replication pools through the
+// cache-aware relabelings: every trial must stabilize, and the
+// pulled-back MIS must verify against the ORIGINAL topology (runReplica
+// enforces this per trial). It also checks the relabeled pools match a
+// fresh run on the relabeled graph — relabeling composes with the
+// reseed amortization, it does not interfere with it — and that the
+// flat-parallel engine accepts the relabeled pool.
+func TestRunReplicatedRelabel(t *testing.T) {
+	g := graph.GNPAvgDegree(96, 6, rng.New(23))
+	proto := core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))
+	for _, tc := range []struct {
+		name   string
+		ord    graph.Ordering
+		engine beep.Engine
+	}{
+		{"bfs", graph.OrderBFS, 0},
+		{"degree", graph.OrderDegree, 0},
+		{"bfs-flatparallel", graph.OrderBFS, beep.FlatParallel},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ReplicatedConfig{
+				Graph:    g,
+				Protocol: proto,
+				Seed:     77,
+				Trials:   4,
+				Init:     core.InitRandom,
+				Relabel:  tc.ord,
+				Engine:   tc.engine,
+			}
+			res, err := RunReplicated(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rl := graph.Relabel(g, tc.ord)
+			for trial := 0; trial < cfg.Trials; trial++ {
+				fresh, err := core.Run(core.RunConfig{
+					Graph:    rl.Graph,
+					Protocol: proto,
+					Seed:     cfg.seedFor(trial),
+					Init:     core.InitRandom,
+				})
+				if err != nil {
+					t.Fatalf("fresh relabeled trial %d: %v", trial, err)
+				}
+				if res.Rounds[trial] != fresh.Rounds || res.MISSize[trial] != fresh.MISSize {
+					t.Fatalf("trial %d diverged from fresh relabeled run: (rounds=%d, mis=%d) vs (rounds=%d, mis=%d)",
+						trial, res.Rounds[trial], res.MISSize[trial], fresh.Rounds, fresh.MISSize)
+				}
+			}
+		})
 	}
 }
 

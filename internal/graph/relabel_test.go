@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// relabelFamilies builds a spread of topologies with distinct degree
+// profiles (including a disconnected one, which exercises the BFS
+// component sweep, and the empty/singleton corners).
+func relabelFamilies() map[string]*Graph {
+	disconnected := MustNew(9, []Edge{{0, 1}, {1, 2}, {4, 5}, {7, 8}, {5, 6}})
+	return map[string]*Graph{
+		"empty":        MustNew(0, nil),
+		"singleton":    MustNew(1, nil),
+		"edgeless":     MustNew(7, nil),
+		"path":         Path(17),
+		"cycle":        Cycle(16),
+		"star":         Star(12),
+		"complete":     Complete(9),
+		"grid":         Grid(5, 4),
+		"gnp":          GNPAvgDegree(64, 6, rng.New(99)),
+		"disconnected": disconnected,
+	}
+}
+
+// TestRelabelRoundTrip is the permutation property test: for every
+// ordering and family, NewID and OldID are mutually inverse
+// permutations, the relabeled graph is a valid CSR, and mapping each
+// edge through the permutation is an isomorphism (adjacency is exactly
+// preserved, degrees and Δ included).
+func TestRelabelRoundTrip(t *testing.T) {
+	for name, g := range relabelFamilies() {
+		for _, ord := range []Ordering{OrderNone, OrderBFS, OrderDegree} {
+			r := Relabel(g, ord)
+			n := g.N()
+			if r.Graph.N() != n || r.Graph.M() != g.M() {
+				t.Fatalf("%s/%v: size changed: n %d→%d, m %d→%d", name, ord, n, r.Graph.N(), g.M(), r.Graph.M())
+			}
+			if len(r.NewID) != n || len(r.OldID) != n {
+				t.Fatalf("%s/%v: permutation length mismatch", name, ord)
+			}
+			for v := 0; v < n; v++ {
+				if int(r.OldID[r.NewID[v]]) != v {
+					t.Fatalf("%s/%v: OldID[NewID[%d]] = %d", name, ord, v, r.OldID[r.NewID[v]])
+				}
+				if int(r.NewID[r.OldID[v]]) != v {
+					t.Fatalf("%s/%v: NewID[OldID[%d]] = %d", name, ord, v, r.NewID[r.OldID[v]])
+				}
+			}
+			if err := r.Graph.Validate(); err != nil {
+				t.Fatalf("%s/%v: relabeled CSR invalid: %v", name, ord, err)
+			}
+			// Isomorphism both directions: u~v in g iff NewID[u]~NewID[v]
+			// in r.Graph. Degrees and the cached Δ follow.
+			for v := 0; v < n; v++ {
+				if g.Degree(v) != r.Graph.Degree(int(r.NewID[v])) {
+					t.Fatalf("%s/%v: degree of %d changed", name, ord, v)
+				}
+				for _, u := range g.Neighbors(v) {
+					if !r.Graph.HasEdge(int(r.NewID[v]), int(r.NewID[u])) {
+						t.Fatalf("%s/%v: edge (%d,%d) lost", name, ord, v, u)
+					}
+				}
+			}
+			if r.Graph.MaxDegree() != g.MaxDegree() {
+				t.Fatalf("%s/%v: Δ changed %d→%d", name, ord, g.MaxDegree(), r.Graph.MaxDegree())
+			}
+			if ord == OrderNone {
+				for v := 0; v < n; v++ {
+					if int(r.NewID[v]) != v {
+						t.Fatalf("%s: OrderNone is not the identity at %d", name, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRelabelOrderings pins the strategy-specific guarantees: degree
+// ordering is sorted by descending degree with ascending-ID
+// tie-breaks, and BFS ordering assigns consecutive ranges per
+// connected component.
+func TestRelabelOrderings(t *testing.T) {
+	g := GNPAvgDegree(80, 5, rng.New(7))
+
+	rd := Relabel(g, OrderDegree)
+	for nw := 1; nw < g.N(); nw++ {
+		dPrev := rd.Graph.Degree(nw - 1)
+		dCur := rd.Graph.Degree(nw)
+		if dPrev < dCur {
+			t.Fatalf("degree order violated at %d: %d < %d", nw, dPrev, dCur)
+		}
+		if dPrev == dCur && rd.OldID[nw-1] >= rd.OldID[nw] {
+			t.Fatalf("degree tie-break violated at %d", nw)
+		}
+	}
+
+	// BFS: within the relabeled graph, each component occupies a
+	// contiguous ID range (a BFS order can never interleave two
+	// components).
+	disc := MustNew(10, []Edge{{0, 1}, {1, 2}, {3, 4}, {5, 6}, {6, 7}, {7, 8}})
+	rb := Relabel(disc, OrderBFS)
+	comp := make([]int, disc.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	label := 0
+	for v := 0; v < rb.Graph.N(); v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		stack := []int{v}
+		comp[v] = label
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range rb.Graph.Neighbors(x) {
+				if comp[u] == -1 {
+					comp[u] = label
+					stack = append(stack, int(u))
+				}
+			}
+		}
+		label++
+	}
+	for v := 1; v < len(comp); v++ {
+		if comp[v] < comp[v-1] {
+			t.Fatalf("BFS interleaved components: comp[%d]=%d after comp[%d]=%d", v, comp[v], v-1, comp[v-1])
+		}
+	}
+}
+
+// TestRelabelMapBack checks both MapBack variants against hand
+// permutation, and that an MIS computed on the relabeled graph maps
+// back to a verified MIS on the original (VerifyMIS of the original
+// topology accepts the pulled-back mask — the end-to-end contract
+// experiment harnesses rely on).
+func TestRelabelMapBack(t *testing.T) {
+	for name, g := range relabelFamilies() {
+		for _, ord := range []Ordering{OrderBFS, OrderDegree} {
+			r := Relabel(g, ord)
+			mis := r.Graph.GreedyMIS()
+			back := r.MapBack(mis)
+			if err := g.VerifyMIS(back); err != nil {
+				t.Fatalf("%s/%v: mapped-back MIS invalid on original graph: %v", name, ord, err)
+			}
+			for old := 0; old < g.N(); old++ {
+				if back[old] != mis[r.NewID[old]] {
+					t.Fatalf("%s/%v: MapBack mismatch at %d", name, ord, old)
+				}
+			}
+			vals := make([]int32, g.N())
+			for nw := range vals {
+				vals[nw] = int32(3*nw + 1)
+			}
+			bi := r.MapBackInt32(vals)
+			for old := 0; old < g.N(); old++ {
+				if bi[old] != vals[r.NewID[old]] {
+					t.Fatalf("%s/%v: MapBackInt32 mismatch at %d", name, ord, old)
+				}
+			}
+		}
+	}
+}

@@ -63,14 +63,15 @@ func chaosScenarios(t *testing.T) []ChaosScenario {
 
 // TestChaosKillResume is the acceptance gate of the crash-safety work:
 // ≥ 200 randomized kill points across {noise, adversaries, churn} ×
-// {sequential, parallel, per-vertex, flat} must all resume from their
-// last auto-checkpoint with bit-exact trace equivalence against the
-// uninterrupted execution. Including the flat engine here certifies the
-// vectorized kernels against checkpoint v2 and the quiescence-elision
-// fast path under kill/resume.
+// {sequential, parallel, per-vertex, flat, flatparallel} must all
+// resume from their last auto-checkpoint with bit-exact trace
+// equivalence against the uninterrupted execution. Including the flat
+// engines here certifies the vectorized kernels (and their sharded
+// variant's stripe state) against checkpoint v2 and the
+// quiescence-elision fast path under kill/resume.
 func TestChaosKillResume(t *testing.T) {
 	const killsPerCombo = 23
-	engines := []beep.Engine{beep.Sequential, beep.Parallel, beep.PerVertex, beep.Flat}
+	engines := []beep.Engine{beep.Sequential, beep.Parallel, beep.PerVertex, beep.Flat, beep.FlatParallel}
 	src := rng.New(4242)
 	total, combo := 0, 0
 	for _, base := range chaosScenarios(t) {
