@@ -14,8 +14,10 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -69,7 +71,7 @@ func main() {
 func run(args []string) (retErr error) {
 	fs := flag.NewFlagSet("beepmis", flag.ContinueOnError)
 	family := fs.String("family", "", "graph family spec (see -help-families)")
-	graphFile := fs.String("graph", "", "edge-list file (alternative to -family)")
+	graphFile := fs.String("graph", "", "graph file: .edges, .edges.gz, .g6 or .bgr (alternative to -family)")
 	alg := fs.String("alg", "alg1-known-delta", "algorithm: alg1-known-delta | alg1-own-degree | alg2-two-channel | alg1-adaptive | jeavons | afek | luby")
 	init := fs.String("init", "random", "initial configuration: fresh | random | adversarial | zero")
 	seed := fs.Uint64("seed", 1, "random seed")
@@ -334,12 +336,35 @@ func loadGraph(family, file string, seed uint64) (*graph.Graph, error) {
 	case family != "":
 		return famspec.Parse(family, rng.New(seed^0x9e37))
 	case file != "":
+		if strings.HasSuffix(file, ".bgr") {
+			// Binary graphs decode to the compact backend; beepmis's
+			// churn/baseline paths want the materialized CSR, and the
+			// fingerprint (hence every trace) is backend-invariant.
+			c, err := graph.ReadBGR(file)
+			if err != nil {
+				return nil, err
+			}
+			return graph.Materialize(c), nil
+		}
 		data, err := os.ReadFile(file)
 		if err != nil {
 			return nil, err
 		}
+		if strings.HasSuffix(file, ".gz") {
+			zr, err := gzip.NewReader(bytes.NewReader(data))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", file, err)
+			}
+			if data, err = io.ReadAll(zr); err != nil {
+				return nil, fmt.Errorf("%s: %w", file, err)
+			}
+			if err := zr.Close(); err != nil {
+				return nil, fmt.Errorf("%s: %w", file, err)
+			}
+			file = strings.TrimSuffix(file, ".gz")
+		}
 		if strings.HasSuffix(file, ".g6") {
-			return graph.DecodeGraph6(string(data))
+			return graph.DecodeGraph6(strings.TrimSpace(string(data)))
 		}
 		return graph.ReadEdgeList(bytes.NewReader(data))
 	default:

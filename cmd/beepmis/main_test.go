@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"compress/gzip"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/graph"
 )
 
 func TestRunFamilyAllAlgorithms(t *testing.T) {
@@ -35,6 +39,48 @@ func TestRunGraphFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "g.edges")
 	if err := os.WriteFile(path, []byte("n 4\n0 1\n1 2\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph", path, "-print-mis"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGraphFileBGR(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bgr")
+	if err := graph.WriteBGR(path, graph.Torus(5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph", path, "-print-mis"}); err != nil {
+		t.Fatal(err)
+	}
+	// A tampered image must be rejected before any simulation starts.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph", path}); err == nil {
+		t.Fatal("tampered .bgr accepted")
+	}
+}
+
+func TestRunGraphFileGzip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.edges.gz")
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte("n 4\n0 1\n1 2\n2 3\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := run([]string{"-graph", path, "-print-mis"}); err != nil {

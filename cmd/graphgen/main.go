@@ -1,18 +1,24 @@
-// Command graphgen generates graphs from family specifications and
-// writes them in the edge-list text format consumed by beepmis and
-// tracebeep, or in Graphviz DOT.
+// Command graphgen generates graphs from family specifications — or
+// converts existing graph files — and writes them in the edge-list text
+// format consumed by beepmis and tracebeep, in Graphviz DOT, in graph6,
+// or in the mmap-loadable binary .bgr format of the scale experiments.
 //
 // Usage:
 //
 //	graphgen -family gnp:200:0.05 -seed 3 > g.edges
 //	graphgen -family grid:8:8 -format dot -o grid.dot
+//	graphgen -family torus:1000:1000 -format bgr -o torus.bgr
+//	graphgen -in huge.edges.gz -format bgr -o huge.bgr
 package main
 
 import (
+	"bytes"
+	"compress/gzip"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/atomicio"
 	"repro/internal/famspec"
@@ -30,8 +36,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
 	family := fs.String("family", "", "graph family spec")
+	inPath := fs.String("in", "", "input graph file to convert (.edges, .edges.gz, .g6, .bgr) — alternative to -family")
 	seed := fs.Uint64("seed", 1, "random seed for random families")
-	format := fs.String("format", "edges", "output format: edges | dot | g6")
+	format := fs.String("format", "edges", "output format: edges | dot | g6 | bgr")
 	outPath := fs.String("o", "", "output file (default stdout)")
 	helpFams := fs.Bool("help-families", false, "list graph family specs and exit")
 	if err := fs.Parse(args); err != nil {
@@ -41,12 +48,24 @@ func run(args []string) error {
 		fmt.Println(famspec.Help)
 		return nil
 	}
-	if *family == "" {
-		return fmt.Errorf("need -family (try -help-families)")
-	}
-	g, err := famspec.Parse(*family, rng.New(*seed))
-	if err != nil {
-		return err
+	var g graph.Topology
+	switch {
+	case *family != "" && *inPath != "":
+		return fmt.Errorf("use either -family or -in, not both")
+	case *family != "":
+		parsed, err := famspec.Parse(*family, rng.New(*seed))
+		if err != nil {
+			return err
+		}
+		g = parsed
+	case *inPath != "":
+		loaded, err := readInput(*inPath)
+		if err != nil {
+			return err
+		}
+		g = loaded
+	default:
+		return fmt.Errorf("need -family or -in (try -help-families)")
 	}
 
 	write := func(w io.Writer) error {
@@ -54,14 +73,20 @@ func run(args []string) error {
 		case "edges":
 			return graph.WriteEdgeList(w, g)
 		case "dot":
-			return graph.WriteDOT(w, g, nil)
+			return graph.WriteDOT(w, graph.Materialize(g), nil)
 		case "g6":
-			enc, err := graph.EncodeGraph6(g)
+			enc, err := graph.EncodeGraph6(graph.Materialize(g))
 			if err != nil {
 				return err
 			}
 			_, err = fmt.Fprintln(w, enc)
 			return err
+		case "bgr":
+			c, ok := g.(*graph.Compact)
+			if !ok {
+				c = graph.Compress(g)
+			}
+			return graph.EncodeBGR(w, c, graph.FingerprintOf(g))
 		default:
 			return fmt.Errorf("unknown format %q", *format)
 		}
@@ -72,4 +97,35 @@ func run(args []string) error {
 		return atomicio.WriteFile(*outPath, write)
 	}
 	return write(os.Stdout)
+}
+
+// readInput loads a graph file by extension: .bgr images are decoded
+// (and verified) directly, everything else is read as graph6 or
+// edge-list text, transparently gunzipped when the name ends in .gz.
+func readInput(path string) (graph.Topology, error) {
+	if strings.HasSuffix(path, ".bgr") {
+		return graph.ReadBGR(path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	base := path
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if data, err = io.ReadAll(zr); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		base = strings.TrimSuffix(path, ".gz")
+	}
+	if strings.HasSuffix(base, ".g6") {
+		return graph.DecodeGraph6(strings.TrimSpace(string(data)))
+	}
+	return graph.ReadEdgeList(bytes.NewReader(data))
 }

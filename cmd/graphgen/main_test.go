@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"compress/gzip"
 	"os"
 	"path/filepath"
 	"strings"
@@ -40,14 +42,109 @@ func TestRunDOT(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	for _, args := range [][]string{
-		{},                                      // missing family
+		{},                                      // missing family and input
 		{"-family", "nosuch:4"},                 // unknown family
 		{"-family", "path:4", "-format", "bad"}, // unknown format
 		{"-family", "path:4", "-o", "/nonexistent/dir/file"}, // unwritable
+		{"-family", "path:4", "-in", "x.edges"},              // both sources
+		{"-in", "/nonexistent/input.edges"},                  // unreadable input
+		{"-in", "/nonexistent/input.bgr"},                    // unreadable binary input
+		{"-in", "/nonexistent/input.edges.gz"},               // unreadable gzip input
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("args %v: expected error", args)
 		}
+	}
+}
+
+func TestRunBGRRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	bgr := filepath.Join(dir, "g.bgr")
+	if err := run([]string{"-family", "torus:6:7", "-format", "bgr", "-o", bgr}); err != nil {
+		t.Fatal(err)
+	}
+	// Convert the binary image back to an edge list and compare with a
+	// directly generated one: the .bgr round trip must be lossless.
+	edges := filepath.Join(dir, "g.edges")
+	if err := run([]string{"-in", bgr, "-o", edges}); err != nil {
+		t.Fatal(err)
+	}
+	direct := filepath.Join(dir, "direct.edges")
+	if err := run([]string{"-family", "torus:6:7", "-o", direct}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("bgr round trip changed the edge list:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRunGzipInput(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "g.edges")
+	if err := run([]string{"-family", "grid:4:5", "-o", plain}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gzPath := filepath.Join(dir, "g.edges.gz")
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(gzPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "roundtrip.edges")
+	if err := run([]string{"-in", gzPath, "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("gzip input round trip changed the edge list")
+	}
+	// A corrupt gzip stream must be a clean error.
+	bad := filepath.Join(dir, "bad.edges.gz")
+	if err := os.WriteFile(bad, []byte("not gzip at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", bad}); err == nil {
+		t.Fatal("corrupt gzip input accepted")
+	}
+}
+
+func TestRunTamperedBGRInputRejected(t *testing.T) {
+	dir := t.TempDir()
+	bgr := filepath.Join(dir, "g.bgr")
+	if err := run([]string{"-family", "cycle:9", "-format", "bgr", "-o", bgr}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(bgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(bgr, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", bgr}); err == nil {
+		t.Fatal("tampered .bgr input accepted")
 	}
 }
 

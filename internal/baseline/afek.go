@@ -69,7 +69,7 @@ func (p AfekStyle) afekParams() (rampJ, window, winStreak int) {
 }
 
 // NewMachine returns a fresh competitor.
-func (p AfekStyle) NewMachine(int, *graph.Graph) beep.Machine {
+func (p AfekStyle) NewMachine(int, graph.Topology) beep.Machine {
 	rampJ, window, winStreak := p.afekParams()
 	return &afekMachine{
 		status:    Active,

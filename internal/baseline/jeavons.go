@@ -33,7 +33,7 @@ func (Jeavons) Channels() int { return 1 }
 
 // NewMachine returns a fresh machine in the algorithm's defined initial
 // state: active, p = 1/2, at the start of a phase.
-func (Jeavons) NewMachine(int, *graph.Graph) beep.Machine {
+func (Jeavons) NewMachine(int, graph.Topology) beep.Machine {
 	return &jeavonsMachine{status: Active, exp: 1}
 }
 

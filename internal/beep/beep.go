@@ -81,10 +81,12 @@ type Machine interface {
 // Protocol creates the machine for each vertex. NewMachine may read the
 // graph to derive the vertex's *knowledge* (for example an upper bound on
 // its own degree) — exactly the per-vertex topology knowledge the paper's
-// variants grant — but the machine itself never sees the graph.
+// variants grant — but the machine itself never sees the graph. The
+// graph arrives as the backend-agnostic graph.Topology, so protocols
+// instantiate identically on materialized, compact and implicit graphs.
 type Protocol interface {
 	// NewMachine returns the initial machine for vertex v of g.
-	NewMachine(v int, g *graph.Graph) Machine
+	NewMachine(v int, g graph.Topology) Machine
 	// Channels returns the number of beeping channels the protocol uses
 	// (1 or 2).
 	Channels() int
@@ -103,7 +105,7 @@ type BatchProtocol interface {
 	Protocol
 	// NewMachines returns one machine per vertex of g (in vertex order)
 	// and an optional bulk-state handle (may be nil).
-	NewMachines(g *graph.Graph) (ms []Machine, bulk any)
+	NewMachines(g graph.Topology) (ms []Machine, bulk any)
 }
 
 // Engine selects the execution strategy for rounds.

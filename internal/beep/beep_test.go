@@ -12,7 +12,7 @@ import (
 type counterProtocol struct{}
 
 func (counterProtocol) Channels() int { return 1 }
-func (counterProtocol) NewMachine(int, *graph.Graph) Machine {
+func (counterProtocol) NewMachine(int, graph.Topology) Machine {
 	return &counterMachine{}
 }
 
@@ -44,7 +44,7 @@ func (m *counterMachine) Randomize(src *rng.Source) {
 type probeProtocol struct{}
 
 func (probeProtocol) Channels() int { return 1 }
-func (probeProtocol) NewMachine(int, *graph.Graph) Machine {
+func (probeProtocol) NewMachine(int, graph.Topology) Machine {
 	return &probeMachine{}
 }
 
@@ -114,8 +114,8 @@ func TestNewNetworkValidation(t *testing.T) {
 
 type badChannelsProtocol struct{}
 
-func (badChannelsProtocol) Channels() int                        { return 3 }
-func (badChannelsProtocol) NewMachine(int, *graph.Graph) Machine { return &counterMachine{} }
+func (badChannelsProtocol) Channels() int                          { return 3 }
+func (badChannelsProtocol) NewMachine(int, graph.Topology) Machine { return &counterMachine{} }
 
 func TestHearingIsNeighborORNotSelf(t *testing.T) {
 	// Star with center 0: all beep in round 0 (counterProtocol).

@@ -7,6 +7,8 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
+
+	"repro/internal/graph"
 )
 
 // StateCodec is implemented by machines that support checkpointing:
@@ -210,7 +212,7 @@ func (n *Network) Checkpoint() (*Checkpoint, error) {
 	}
 	c := &Checkpoint{
 		FormatVersion:    CheckpointFormatVersion,
-		GraphFingerprint: n.g.Fingerprint(),
+		GraphFingerprint: graph.FingerprintOf(n.g),
 		GraphN:           n.N(),
 		GraphM:           n.g.M(),
 		Protocol:         protocolID(n.proto),
@@ -258,7 +260,7 @@ func (n *Network) Restore(c *Checkpoint) error {
 	if len(c.Machines) != n.N() {
 		return fmt.Errorf("beep: checkpoint for %d vertices restored onto %d", len(c.Machines), n.N())
 	}
-	if got := n.g.Fingerprint(); got != c.GraphFingerprint {
+	if got := graph.FingerprintOf(n.g); got != c.GraphFingerprint {
 		return fmt.Errorf("beep: checkpoint captured on graph %#x (n=%d m=%d), target network runs %#x (n=%d m=%d): topologies differ",
 			c.GraphFingerprint, c.GraphN, c.GraphM, got, n.N(), n.g.M())
 	}

@@ -13,7 +13,7 @@ import (
 type codecProtocol struct{}
 
 func (codecProtocol) Channels() int { return 1 }
-func (codecProtocol) NewMachine(int, *graph.Graph) Machine {
+func (codecProtocol) NewMachine(int, graph.Topology) Machine {
 	return &codecMachine{}
 }
 

@@ -12,8 +12,8 @@ import (
 // sent arrays the delivery tests fill by hand.
 type xoverProtocol struct{ channels int }
 
-func (p xoverProtocol) Channels() int                     { return p.channels }
-func (p xoverProtocol) NewMachine(int, *graph.Graph) Machine { return xoverMachine{} }
+func (p xoverProtocol) Channels() int                          { return p.channels }
+func (p xoverProtocol) NewMachine(int, graph.Topology) Machine { return xoverMachine{} }
 
 type xoverMachine struct{}
 
@@ -37,7 +37,7 @@ func deliverScatter(n *Network) []Signal {
 // deliverGather computes heard via the dense path (reference early-exit
 // neighbor scan), regardless of the cost model.
 func deliverGather(n *Network) []Signal {
-	n.deliverRange(0, n.N())
+	n.deliverRange(0, n.N(), n.rowBuf)
 	return append([]Signal(nil), n.heard...)
 }
 
@@ -130,7 +130,7 @@ func BenchmarkDeliverCrossover(b *testing.B) {
 		b.Run(fmt.Sprintf("gather/frac%02d", fracPct), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				net.deliverRange(0, N)
+				net.deliverRange(0, N, net.rowBuf)
 			}
 		})
 		net.Close()

@@ -130,7 +130,7 @@ type FlatQuiescer interface {
 type FlatReiniter interface {
 	// ReinitAll re-initializes every machine exactly as NewMachines
 	// would have built it for g.
-	ReinitAll(g *graph.Graph)
+	ReinitAll(g graph.Topology)
 }
 
 // WithFlatKernels enables or disables the flat fast path on the
@@ -372,7 +372,7 @@ func (n *Network) deliverFlat() {
 		senders += n.packSendersRange(c, 0, N)
 	}
 	if deliveryWantsGather(senders, n.avgDegree(), N) {
-		n.deliverRange(0, N)
+		n.deliverRange(0, N, n.rowBuf)
 		return
 	}
 	for c := 0; c < n.channels; c++ {
@@ -430,23 +430,32 @@ func (n *Network) scatterChannel(c int) {
 	} else {
 		hb.Reset()
 	}
-	n.scatterWordsInto(c, hb.Words(), 0, len(n.sendBits[c].Words()))
+	n.scatterWordsInto(c, hb.Words(), 0, len(n.sendBits[c].Words()), n.rowBuf)
 }
 
-// scatterWordsInto ORs the CSR rows of the channel-c senders found in
-// sender-bitset words [wlo, whi) into hw, a full-length heard word
+// scatterWordsInto ORs the neighbor rows of the channel-c senders found
+// in sender-bitset words [wlo, whi) into hw, a full-length heard word
 // array. The *reads* are word-range-partitioned; the *writes* land
 // anywhere in hw (a sender's neighbors are arbitrary), which is why the
 // parallel engine hands each worker a private hw and merges afterwards.
-func (n *Network) scatterWordsInto(c int, hw []uint64, wlo, whi int) {
+// buf is the neighbor scratch for synthesizing backends, ignored on the
+// materialized fast path.
+func (n *Network) scatterWordsInto(c int, hw []uint64, wlo, whi int, buf []int32) {
 	sw := n.sendBits[c].Words()
+	g := n.csr
 	for wi := wlo; wi < whi; wi++ {
 		w := sw[wi]
 		base := wi * 64
 		for w != 0 {
 			u := base + bits.TrailingZeros64(w)
 			w &= w - 1
-			for _, x := range n.g.Neighbors(u) {
+			var row []int32
+			if g != nil {
+				row = g.Neighbors(u)
+			} else {
+				row = n.g.NeighborsInto(u, buf)
+			}
+			for _, x := range row {
 				hw[x>>6] |= 1 << (uint(x) & 63)
 			}
 		}

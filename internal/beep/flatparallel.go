@@ -59,6 +59,10 @@ type flatWorker struct {
 	// scratch[c] is the worker's private heard accumulation mask for
 	// channel c, full network length, valid only when active.
 	scratch [2]bitset.Set
+	// row is the worker's private neighbor scratch for synthesizing
+	// backends, allocated lazily on first scatter; nil on the
+	// materialized fast path.
+	row []int32
 	// senders is the worker's pack-phase sender count (all channels).
 	senders int
 	// active reports that the worker reset and scattered into scratch
@@ -178,6 +182,9 @@ func (n *Network) flatScatterRange(w *flatWorker, lo, hi int) {
 		return
 	}
 	wlo, whi := lo>>6, (hi+63)>>6
+	if n.csr == nil && w.row == nil {
+		w.row = make([]int32, n.g.MaxDegree())
+	}
 	for c := 0; c < n.channels; c++ {
 		sc := &w.scratch[c]
 		if sc.Len() != n.N() {
@@ -185,7 +192,7 @@ func (n *Network) flatScatterRange(w *flatWorker, lo, hi int) {
 		} else {
 			sc.Reset()
 		}
-		n.scatterWordsInto(c, sc.Words(), wlo, whi)
+		n.scatterWordsInto(c, sc.Words(), wlo, whi, w.row)
 	}
 	w.active = true
 }

@@ -17,7 +17,16 @@ import (
 // arrays. A Network is not safe for concurrent use by multiple callers;
 // the concurrent engines synchronize internally.
 type Network struct {
-	g        *graph.Graph
+	g graph.Topology
+	// csr is the materialized fast path: non-nil iff g is a
+	// *graph.Graph, in which case neighbor rows are aliased CSR slices.
+	// Synthesizing backends (implicit, compact) leave it nil and the
+	// delivery paths decode rows into scratch buffers instead.
+	csr *graph.Graph
+	// rowBuf is the sequential-path neighbor scratch for synthesizing
+	// backends (len = g.MaxDegree()); nil when csr is set. The worker
+	// pool carries per-shard scratch instead (workerPool.rowBuf).
+	rowBuf   []int32
 	proto    Protocol
 	machines []Machine
 	srcs     []*rng.Source
@@ -72,13 +81,13 @@ type Network struct {
 	// (every publication is ordered by the pool's phase barrier).
 	flatParOps FlatProtocol
 	flatEnv    FlatEnv
-	quiet        bool
-	noFlat       bool
-	batched      bool
-	sampler      *rng.Batch
-	flatSkip     bitset.Set
-	sendBits     [2]bitset.Set
-	heardBits    [2]bitset.Set
+	quiet      bool
+	noFlat     bool
+	batched    bool
+	sampler    *rng.Batch
+	flatSkip   bitset.Set
+	sendBits   [2]bitset.Set
+	heardBits  [2]bitset.Set
 
 	// seed is the root seed the network was constructed with, recorded
 	// in checkpoints for provenance.
@@ -125,9 +134,17 @@ func WithWorkers(k int) Option {
 // NewNetwork instantiates proto on every vertex of g. Each vertex gets
 // the child stream Split(v) of the root stream derived from seed, so an
 // execution is a pure function of (g, proto, seed, engine) and engines
-// are trace-equivalent.
-func NewNetwork(g *graph.Graph, proto Protocol, seed uint64, opts ...Option) (*Network, error) {
+// are trace-equivalent. g may be any graph.Topology backend —
+// materialized CSR, compact varint, or implicit generator — and because
+// every backend presents the same canonical neighbor rows, the executed
+// trace is independent of the backend choice (pinned by
+// TestEngineTraceEquivalenceBackends).
+func NewNetwork(g graph.Topology, proto Protocol, seed uint64, opts ...Option) (*Network, error) {
 	if g == nil {
+		return nil, fmt.Errorf("beep: nil graph")
+	}
+	csr, isCSR := g.(*graph.Graph)
+	if isCSR && csr == nil {
 		return nil, fmt.Errorf("beep: nil graph")
 	}
 	if c := proto.Channels(); c < 1 || c > 2 {
@@ -136,6 +153,7 @@ func NewNetwork(g *graph.Graph, proto Protocol, seed uint64, opts ...Option) (*N
 	n := g.N()
 	net := &Network{
 		g:          g,
+		csr:        csr,
 		seed:       seed,
 		proto:      proto,
 		machines:   make([]Machine, n),
@@ -164,8 +182,16 @@ func NewNetwork(g *graph.Graph, proto Protocol, seed uint64, opts ...Option) (*N
 			net.machines[v] = proto.NewMachine(v, g)
 		}
 	}
+	// One contiguous slab for the per-vertex streams: at n = 10⁸ this is
+	// a single allocation of 32-byte states instead of 10⁸ separate heap
+	// objects (and their pointer-chasing during emit).
+	slab := make([]rng.Source, n)
 	for v := 0; v < n; v++ {
-		net.srcs[v] = root.Split(uint64(v))
+		root.SplitInto(uint64(v), &slab[v])
+		net.srcs[v] = &slab[v]
+	}
+	if csr == nil {
+		net.rowBuf = make([]int32, g.MaxDegree())
 	}
 	for _, opt := range opts {
 		opt(net)
@@ -232,7 +258,7 @@ func workerCount(n int) int {
 }
 
 // Graph returns the topology the network runs on.
-func (n *Network) Graph() *graph.Graph { return n.g }
+func (n *Network) Graph() graph.Topology { return n.g }
 
 // Round returns the number of completed rounds.
 func (n *Network) Round() int { return n.round }
@@ -417,7 +443,7 @@ func (n *Network) stepSequential() *RunError {
 	if err := n.emitRange(0, n.N()); err != nil {
 		return err
 	}
-	n.deliverRange(0, n.N())
+	n.deliverRange(0, n.N(), n.rowBuf)
 	n.applyNoise()
 	return n.updateRange(0, n.N())
 }
@@ -427,17 +453,37 @@ func (n *Network) stepSequential() *RunError {
 // remaining neighbors cannot change the result, so the scan stops —
 // on dense graphs with many beeping vertices this turns the O(deg)
 // per-vertex scan into an O(1) expected one.
-func (n *Network) deliverRange(lo, hi int) {
+//
+// buf is the neighbor scratch for synthesizing backends (caller-owned,
+// len ≥ MaxDegree); it is ignored on the materialized fast path, where
+// rows are aliased CSR slices. The early exit makes the synthesizing
+// path stop decoding mid-row too: NeighborsInto fills buf eagerly, so
+// the exit only skips the OR scan, but that is where the branches are.
+func (n *Network) deliverRange(lo, hi int, buf []int32) {
 	full := n.fullMask
+	sent, heard := n.sent, n.heard
+	if g := n.csr; g != nil {
+		for v := lo; v < hi; v++ {
+			var h Signal
+			for _, u := range g.Neighbors(v) {
+				h |= sent[u]
+				if h == full {
+					break
+				}
+			}
+			heard[v] = h
+		}
+		return
+	}
 	for v := lo; v < hi; v++ {
 		var h Signal
-		for _, u := range n.g.Neighbors(v) {
-			h |= n.sent[u]
+		for _, u := range n.g.NeighborsInto(v, buf) {
+			h |= sent[u]
 			if h == full {
 				break
 			}
 		}
-		n.heard[v] = h
+		heard[v] = h
 	}
 }
 
@@ -494,6 +540,24 @@ type workerPool struct {
 	// FlatEnv, its scatter scratch masks and its pack count. See
 	// flatparallel.go.
 	flat []flatWorker
+
+	// bufs are the per-shard neighbor scratch rows for synthesizing
+	// backends, allocated lazily on first use (nil entries on the
+	// materialized fast path, which never consults them). Each worker
+	// touches only its own index, so no synchronization is needed.
+	bufs [][]int32
+}
+
+// rowBuf returns shard i's neighbor scratch, or nil on the materialized
+// fast path.
+func (p *workerPool) rowBuf(i int) []int32 {
+	if p.net.csr != nil {
+		return nil
+	}
+	if p.bufs[i] == nil {
+		p.bufs[i] = make([]int32, p.net.g.MaxDegree())
+	}
+	return p.bufs[i]
 }
 
 const (
@@ -539,6 +603,7 @@ func newWorkerPool(net *Network, workers int) *workerPool {
 	if net.engine == FlatParallel {
 		p.flat = make([]flatWorker, len(p.shards))
 	}
+	p.bufs = make([][]int32, len(p.shards))
 	for i := range p.shards {
 		go p.worker(i)
 	}
@@ -567,7 +632,7 @@ func (p *workerPool) worker(i int) {
 				p.failed.CompareAndSwap(nil, err)
 			}
 		case phaseDeliver:
-			net.deliverRange(lo, hi)
+			net.deliverRange(lo, hi, p.rowBuf(i))
 		case phaseUpdate:
 			if err := net.updateRange(lo, hi); err != nil {
 				p.failed.CompareAndSwap(nil, err)
@@ -583,7 +648,7 @@ func (p *workerPool) worker(i int) {
 		case phaseFlatMerge:
 			net.flatMergeRange(p, lo, hi)
 		case phaseFlatGather:
-			net.deliverRange(lo, hi)
+			net.deliverRange(lo, hi, p.rowBuf(i))
 		case phaseFlatUpdate:
 			if err := net.flatKernelRange("update", &p.flat[i], lo, hi); err != nil {
 				p.failed.CompareAndSwap(nil, err)

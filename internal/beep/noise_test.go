@@ -143,7 +143,7 @@ func TestNoiseDeterministicAcrossEngines(t *testing.T) {
 type alwaysBeepProtocol struct{}
 
 func (alwaysBeepProtocol) Channels() int { return 1 }
-func (alwaysBeepProtocol) NewMachine(int, *graph.Graph) Machine {
+func (alwaysBeepProtocol) NewMachine(int, graph.Topology) Machine {
 	return &alwaysBeepMachine{}
 }
 

@@ -19,7 +19,7 @@ type panicProtocol struct {
 }
 
 func (p panicProtocol) Channels() int { return 1 }
-func (p panicProtocol) NewMachine(v int, _ *graph.Graph) Machine {
+func (p panicProtocol) NewMachine(v int, _ graph.Topology) Machine {
 	return &panicMachine{proto: p, vertex: v}
 }
 
@@ -182,10 +182,10 @@ type flatPanicProtocol struct {
 }
 
 func (p flatPanicProtocol) Channels() int { return 1 }
-func (p flatPanicProtocol) NewMachine(v int, _ *graph.Graph) Machine {
+func (p flatPanicProtocol) NewMachine(v int, _ graph.Topology) Machine {
 	return &flatPanicMachine{}
 }
-func (p flatPanicProtocol) NewMachines(g *graph.Graph) ([]Machine, any) {
+func (p flatPanicProtocol) NewMachines(g graph.Topology) ([]Machine, any) {
 	ms := make([]Machine, g.N())
 	for v := range ms {
 		ms[v] = &flatPanicMachine{}

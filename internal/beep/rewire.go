@@ -126,9 +126,12 @@ func (n *Network) Rewire(g2 *graph.Graph, mapping []int) error {
 		machines[v].Randomize(srcs[v])
 	}
 
-	// Commit.
+	// Commit. Churn always rewires onto a materialized graph (ApplyEdits
+	// builds one), so the CSR fast path stays live across the rewire.
 	n.nextStream = joinerStream
 	n.g = g2
+	n.csr = g2
+	n.rowBuf = nil
 	n.machines = machines
 	n.srcs = srcs
 	n.bulk = bulk

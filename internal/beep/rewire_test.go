@@ -15,7 +15,7 @@ import (
 type rwProtocol struct{}
 
 func (rwProtocol) Channels() int { return 1 }
-func (rwProtocol) NewMachine(int, *graph.Graph) Machine {
+func (rwProtocol) NewMachine(int, graph.Topology) Machine {
 	return &rwMachine{level: 100}
 }
 

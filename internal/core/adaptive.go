@@ -58,7 +58,7 @@ func NewAdaptiveAlg1() AdaptiveAlg1 {
 func (AdaptiveAlg1) Channels() int { return 1 }
 
 // NewMachine builds a machine with no topology knowledge at all.
-func (p AdaptiveAlg1) NewMachine(int, *graph.Graph) beep.Machine {
+func (p AdaptiveAlg1) NewMachine(int, graph.Topology) beep.Machine {
 	m := &adaptiveMachine{}
 	p.initMachine(m)
 	return m
@@ -91,7 +91,7 @@ func (p AdaptiveAlg1) initMachine(m *adaptiveMachine) {
 // rides the same fast detector path as the paper's algorithms. Note the
 // adaptive caps are mutable state, which is why ExportLevels re-reads
 // both ℓ and ℓmax every call.
-func (p AdaptiveAlg1) NewMachines(g *graph.Graph) ([]beep.Machine, any) {
+func (p AdaptiveAlg1) NewMachines(g graph.Topology) ([]beep.Machine, any) {
 	n := g.N()
 	slab := &adaptiveSlab{p: p, ms: make([]adaptiveMachine, n)}
 	ms := make([]beep.Machine, n)

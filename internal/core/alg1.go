@@ -54,7 +54,7 @@ func (p *Alg1) Channels() int { return 1 }
 
 // NewMachine builds the vertex machine with ℓmax(v) from the knowledge
 // variant.
-func (p *Alg1) NewMachine(v int, g *graph.Graph) beep.Machine {
+func (p *Alg1) NewMachine(v int, g graph.Topology) beep.Machine {
 	m := &alg1Machine{}
 	p.initMachine(m, v, g)
 	return m
@@ -62,7 +62,7 @@ func (p *Alg1) NewMachine(v int, g *graph.Graph) beep.Machine {
 
 // initMachine installs ℓmax(v) and the initial level, shared by the
 // per-vertex and batch construction paths.
-func (p *Alg1) initMachine(m *alg1Machine, v int, g *graph.Graph) {
+func (p *Alg1) initMachine(m *alg1Machine, v int, g graph.Topology) {
 	m.lmax = int32(p.cap(v, g))
 	if m.lmax < 1 {
 		m.lmax = 1
@@ -79,7 +79,7 @@ func (p *Alg1) initMachine(m *alg1Machine, v int, g *graph.Graph) {
 // network's bulk-state handle implementing LevelExporter, so the
 // stabilization detector captures all levels in one linear pass instead
 // of n interface dispatches.
-func (p *Alg1) NewMachines(g *graph.Graph) ([]beep.Machine, any) {
+func (p *Alg1) NewMachines(g graph.Topology) ([]beep.Machine, any) {
 	n := g.N()
 	slab := &alg1Slab{p: p, ms: make([]alg1Machine, n)}
 	ms := make([]beep.Machine, n)

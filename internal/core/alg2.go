@@ -38,7 +38,7 @@ func (p *Alg2) Channels() int { return 2 }
 
 // NewMachine builds the vertex machine with ℓmax(v) from the knowledge
 // variant.
-func (p *Alg2) NewMachine(v int, g *graph.Graph) beep.Machine {
+func (p *Alg2) NewMachine(v int, g graph.Topology) beep.Machine {
 	m := &alg2Machine{}
 	p.initMachine(m, v, g)
 	return m
@@ -46,7 +46,7 @@ func (p *Alg2) NewMachine(v int, g *graph.Graph) beep.Machine {
 
 // initMachine installs ℓmax(v) and the initial level, shared by the
 // per-vertex and batch construction paths.
-func (p *Alg2) initMachine(m *alg2Machine, v int, g *graph.Graph) {
+func (p *Alg2) initMachine(m *alg2Machine, v int, g graph.Topology) {
 	m.lmax = int32(p.cap(v, g))
 	if m.lmax < 1 {
 		m.lmax = 1
@@ -61,7 +61,7 @@ func (p *Alg2) initMachine(m *alg2Machine, v int, g *graph.Graph) {
 // NewMachines builds the whole cohort at once (beep.BatchProtocol); see
 // Alg1.NewMachines. The slab is the bulk-state handle implementing
 // LevelExporter with Algorithm 2 (two-channel) semantics.
-func (p *Alg2) NewMachines(g *graph.Graph) ([]beep.Machine, any) {
+func (p *Alg2) NewMachines(g graph.Topology) ([]beep.Machine, any) {
 	n := g.N()
 	slab := &alg2Slab{p: p, ms: make([]alg2Machine, n)}
 	ms := make([]beep.Machine, n)

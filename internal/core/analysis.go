@@ -36,7 +36,7 @@ func (s *State) Light(v int) bool {
 // *light* neighbors of v (Section 6.1).
 func (s *State) LightBeepingMass(v int) float64 {
 	mass := 0.0
-	for _, u := range s.g.Neighbors(v) {
+	for _, u := range s.neighborsNested(v) {
 		if s.Light(int(u)) {
 			mass += s.BeepProbOf(int(u))
 		}

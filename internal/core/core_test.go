@@ -80,7 +80,7 @@ func TestValidateCaps(t *testing.T) {
 	if err := ValidateCaps(g, ConstantCap(100000), 1); err == nil {
 		t.Fatal("cap above c2 log n accepted")
 	}
-	if err := ValidateCaps(graph.Path(4), func(int, *graph.Graph) int { return 0 }, 40); err == nil {
+	if err := ValidateCaps(graph.Path(4), func(int, graph.Topology) int { return 0 }, 40); err == nil {
 		t.Fatal("non-positive cap accepted")
 	}
 }
@@ -456,7 +456,7 @@ func TestSnapshotRejectsForeignMachines(t *testing.T) {
 type silentProtocol struct{}
 
 func (silentProtocol) Channels() int { return 1 }
-func (silentProtocol) NewMachine(int, *graph.Graph) beep.Machine {
+func (silentProtocol) NewMachine(int, graph.Topology) beep.Machine {
 	return &silentMachine{}
 }
 

@@ -21,7 +21,7 @@ type engineEquivTrace struct {
 // runEngineTrace executes proto on g under the given engine from the
 // randomized initial configuration determined by seed, recording the
 // full signal trace until stabilization (or maxRounds).
-func runEngineTrace(t *testing.T, g *graph.Graph, proto beep.Protocol, seed uint64, engine beep.Engine, maxRounds int, opts ...beep.Option) engineEquivTrace {
+func runEngineTrace(t *testing.T, g graph.Topology, proto beep.Protocol, seed uint64, engine beep.Engine, maxRounds int, opts ...beep.Option) engineEquivTrace {
 	t.Helper()
 	tr := engineEquivTrace{stabilized: -1}
 	opts = append([]beep.Option{

@@ -165,7 +165,7 @@ func (s *alg1Slab) UpdateRange(env *beep.FlatEnv, lo, hi int) {
 
 // ReinitAll restores every machine to its construction-time state for
 // g, exactly as NewMachines would have built it (beep.FlatReiniter).
-func (s *alg1Slab) ReinitAll(g *graph.Graph) {
+func (s *alg1Slab) ReinitAll(g graph.Topology) {
 	for v := range s.ms {
 		s.p.initMachine(&s.ms[v], v, g)
 	}
@@ -285,7 +285,7 @@ func (s *alg2Slab) UpdateRange(env *beep.FlatEnv, lo, hi int) {
 
 // ReinitAll restores every machine to its construction-time state for
 // g (beep.FlatReiniter).
-func (s *alg2Slab) ReinitAll(g *graph.Graph) {
+func (s *alg2Slab) ReinitAll(g graph.Topology) {
 	for v := range s.ms {
 		s.p.initMachine(&s.ms[v], v, g)
 	}
@@ -363,7 +363,7 @@ func (s *adaptiveSlab) UpdateRange(env *beep.FlatEnv, lo, hi int) {
 // ReinitAll restores every machine to its construction-time state
 // (beep.FlatReiniter; the adaptive machines carry no per-vertex
 // topology knowledge, so g is unused beyond the interface contract).
-func (s *adaptiveSlab) ReinitAll(*graph.Graph) {
+func (s *adaptiveSlab) ReinitAll(graph.Topology) {
 	for v := range s.ms {
 		s.p.initMachine(&s.ms[v])
 	}

@@ -46,9 +46,20 @@ type LevelExporter interface {
 // detector is purely observational — its answers are bit-identical to
 // the full recompute for every snapshot.
 type State struct {
-	g      *graph.Graph
-	levels []int32
-	caps   []int32
+	g graph.Topology
+	// csr is the materialized fast path (non-nil iff g is a
+	// *graph.Graph); synthesizing backends decode neighbor rows into
+	// rowBuf instead. One scratch row suffices: every neighbor iteration
+	// below either nests no other row scan or walks a previously
+	// materialized candidate list (dirty/cand/flips).
+	csr    *graph.Graph
+	rowBuf []int32
+	// rowBuf2 is the outer-row scratch of the one genuinely nested scan
+	// (LightBeepingMass walks a row while Mu decodes neighbor rows);
+	// allocated lazily since only the Section 6 analysis needs it.
+	rowBuf2 []int32
+	levels  []int32
+	caps    []int32
 	// twoChannel marks Algorithm 2 semantics: MIS membership is ℓ = 0
 	// with no ℓ = 0 neighbor, rather than ℓ = -ℓmax with all-cap
 	// neighbors.
@@ -80,7 +91,7 @@ type State struct {
 // counts |V \ S_t| so the stabilization predicate is a single integer
 // comparison once the masks are synchronized.
 type detector struct {
-	g   *graph.Graph
+	g   graph.Topology
 	two bool
 	n   int
 	// capsMut mirrors State.capsMutable at rebuild time; when false the
@@ -128,7 +139,9 @@ func Snapshot(net *beep.Network) (*State, error) {
 // machine slab, no per-vertex interface dispatch.
 func (s *State) Refresh(net *beep.Network) error {
 	n := net.N()
-	s.g = net.Graph()
+	if g := net.Graph(); g != s.g {
+		s.setGraph(g)
+	}
 	if cap(s.levels) < n {
 		s.levels = make([]int32, n)
 		s.caps = make([]int32, n)
@@ -169,11 +182,46 @@ func (s *State) Refresh(net *beep.Network) error {
 	return nil
 }
 
+// setGraph installs the snapshot's topology, deriving the materialized
+// fast path or the decode scratch as appropriate.
+func (s *State) setGraph(g graph.Topology) {
+	s.g = g
+	s.csr, _ = g.(*graph.Graph)
+	if s.csr == nil {
+		if d := g.MaxDegree(); cap(s.rowBuf) < d {
+			s.rowBuf = make([]int32, d)
+		}
+	}
+}
+
+// neighbors returns the canonical neighbor row of v: an aliased CSR
+// slice on the materialized fast path, a decode into the scratch row
+// otherwise. The result is valid until the next neighbors call.
+func (s *State) neighbors(v int) []int32 {
+	if s.csr != nil {
+		return s.csr.Neighbors(v)
+	}
+	return s.g.NeighborsInto(v, s.rowBuf)
+}
+
+// neighborsNested is the second-scratch sibling of neighbors, for the
+// outer row of a scan whose body decodes further rows.
+func (s *State) neighborsNested(v int) []int32 {
+	if s.csr != nil {
+		return s.csr.Neighbors(v)
+	}
+	if s.rowBuf2 == nil {
+		s.rowBuf2 = make([]int32, s.g.MaxDegree())
+	}
+	return s.g.NeighborsInto(v, s.rowBuf2)
+}
+
 // NewState builds a snapshot directly from level and cap slices
 // (single-channel semantics), for tests and analytical tooling. The
 // slices are copied.
-func NewState(g *graph.Graph, levels, caps []int) *State {
-	s := &State{g: g, levels: make([]int32, len(levels)), caps: make([]int32, len(caps)), capsMutable: true}
+func NewState(g graph.Topology, levels, caps []int) *State {
+	s := &State{levels: make([]int32, len(levels)), caps: make([]int32, len(caps)), capsMutable: true}
+	s.setGraph(g)
 	for i, l := range levels {
 		s.levels[i] = int32(l)
 	}
@@ -233,7 +281,7 @@ func (s *State) InMIS(v int) bool {
 	if s.levels[v] != want {
 		return false
 	}
-	for _, u := range s.g.Neighbors(v) {
+	for _, u := range s.neighbors(v) {
 		if s.Excluded(int(u)) {
 			continue
 		}
@@ -326,7 +374,7 @@ func (s *State) rebuildDetector() {
 			d.stable.Set1(v)
 			continue
 		}
-		for _, u := range s.g.Neighbors(v) {
+		for _, u := range s.neighbors(v) {
 			if d.mis.Get(int(u)) {
 				d.stable.Set1(v)
 				break
@@ -413,7 +461,7 @@ func (s *State) updateDetector() {
 	d.cand = d.cand[:0]
 	for _, vi := range d.dirty {
 		d.push(vi)
-		for _, u := range s.g.Neighbors(int(vi)) {
+		for _, u := range s.neighbors(int(vi)) {
 			d.push(u)
 		}
 	}
@@ -432,7 +480,7 @@ func (s *State) updateDetector() {
 	d.cand = d.cand[:0]
 	for _, vi := range d.flips {
 		d.push(vi)
-		for _, u := range s.g.Neighbors(int(vi)) {
+		for _, u := range s.neighbors(int(vi)) {
 			d.push(u)
 		}
 	}
@@ -440,7 +488,7 @@ func (s *State) updateDetector() {
 		v := int(vi)
 		now := d.mis.Get(v) || s.Excluded(v)
 		if !now {
-			for _, u := range s.g.Neighbors(v) {
+			for _, u := range s.neighbors(v) {
 				if d.mis.Get(int(u)) {
 					now = true
 					break
@@ -461,7 +509,7 @@ func (s *State) updateDetector() {
 // for an isolated vertex it returns 1 (the vacuous minimum, consistent
 // with the stabilization predicate).
 func (s *State) Mu(v int) float64 {
-	nb := s.g.Neighbors(v)
+	nb := s.neighbors(v)
 	if len(nb) == 0 {
 		return 1
 	}
@@ -490,7 +538,7 @@ func (s *State) PlatinumFor(v int) bool {
 	if s.Prominent(v) {
 		return true
 	}
-	for _, u := range s.g.Neighbors(v) {
+	for _, u := range s.neighbors(v) {
 		if s.Prominent(int(u)) {
 			return true
 		}
@@ -512,7 +560,7 @@ func (s *State) BeepProbOf(v int) float64 {
 // quantity driving the golden-round analysis (Section 6.1).
 func (s *State) ExpectedBeepingNeighbors(v int) float64 {
 	d := 0.0
-	for _, u := range s.g.Neighbors(v) {
+	for _, u := range s.neighbors(v) {
 		d += s.BeepProbOf(int(u))
 	}
 	return d
@@ -526,7 +574,7 @@ func (s *State) Eta(v int, stable []bool) float64 {
 		stable = s.StableMask()
 	}
 	sum := 0.0
-	for _, u := range s.g.Neighbors(v) {
+	for _, u := range s.neighbors(v) {
 		if !stable[u] {
 			sum += math.Pow(2, -float64(s.caps[u]))
 		}
@@ -540,11 +588,11 @@ func (s *State) Eta(v int, stable []bool) float64 {
 // safety check applied after every stabilized run.
 func (s *State) VerifyMIS() error {
 	if s.excluded == nil {
-		return s.g.VerifyMIS(s.MISMask())
+		return graph.VerifyMISOf(s.g, s.MISMask())
 	}
 	active := make([]bool, len(s.levels))
 	for v := range active {
 		active[v] = !s.Excluded(v)
 	}
-	return s.g.VerifyMISOn(active, s.MISMask())
+	return graph.VerifyMISOnOf(s.g, active, s.MISMask())
 }

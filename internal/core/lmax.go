@@ -15,7 +15,7 @@ import (
 // The function may inspect the graph only to model the granted knowledge;
 // the resulting integer is the only topology information the vertex's
 // machine ever holds.
-type LevelCap func(v int, g *graph.Graph) int
+type LevelCap func(v int, g graph.Topology) int
 
 // Default slack constants from the theorem statements: Theorem 2.1 and
 // Corollary 2.3 require c1 >= 15, Theorem 2.2 requires c1 >= 30.
@@ -37,7 +37,7 @@ func log2Ceil(x int) int {
 // ℓmax = log2(Δupper) + c1, where Δupper is a (possibly loose) upper
 // bound on the maximum degree known to all vertices.
 func KnownMaxDegree(deltaUpper, c1 int) LevelCap {
-	return func(int, *graph.Graph) int {
+	return func(int, graph.Topology) int {
 		return log2Ceil(deltaUpper) + c1
 	}
 }
@@ -45,7 +45,7 @@ func KnownMaxDegree(deltaUpper, c1 int) LevelCap {
 // KnownMaxDegreeExact is KnownMaxDegree with the true Δ(G) of the
 // instance, the tightest admissible knowledge under Theorem 2.1.
 func KnownMaxDegreeExact(c1 int) LevelCap {
-	return func(_ int, g *graph.Graph) int {
+	return func(_ int, g graph.Topology) int {
 		return log2Ceil(g.MaxDegree()) + c1
 	}
 }
@@ -53,7 +53,7 @@ func KnownMaxDegreeExact(c1 int) LevelCap {
 // OwnDegree returns the Theorem 2.2 cap: ℓmax(v) = 2·log2(deg(v)) + c1,
 // using only the vertex's own degree.
 func OwnDegree(c1 int) LevelCap {
-	return func(v int, g *graph.Graph) int {
+	return func(v int, g graph.Topology) int {
 		return 2*log2Ceil(g.Degree(v)) + c1
 	}
 }
@@ -62,15 +62,15 @@ func OwnDegree(c1 int) LevelCap {
 // two-channel algorithm: ℓmax(v) = 2·log2(deg₂(v)) + c1, where deg₂ is
 // the maximum degree in the closed 1-hop neighborhood.
 func NeighborhoodMaxDegree(c1 int) LevelCap {
-	return func(v int, g *graph.Graph) int {
-		return 2*log2Ceil(g.Degree2(v)) + c1
+	return func(v int, g graph.Topology) int {
+		return 2*log2Ceil(graph.Degree2Of(g, v)) + c1
 	}
 }
 
 // ConstantCap returns ℓmax(v) = L for every vertex, used by ablations
 // that probe what happens below the theorems' thresholds.
 func ConstantCap(L int) LevelCap {
-	return func(int, *graph.Graph) int { return L }
+	return func(int, graph.Topology) int { return L }
 }
 
 // ValidateCaps checks the preconditions the theorems put on ℓmax:
@@ -79,7 +79,7 @@ func ConstantCap(L int) LevelCap {
 // (ℓmax(v) <= c2·log2(n) with a small additive allowance for tiny
 // graphs). It returns a descriptive error naming the first offending
 // vertex.
-func ValidateCaps(g *graph.Graph, cap LevelCap, c2 float64) error {
+func ValidateCaps(g graph.Topology, cap LevelCap, c2 float64) error {
 	n := g.N()
 	limit := c2*math.Log2(float64(n)+1) + float64(DefaultC1OwnDegree) + 4
 	for v := 0; v < n; v++ {

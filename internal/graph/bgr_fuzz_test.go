@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzReadBGR pins the hard constraint of the .bgr loader, mirroring
+// FuzzReadCheckpoint: whatever bytes arrive — truncated headers, wild
+// counts, corrupt varints, inconsistent sample tables — DecodeBGR
+// returns an error or a graph whose every row decodes cleanly. It must
+// never panic. The corpus seeds genuine encodings plus targeted
+// corruptions of them.
+func FuzzReadBGR(f *testing.F) {
+	seed := func(g Topology) []byte {
+		c, ok := g.(*Compact)
+		if !ok {
+			c = Compress(g)
+		}
+		var buf bytes.Buffer
+		if err := EncodeBGR(&buf, c, FingerprintOf(g)); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	valid := seed(GNP(30, 0.2, rng.New(11)))
+	f.Add(valid)
+	f.Add(seed(Empty(0)))
+	f.Add(seed(Torus(4, 4)))
+	f.Add(seed(CompressStride(Grid(5, 5), 1)))
+	f.Add(valid[:len(valid)/2])           // truncated
+	f.Add(valid[:bgrFixedHeader])         // header only
+	f.Add([]byte("BGRF"))                 // bare magic
+	f.Add([]byte{})                       // empty
+	f.Add(bytes.Repeat([]byte{0xff}, 64)) // varint continuation bombs
+	mut := bytes.Clone(valid)
+	mut[20] ^= 0xff // absurd n
+	f.Add(mut)
+	mut2 := bytes.Clone(valid)
+	mut2[len(mut2)-4] ^= 1 // broken trailer
+	f.Add(mut2)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeBGR(data)
+		if err != nil {
+			return // rejection is always fine; panics are not
+		}
+		// Anything the decoder accepts must support full row access
+		// without faulting, and re-encode to a loadable image.
+		buf := make([]int32, c.MaxDegree())
+		sum := 0
+		for v := 0; v < c.N(); v++ {
+			row := c.NeighborsInto(v, buf)
+			if len(row) != c.Degree(v) {
+				t.Fatalf("row %d length %d, degree %d", v, len(row), c.Degree(v))
+			}
+			sum += len(row)
+		}
+		if sum != 2*c.M() {
+			t.Fatalf("degree sum %d, want 2m = %d", sum, 2*c.M())
+		}
+		var out bytes.Buffer
+		if err := EncodeBGR(&out, c, FingerprintOf(c)); err != nil {
+			t.Fatalf("re-encode of accepted image failed: %v", err)
+		}
+		if _, err := DecodeBGR(out.Bytes()); err != nil {
+			t.Fatalf("re-encoded image rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func encodeToBytes(t *testing.T, g Topology) []byte {
+	t.Helper()
+	c, ok := g.(*Compact)
+	if !ok {
+		c = Compress(g)
+	}
+	var buf bytes.Buffer
+	if err := EncodeBGR(&buf, c, FingerprintOf(g)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestBGRRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, g := range compactCorpus(t) {
+		path := filepath.Join(dir, "g.bgr")
+		if err := WriteBGR(path, g); err != nil {
+			t.Fatalf("%s: write: %v", g.Name(), err)
+		}
+		c, err := ReadBGR(path)
+		if err != nil {
+			t.Fatalf("%s: read: %v", g.Name(), err)
+		}
+		requireSameGraph(t, c, g)
+		if c.Name() != g.Name() {
+			t.Fatalf("round-trip name = %q, want %q", c.Name(), g.Name())
+		}
+	}
+}
+
+func TestBGRRoundTripImplicit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.bgr")
+	if err := WriteBGR(path, ImplicitTorus(9, 11)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadBGR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGraph(t, c, Torus(9, 11))
+}
+
+// TestBGRTamperRejection flips each byte of a valid image in turn and
+// requires every corruption to be rejected: the trailer covers the
+// whole file, so no single-byte flip can survive.
+func TestBGRTamperRejection(t *testing.T) {
+	data := encodeToBytes(t, GNP(40, 0.15, rng.New(7)))
+	if _, err := DecodeBGR(data); err != nil {
+		t.Fatalf("pristine image rejected: %v", err)
+	}
+	for i := range data {
+		mut := bytes.Clone(data)
+		mut[i] ^= 0x40
+		if _, err := DecodeBGR(mut); err == nil {
+			t.Fatalf("flip at byte %d/%d accepted", i, len(data))
+		}
+	}
+	// Truncations at every length.
+	for l := 0; l < len(data); l++ {
+		if _, err := DecodeBGR(data[:l]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", l)
+		}
+	}
+}
+
+// TestBGRFingerprintBinding rebuilds the trailer after lying in the
+// fingerprint header; the decode must still fail, because the header
+// fingerprint is checked against the payload's actual structure.
+func TestBGRFingerprintBinding(t *testing.T) {
+	g := Grid(6, 7)
+	c := Compress(g)
+	var buf bytes.Buffer
+	if err := EncodeBGR(&buf, c, FingerprintOf(g)^0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBGR(buf.Bytes()); err == nil {
+		t.Fatal("wrong header fingerprint accepted despite valid trailer")
+	}
+}
+
+func TestReadBGRMissingFile(t *testing.T) {
+	if _, err := ReadBGR(filepath.Join(t.TempDir(), "nope.bgr")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWriteBGRIsAtomic(t *testing.T) {
+	// Overwriting an existing .bgr leaves no temp droppings and the new
+	// content in place.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bgr")
+	if err := WriteBGR(path, Path(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBGR(path, Cycle(8)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadBGR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGraph(t, c, Cycle(8))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory has %d entries after overwrite, want 1", len(ents))
+	}
+}

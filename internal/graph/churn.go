@@ -179,11 +179,12 @@ func PartitionHealSchedule(g *Graph, cycles int, src *rng.Source) ([]ChurnEvent,
 				side[v] = src.Coin()
 			}
 			cut = cut[:0]
-			for _, e := range g.Edges() {
-				if side[e.U] != side[e.V] {
-					cut = append(cut, e)
+			g.ForEachEdge(func(u, v int32) bool {
+				if side[u] != side[v] {
+					cut = append(cut, Edge{U: int(u), V: int(v)})
 				}
-			}
+				return true
+			})
 			if len(cut) > 0 {
 				break
 			}

@@ -34,3 +34,41 @@ func (g *Graph) Fingerprint() uint64 {
 	}
 	return h.Sum64()
 }
+
+// FingerprintOf computes the exact same digest as (*Graph).Fingerprint
+// for any Topology: the vertex count, the running CSR offsets implied
+// by the degree sequence, and the sorted neighbor lists. A topology and
+// its Materialize (or Compress) image therefore fingerprint
+// identically, which is what lets checkpoints and .bgr headers move
+// between backends.
+func FingerprintOf(t Topology) uint64 {
+	if g, ok := t.(*Graph); ok {
+		return g.Fingerprint()
+	}
+	if c, ok := t.(*Compact); ok {
+		// Sequential two-pass decode; the generic per-vertex walk below
+		// would pay an O(stride) row seek per Degree call.
+		return c.fingerprintSeq()
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	n := t.N()
+	put(uint64(n))
+	run := uint64(0)
+	put(run)
+	for v := 0; v < n; v++ {
+		run += uint64(t.Degree(v))
+		put(run)
+	}
+	for v := 0; v < n; v++ {
+		t.ForEachNeighbor(v, func(u int32) bool {
+			put(uint64(u))
+			return true
+		})
+	}
+	return h.Sum64()
+}

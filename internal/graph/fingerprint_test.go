@@ -23,7 +23,7 @@ func TestFingerprintDiscriminates(t *testing.T) {
 		MustNew(5, []Edge{{0, 1}, {1, 2}}),         // missing edge
 		MustNew(5, []Edge{{0, 1}, {1, 3}, {3, 4}}), // different edge, same count
 		MustNew(6, []Edge{{0, 1}, {1, 2}, {3, 4}}), // extra isolated vertex
-		MustNew(5, nil),                            // empty
+		MustNew(5, nil), // empty
 	}
 	for i, g := range cases {
 		if g.Fingerprint() == a.Fingerprint() {

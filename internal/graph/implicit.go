@@ -1,0 +1,364 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Implicit topologies: generator-backed Topology implementations whose
+// neighborhoods are synthesized on the fly from closed-form rules, with
+// zero adjacency storage. They are the backend that makes n = 10⁸
+// simulable in one process: per-vertex state still costs O(1) words,
+// but the graph itself costs O(1) total.
+//
+// Each implicit family is bit-identical to its materialized
+// counterpart: Materialize(ImplicitTorus(r, c)) has exactly the CSR of
+// Torus(r, c), same FingerprintOf, same traces under every engine. The
+// cross-backend equivalence tests pin this.
+//
+// NeighborsInto on these backends fills the caller's buffer (which must
+// hold MaxDegree() entries); ForEachNeighbor uses a small stack buffer
+// and is safe for concurrent use.
+
+// sortSmallInt32 insertion-sorts xs in place. Rows here have at most a
+// few dozen entries (4 for grid/torus, d ≤ 30 for hypercubes, the
+// stencil size for lattice disk graphs), where insertion sort beats the
+// sort package and never allocates.
+func sortSmallInt32(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		x := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > x {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = x
+	}
+}
+
+// implicitGrid is the rows×cols 4-neighbor grid, structurally identical
+// to Grid(rows, cols).
+type implicitGrid struct {
+	rows, cols int
+	maxDeg, m  int
+	name       string
+}
+
+// ImplicitGrid returns the rows×cols grid as an implicit Topology,
+// bit-identical to Grid(rows, cols) with zero adjacency storage.
+func ImplicitGrid(rows, cols int) Topology {
+	if rows < 0 {
+		rows = 0
+	}
+	if cols < 0 {
+		cols = 0
+	}
+	t := &implicitGrid{rows: rows, cols: cols, name: fmt.Sprintf("grid-%dx%d", rows, cols)}
+	if rows > 0 && cols > 0 {
+		t.m = rows*(cols-1) + cols*(rows-1)
+		t.maxDeg = minInt(2, rows-1) + minInt(2, cols-1)
+	}
+	return t
+}
+
+func (t *implicitGrid) N() int         { return t.rows * t.cols }
+func (t *implicitGrid) M() int         { return t.m }
+func (t *implicitGrid) MaxDegree() int { return t.maxDeg }
+func (t *implicitGrid) Name() string   { return t.name }
+
+func (t *implicitGrid) Degree(v int) int {
+	r, c := v/t.cols, v%t.cols
+	d := 0
+	if r > 0 {
+		d++
+	}
+	if r+1 < t.rows {
+		d++
+	}
+	if c > 0 {
+		d++
+	}
+	if c+1 < t.cols {
+		d++
+	}
+	return d
+}
+
+func (t *implicitGrid) NeighborsInto(v int, buf []int32) []int32 {
+	r, c := v/t.cols, v%t.cols
+	k := 0
+	// Emitted in ascending id order by construction:
+	// v-cols < v-1 < v+1 < v+cols.
+	if r > 0 {
+		buf[k] = int32(v - t.cols)
+		k++
+	}
+	if c > 0 {
+		buf[k] = int32(v - 1)
+		k++
+	}
+	if c+1 < t.cols {
+		buf[k] = int32(v + 1)
+		k++
+	}
+	if r+1 < t.rows {
+		buf[k] = int32(v + t.cols)
+		k++
+	}
+	return buf[:k]
+}
+
+func (t *implicitGrid) ForEachNeighbor(v int, fn func(u int32) bool) {
+	var a [4]int32
+	for _, u := range t.NeighborsInto(v, a[:]) {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+// implicitTorus is the rows×cols wraparound grid, structurally
+// identical to Torus(rows, cols). Dimensions of extent 2 contribute a
+// single neighbor (wraparound coincides with adjacency and the
+// materialized generator dedups the doubled edge); extent 1 contributes
+// none.
+type implicitTorus struct {
+	rows, cols int
+	deg, m     int
+	name       string
+}
+
+// ImplicitTorus returns the rows×cols torus as an implicit Topology,
+// bit-identical to Torus(rows, cols) with zero adjacency storage. The
+// torus is vertex-transitive, so every vertex has the same degree.
+func ImplicitTorus(rows, cols int) Topology {
+	if rows < 0 {
+		rows = 0
+	}
+	if cols < 0 {
+		cols = 0
+	}
+	t := &implicitTorus{rows: rows, cols: cols, name: fmt.Sprintf("torus-%dx%d", rows, cols)}
+	if rows > 0 && cols > 0 {
+		t.deg = torusAxisDeg(rows) + torusAxisDeg(cols)
+		t.m = rows * cols * t.deg / 2
+	}
+	return t
+}
+
+// torusAxisDeg is the per-axis neighbor count: extent 1 wraps to self
+// (no edge), extent 2 has coinciding ±1 neighbors (one edge), extent
+// ≥ 3 has two.
+func torusAxisDeg(extent int) int {
+	switch {
+	case extent < 2:
+		return 0
+	case extent == 2:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func (t *implicitTorus) N() int         { return t.rows * t.cols }
+func (t *implicitTorus) M() int         { return t.m }
+func (t *implicitTorus) MaxDegree() int { return t.deg }
+func (t *implicitTorus) Degree(int) int { return t.deg }
+func (t *implicitTorus) Name() string   { return t.name }
+
+func (t *implicitTorus) NeighborsInto(v int, buf []int32) []int32 {
+	r, c := v/t.cols, v%t.cols
+	k := 0
+	if t.rows >= 2 {
+		buf[k] = int32(((r-1+t.rows)%t.rows)*t.cols + c)
+		k++
+		if t.rows >= 3 {
+			buf[k] = int32(((r+1)%t.rows)*t.cols + c)
+			k++
+		}
+	}
+	if t.cols >= 2 {
+		buf[k] = int32(r*t.cols + (c-1+t.cols)%t.cols)
+		k++
+		if t.cols >= 3 {
+			buf[k] = int32(r*t.cols + (c+1)%t.cols)
+			k++
+		}
+	}
+	sortSmallInt32(buf[:k])
+	return buf[:k]
+}
+
+func (t *implicitTorus) ForEachNeighbor(v int, fn func(u int32) bool) {
+	var a [4]int32
+	for _, u := range t.NeighborsInto(v, a[:]) {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+// implicitHypercube is the d-dimensional hypercube Q_d, structurally
+// identical to Hypercube(d).
+type implicitHypercube struct {
+	d    int
+	name string
+}
+
+// maxHypercubeDim bounds the dimension so 2^d vertex ids fit int32 (the
+// CSR id type shared by every backend).
+const maxHypercubeDim = 30
+
+// ImplicitHypercube returns Q_d as an implicit Topology, bit-identical
+// to Hypercube(d) with zero adjacency storage. d must be in
+// [0, 30] so vertex ids fit int32.
+func ImplicitHypercube(d int) Topology {
+	if d < 0 || d > maxHypercubeDim {
+		panic(fmt.Sprintf("graph: hypercube dimension %d outside [0, %d]", d, maxHypercubeDim))
+	}
+	return &implicitHypercube{d: d, name: fmt.Sprintf("hypercube-%d", d)}
+}
+
+func (t *implicitHypercube) N() int         { return 1 << uint(t.d) }
+func (t *implicitHypercube) M() int         { return t.d * (1 << uint(t.d)) / 2 }
+func (t *implicitHypercube) MaxDegree() int { return t.d }
+func (t *implicitHypercube) Degree(int) int { return t.d }
+func (t *implicitHypercube) Name() string   { return t.name }
+
+func (t *implicitHypercube) NeighborsInto(v int, buf []int32) []int32 {
+	// Ascending without sorting: flipping a set bit lowers the id (and
+	// lower set bits lower it less), flipping a clear bit raises it (and
+	// higher clear bits raise it more).
+	k := 0
+	for b := t.d - 1; b >= 0; b-- {
+		if v&(1<<uint(b)) != 0 {
+			buf[k] = int32(v ^ (1 << uint(b)))
+			k++
+		}
+	}
+	for b := 0; b < t.d; b++ {
+		if v&(1<<uint(b)) == 0 {
+			buf[k] = int32(v ^ (1 << uint(b)))
+			k++
+		}
+	}
+	return buf[:k]
+}
+
+func (t *implicitHypercube) ForEachNeighbor(v int, fn func(u int32) bool) {
+	var a [maxHypercubeDim]int32
+	for _, u := range t.NeighborsInto(v, a[:t.d]) {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+// implicitUDGT is a unit-disk graph over the integer lattice on a
+// torus: vertices at lattice positions (r, c), edges between positions
+// at toroidal Euclidean distance ≤ radius. It is the deterministic,
+// vertex-transitive stand-in for the random unit-disk deployments of
+// UnitDisk — the same local geometry (disk neighborhoods, degree
+// ~πr²), but synthesizable in O(1) per row, which is what lets a
+// "wireless sensor field" scale to 10⁸ devices.
+type implicitUDGT struct {
+	rows, cols int
+	radius     float64
+	reach      int     // floor(radius): max |dr|, |dc|
+	stencil    []int32 // linear offsets dr·cols+dc, ascending (interior fast path)
+	offs       [][2]int16
+	name       string
+}
+
+// ImplicitUnitDiskGridTorus returns the lattice unit-disk torus as an
+// implicit Topology. It requires 2·floor(radius)+1 ≤ min(rows, cols) so
+// a disk never wraps onto itself (every stencil offset lands on a
+// distinct vertex), which keeps rows duplicate-free by construction.
+func ImplicitUnitDiskGridTorus(rows, cols int, radius float64) (Topology, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("graph: unit-disk grid torus needs positive dimensions, got %dx%d", rows, cols)
+	}
+	if radius < 0 || math.IsNaN(radius) || math.IsInf(radius, 0) {
+		return nil, fmt.Errorf("graph: unit-disk grid torus radius %v invalid", radius)
+	}
+	reach := int(math.Floor(radius))
+	if m := minInt(rows, cols); 2*reach+1 > m {
+		return nil, fmt.Errorf("graph: unit-disk radius %g too large: need 2·floor(r)+1 = %d ≤ min(rows, cols) = %d", radius, 2*reach+1, m)
+	}
+	t := &implicitUDGT{
+		rows: rows, cols: cols, radius: radius, reach: reach,
+		name: fmt.Sprintf("udgt-%dx%d-r%.3g", rows, cols, radius),
+	}
+	r2 := radius * radius
+	for dr := -reach; dr <= reach; dr++ {
+		for dc := -reach; dc <= reach; dc++ {
+			if dr == 0 && dc == 0 {
+				continue
+			}
+			if float64(dr*dr+dc*dc) <= r2 {
+				// (dr, dc) lexicographic order makes the linear offsets
+				// strictly ascending, so interior rows need no sort.
+				t.stencil = append(t.stencil, int32(dr*cols+dc))
+				t.offs = append(t.offs, [2]int16{int16(dr), int16(dc)})
+			}
+		}
+	}
+	return t, nil
+}
+
+func (t *implicitUDGT) N() int         { return t.rows * t.cols }
+func (t *implicitUDGT) M() int         { return t.rows * t.cols * len(t.stencil) / 2 }
+func (t *implicitUDGT) MaxDegree() int { return len(t.stencil) }
+func (t *implicitUDGT) Degree(int) int { return len(t.stencil) }
+func (t *implicitUDGT) Name() string   { return t.name }
+
+func (t *implicitUDGT) NeighborsInto(v int, buf []int32) []int32 {
+	r, c := v/t.cols, v%t.cols
+	R := t.reach
+	if r >= R && r+R < t.rows && c >= R && c+R < t.cols {
+		// Interior: no wraparound, offsets apply directly and are
+		// already ascending.
+		for i, off := range t.stencil {
+			buf[i] = int32(v) + off
+		}
+		return buf[:len(t.stencil)]
+	}
+	for i, o := range t.offs {
+		rr := r + int(o[0])
+		if rr < 0 {
+			rr += t.rows
+		} else if rr >= t.rows {
+			rr -= t.rows
+		}
+		cc := c + int(o[1])
+		if cc < 0 {
+			cc += t.cols
+		} else if cc >= t.cols {
+			cc -= t.cols
+		}
+		buf[i] = int32(rr*t.cols + cc)
+	}
+	out := buf[:len(t.offs)]
+	sortSmallInt32(out)
+	return out
+}
+
+func (t *implicitUDGT) ForEachNeighbor(v int, fn func(u int32) bool) {
+	var a [64]int32
+	buf := a[:]
+	if len(t.stencil) > len(buf) {
+		buf = make([]int32, len(t.stencil))
+	}
+	for _, u := range t.NeighborsInto(v, buf) {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

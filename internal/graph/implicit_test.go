@@ -1,0 +1,275 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// gridCases spans the degenerate extents (1, 2) where wraparound
+// coincides with adjacency and the dedup rules bite, plus ordinary
+// sizes.
+var gridCases = [][2]int{
+	{1, 1}, {1, 2}, {1, 5}, {2, 1}, {2, 2}, {2, 3}, {2, 5},
+	{3, 2}, {3, 3}, {4, 7}, {5, 4}, {6, 6},
+}
+
+// requireSameGraph asserts that t (an implicit topology) presents the
+// exact canonical view of want: same counts, same rows, same
+// fingerprint, via both access forms.
+func requireSameGraph(t *testing.T, top Topology, want *Graph) {
+	t.Helper()
+	if top.N() != want.N() || top.M() != want.M() || top.MaxDegree() != want.MaxDegree() {
+		t.Fatalf("%s: n/m/maxdeg = %d/%d/%d, want %d/%d/%d",
+			top.Name(), top.N(), top.M(), top.MaxDegree(), want.N(), want.M(), want.MaxDegree())
+	}
+	buf := make([]int32, top.MaxDegree())
+	for v := 0; v < want.N(); v++ {
+		if top.Degree(v) != want.Degree(v) {
+			t.Fatalf("%s: degree(%d) = %d, want %d", top.Name(), v, top.Degree(v), want.Degree(v))
+		}
+		got := top.NeighborsInto(v, buf)
+		exp := want.Neighbors(v)
+		if len(got) != len(exp) {
+			t.Fatalf("%s: row %d has %d entries, want %d", top.Name(), v, len(got), len(exp))
+		}
+		for i := range got {
+			if got[i] != exp[i] {
+				t.Fatalf("%s: row %d = %v, want %v", top.Name(), v, got, exp)
+			}
+		}
+		i := 0
+		top.ForEachNeighbor(v, func(u int32) bool {
+			if i >= len(exp) || u != exp[i] {
+				t.Fatalf("%s: ForEachNeighbor(%d) entry %d = %d, want row %v", top.Name(), v, i, u, exp)
+			}
+			i++
+			return true
+		})
+		if i != len(exp) {
+			t.Fatalf("%s: ForEachNeighbor(%d) visited %d entries, want %d", top.Name(), v, i, len(exp))
+		}
+	}
+	if got, exp := FingerprintOf(top), want.Fingerprint(); got != exp {
+		t.Fatalf("%s: FingerprintOf = %#x, want %#x", top.Name(), got, exp)
+	}
+	mat := Materialize(top)
+	if err := mat.Validate(); err != nil {
+		t.Fatalf("%s: materialized image invalid: %v", top.Name(), err)
+	}
+	if got, exp := mat.Fingerprint(), want.Fingerprint(); got != exp {
+		t.Fatalf("%s: Materialize fingerprint = %#x, want %#x", top.Name(), got, exp)
+	}
+}
+
+func TestImplicitGridMatchesMaterialized(t *testing.T) {
+	for _, rc := range gridCases {
+		requireSameGraph(t, ImplicitGrid(rc[0], rc[1]), Grid(rc[0], rc[1]))
+	}
+}
+
+func TestImplicitTorusMatchesMaterialized(t *testing.T) {
+	for _, rc := range gridCases {
+		requireSameGraph(t, ImplicitTorus(rc[0], rc[1]), Torus(rc[0], rc[1]))
+	}
+}
+
+func TestImplicitHypercubeMatchesMaterialized(t *testing.T) {
+	for d := 0; d <= 7; d++ {
+		requireSameGraph(t, ImplicitHypercube(d), Hypercube(d))
+	}
+}
+
+// TestImplicitUDGTCanonical checks the lattice disk torus against a
+// brute-force reference: all lattice pairs within toroidal Euclidean
+// distance radius.
+func TestImplicitUDGTCanonical(t *testing.T) {
+	for _, tc := range []struct {
+		rows, cols int
+		radius     float64
+	}{
+		{5, 5, 1}, {5, 7, 2}, {7, 7, 2.5}, {9, 6, 1.5}, {4, 4, 0.5}, {3, 3, 1},
+	} {
+		top, err := ImplicitUnitDiskGridTorus(tc.rows, tc.cols, tc.radius)
+		if err != nil {
+			t.Fatalf("udgt %dx%d r=%g: %v", tc.rows, tc.cols, tc.radius, err)
+		}
+		want := bruteForceUDGT(tc.rows, tc.cols, tc.radius)
+		requireSameGraph(t, top, want)
+	}
+}
+
+func bruteForceUDGT(rows, cols int, radius float64) *Graph {
+	n := rows * cols
+	torDist2 := func(a, b, extent int) int {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		if extent-d < d {
+			d = extent - d
+		}
+		return d * d
+	}
+	var edges []Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			dr2 := torDist2(u/cols, v/cols, rows)
+			dc2 := torDist2(u%cols, v%cols, cols)
+			if float64(dr2+dc2) <= radius*radius {
+				edges = append(edges, Edge{U: u, V: v})
+			}
+		}
+	}
+	return MustNew(n, edges)
+}
+
+func TestImplicitUDGTValidation(t *testing.T) {
+	// 2·floor(2.5)+1 = 5 ≤ min extent 5: legal.
+	if _, err := ImplicitUnitDiskGridTorus(5, 5, 2.5); err != nil {
+		t.Fatalf("legal radius rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		rows, cols int
+		radius     float64
+	}{
+		{5, 5, 3},           // 2·3+1 = 7 > 5: disk wraps onto itself
+		{3, 9, 2},           // limited by the smaller extent
+		{0, 5, 1},           // empty dimension
+		{5, -1, 1},          // negative dimension
+		{5, 5, -0.5},        // negative radius
+		{5, 5, math.NaN()},  // NaN radius
+		{5, 5, math.Inf(1)}, // infinite radius
+	} {
+		if _, err := ImplicitUnitDiskGridTorus(tc.rows, tc.cols, tc.radius); err == nil {
+			t.Fatalf("udgt %dx%d r=%v: want error, got nil", tc.rows, tc.cols, tc.radius)
+		}
+	}
+}
+
+func TestImplicitNames(t *testing.T) {
+	for _, tc := range []struct {
+		top  Topology
+		want string
+	}{
+		{ImplicitGrid(3, 4), "grid-3x4"},
+		{ImplicitTorus(5, 6), "torus-5x6"},
+		{ImplicitHypercube(8), "hypercube-8"},
+	} {
+		if tc.top.Name() != tc.want {
+			t.Fatalf("name = %q, want %q", tc.top.Name(), tc.want)
+		}
+	}
+	u, err := ImplicitUnitDiskGridTorus(10, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "udgt-10x10-r2"; u.Name() != want {
+		t.Fatalf("name = %q, want %q", u.Name(), want)
+	}
+}
+
+func TestForEachEdgeOfMatchesEdges(t *testing.T) {
+	g := Torus(4, 5)
+	var got []Edge
+	ForEachEdgeOf(g, func(u, v int32) bool {
+		got = append(got, Edge{U: int(u), V: int(v)})
+		return true
+	})
+	want := g.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d edges, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Early exit stops the stream.
+	count := 0
+	ForEachEdgeOf(g, func(u, v int32) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early exit visited %d edges, want 3", count)
+	}
+	// The generic path (non-*Graph) streams the same edges.
+	var gen []Edge
+	ForEachEdgeOf(ImplicitTorus(4, 5), func(u, v int32) bool {
+		gen = append(gen, Edge{U: int(u), V: int(v)})
+		return true
+	})
+	if len(gen) != len(want) {
+		t.Fatalf("generic path streamed %d edges, want %d", len(gen), len(want))
+	}
+	for i := range gen {
+		if gen[i] != want[i] {
+			t.Fatalf("generic edge %d = %v, want %v", i, gen[i], want[i])
+		}
+	}
+}
+
+func TestDegree2OfMatchesDegree2(t *testing.T) {
+	g := Grid(4, 6)
+	top := ImplicitGrid(4, 6)
+	for v := 0; v < g.N(); v++ {
+		if got, want := Degree2Of(top, v), g.Degree2(v); got != want {
+			t.Fatalf("Degree2Of(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestVerifyMISOnOfMatchesGraph(t *testing.T) {
+	g := Torus(4, 4)
+	top := ImplicitTorus(4, 4)
+	n := g.N()
+	// Exhaustively compare the generic and *Graph verdicts over random
+	// masks plus a few structured ones.
+	masks := [][]bool{
+		make([]bool, n),
+	}
+	full := make([]bool, n)
+	for i := range full {
+		full[i] = true
+	}
+	masks = append(masks, full)
+	diag := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if (v/4+v%4)%2 == 0 && (v/4)%2 == 0 {
+			diag[v] = true
+		}
+	}
+	masks = append(masks, diag)
+	for seed := 0; seed < 32; seed++ {
+		m := make([]bool, n)
+		x := uint64(seed)*2654435761 + 12345
+		for v := range m {
+			x = x*6364136223846793005 + 1442695040888963407
+			m[v] = x>>63 == 1
+		}
+		masks = append(masks, m)
+	}
+	for i, m := range masks {
+		want := g.VerifyMIS(m)
+		got := VerifyMISOf(top, m)
+		if (want == nil) != (got == nil) {
+			t.Fatalf("mask %d: generic verdict %v, *Graph verdict %v", i, got, want)
+		}
+	}
+	// Active-subset form.
+	active := make([]bool, n)
+	for v := 0; v < n; v += 2 {
+		active[v] = true
+	}
+	for i, m := range masks {
+		mm := make([]bool, n)
+		for v := range mm {
+			mm[v] = m[v] && active[v]
+		}
+		want := g.VerifyMISOn(active, mm)
+		got := VerifyMISOnOf(top, active, mm)
+		if (want == nil) != (got == nil) {
+			t.Fatalf("active mask %d: generic verdict %v, *Graph verdict %v", i, got, want)
+		}
+	}
+}

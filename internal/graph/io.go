@@ -18,8 +18,11 @@ import (
 // It round-trips through WriteEdgeList / ReadEdgeList and is what
 // cmd/graphgen emits and cmd/beepmis consumes.
 
-// WriteEdgeList writes g in the edge-list text format.
-func WriteEdgeList(w io.Writer, g *Graph) error {
+// WriteEdgeList writes g in the edge-list text format. It accepts any
+// Topology and streams edges via ForEachEdgeOf, so writing never
+// materializes an O(m) []Edge slice — the property that lets graphgen
+// convert compact and implicit backends of any size.
+func WriteEdgeList(w io.Writer, g Topology) error {
 	bw := bufio.NewWriter(w)
 	if g.Name() != "" {
 		if _, err := fmt.Fprintf(bw, "# %s\n", g.Name()); err != nil {
@@ -29,10 +32,13 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	if _, err := fmt.Fprintf(bw, "n %d\n", g.N()); err != nil {
 		return fmt.Errorf("write edge list: %w", err)
 	}
-	for _, e := range g.Edges() {
-		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
-			return fmt.Errorf("write edge list: %w", err)
-		}
+	var werr error
+	ForEachEdgeOf(g, func(u, v int32) bool {
+		_, werr = fmt.Fprintf(bw, "%d %d\n", u, v)
+		return werr == nil
+	})
+	if werr != nil {
+		return fmt.Errorf("write edge list: %w", werr)
 	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("write edge list: %w", err)
@@ -128,9 +134,10 @@ func WriteDOT(w io.Writer, g *Graph, mis []bool) error {
 			}
 		}
 	}
-	for _, e := range g.Edges() {
-		fmt.Fprintf(bw, "  %d -- %d;\n", e.U, e.V)
-	}
+	g.ForEachEdge(func(u, v int32) bool {
+		fmt.Fprintf(bw, "  %d -- %d;\n", u, v)
+		return true
+	})
 	fmt.Fprintln(bw, "}")
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("write dot: %w", err)

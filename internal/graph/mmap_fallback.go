@@ -1,0 +1,11 @@
+//go:build !unix
+
+package graph
+
+import "os"
+
+// mapFile reads the whole file on platforms without mmap support; the
+// semantics of ReadBGR are unchanged, only the loading cost.
+func mapFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,40 @@
+//go:build unix
+
+package graph
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile returns the file's contents as a read-only memory mapping.
+// The mapping is never unmapped: .bgr graphs live for the process (they
+// back long-running simulations), and the pages are clean and
+// reclaimable by the kernel at any time. Empty files map to an empty
+// slice (mmap of length 0 is an error on most unixes).
+func mapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("file too large to map (%d bytes)", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (some network mounts): fall
+		// back to reading.
+		return os.ReadFile(path)
+	}
+	return data, nil
+}

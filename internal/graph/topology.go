@@ -1,0 +1,223 @@
+package graph
+
+import "fmt"
+
+// Topology is the read-only graph abstraction the simulation engines
+// consume. It exists so the engine stack can run on backends other than
+// the materialized int32 CSR of *Graph:
+//
+//   - *Graph — the materialized CSR, zero-copy row access, the default
+//     for irregular graphs that fit in memory.
+//   - *Compact — delta-varint encoded adjacency with fixed-stride
+//     offset samples (see compact.go), ~2–4 bytes per edge endpoint
+//     instead of 4, loadable from an mmap'd .bgr file.
+//   - implicit generator-backed families (see implicit.go) — grids,
+//     tori, hypercubes and lattice unit-disk graphs whose neighborhoods
+//     are synthesized on the fly from closed-form rules, with zero
+//     adjacency storage; the backend that makes n = 10⁸ simulable.
+//
+// Every backend must present the same canonical view: for each vertex,
+// a strictly ascending, duplicate-free neighbor list over [0, N), no
+// self-loops, symmetric. Two topologies with identical canonical views
+// are interchangeable everywhere (same traces, same checkpoints, same
+// FingerprintOf), which is what the cross-backend engine-equivalence
+// tests pin.
+type Topology interface {
+	// N returns the number of vertices.
+	N() int
+	// M returns the number of undirected edges.
+	M() int
+	// Degree returns deg(v).
+	Degree(v int) int
+	// MaxDegree returns Δ(G); it must be O(1) (cached or closed-form):
+	// per-vertex knowledge variants query it for every vertex.
+	MaxDegree() int
+	// NeighborsInto returns the sorted neighbor list of v. Backends
+	// with materialized rows return an aliased slice and ignore buf;
+	// synthesizing backends fill buf (which the caller must size to at
+	// least MaxDegree()) and return buf[:deg]. The result is only valid
+	// until the next call with the same buf, and must not be modified.
+	NeighborsInto(v int, buf []int32) []int32
+	// ForEachNeighbor calls fn on each neighbor of v in ascending
+	// order, stopping early if fn returns false. It requires no buffer,
+	// the form analysts use when no scratch is available.
+	ForEachNeighbor(v int, fn func(u int32) bool)
+	// Name returns the topology's descriptive name (may be "").
+	Name() string
+}
+
+var (
+	_ Topology = (*Graph)(nil)
+)
+
+// NeighborsInto implements Topology for the materialized CSR: the
+// aliased row, zero copies, buf ignored.
+func (g *Graph) NeighborsInto(v int, _ []int32) []int32 {
+	return g.adj[g.off[v]:g.off[v+1]]
+}
+
+// ForEachNeighbor implements Topology.
+func (g *Graph) ForEachNeighbor(v int, fn func(u int32) bool) {
+	for _, u := range g.adj[g.off[v]:g.off[v+1]] {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+// Bytes returns the resident size in bytes of the CSR arrays (offsets
+// plus adjacency), the number the bytes/vertex memory-model figures
+// quote for the materialized backend.
+func (g *Graph) Bytes() int { return 4 * (len(g.off) + len(g.adj)) }
+
+// BytesOf reports the adjacency-storage footprint in bytes of any
+// Topology. Materialized backends report their array/payload sizes
+// ((*Graph).Bytes, (*Compact).Bytes); synthesizing backends report 0 —
+// their neighborhoods are closed-form rules with O(1) state, which is
+// the whole point of the implicit families at n = 10⁸.
+func BytesOf(t Topology) int {
+	if b, ok := t.(interface{ Bytes() int }); ok {
+		return b.Bytes()
+	}
+	return 0
+}
+
+// ForEachEdge streams the edge list with U < V in each edge, in sorted
+// order, stopping early if fn returns false. It is the streaming
+// replacement for Edges() on paths that must not materialize an O(m)
+// []Edge slice (fingerprinting, interchange writers, churn planning at
+// n = 10⁸).
+func (g *Graph) ForEachEdge(fn func(u, v int32) bool) {
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if u > int32(v) {
+				if !fn(int32(v), u) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// ForEachEdgeOf streams the U < V edge list of any Topology in sorted
+// order, stopping early if fn returns false.
+func ForEachEdgeOf(t Topology, fn func(u, v int32) bool) {
+	if g, ok := t.(*Graph); ok {
+		g.ForEachEdge(fn)
+		return
+	}
+	n := t.N()
+	for v := 0; v < n; v++ {
+		stop := false
+		t.ForEachNeighbor(v, func(u int32) bool {
+			if u > int32(v) && !fn(int32(v), u) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Degree2Of returns deg₂(v) = max over u in N(v) ∪ {v} of deg(u) for
+// any Topology, the closed-1-hop maximum degree of Section 3. *Graph
+// retains its Degree2 method; this is the backend-generic form the
+// knowledge variants use.
+func Degree2Of(t Topology, v int) int {
+	if g, ok := t.(*Graph); ok {
+		return g.Degree2(v)
+	}
+	max := t.Degree(v)
+	t.ForEachNeighbor(v, func(u int32) bool {
+		if d := t.Degree(int(u)); d > max {
+			max = d
+		}
+		return true
+	})
+	return max
+}
+
+// Materialize builds the int32-CSR *Graph with the exact canonical view
+// of t: identical vertex numbering, identical sorted rows, and therefore
+// an identical FingerprintOf. Materializing a *Graph returns it
+// unchanged. It is the bridge from the implicit and compact backends to
+// the APIs that require a materialized graph (churn edits, relabeling,
+// DOT output).
+func Materialize(t Topology) *Graph {
+	if g, ok := t.(*Graph); ok {
+		return g
+	}
+	n := t.N()
+	off := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + int32(t.Degree(v))
+	}
+	adj := make([]int32, off[n])
+	buf := make([]int32, t.MaxDegree())
+	for v := 0; v < n; v++ {
+		copy(adj[off[v]:off[v+1]], t.NeighborsInto(v, buf))
+	}
+	g := &Graph{name: t.Name(), off: off, adj: adj, maxDeg: int32(t.MaxDegree())}
+	return g
+}
+
+// VerifyMISOf checks that the membership mask is a maximal independent
+// set of t, the Topology-generic form of (*Graph).VerifyMIS.
+func VerifyMISOf(t Topology, in []bool) error {
+	return VerifyMISOnOf(t, nil, in)
+}
+
+// VerifyMISOnOf is the Topology-generic form of (*Graph).VerifyMISOn:
+// the MIS legality predicate on the subgraph induced by the active
+// vertices (nil active = all vertices active). See VerifyMISOn for the
+// exact semantics; the two are behaviorally identical on *Graph.
+func VerifyMISOnOf(t Topology, active, in []bool) error {
+	if g, ok := t.(*Graph); ok {
+		return g.VerifyMISOn(active, in)
+	}
+	n := t.N()
+	if len(in) != n {
+		return fmt.Errorf("graph: membership mask length %d, want %d", len(in), n)
+	}
+	if active != nil && len(active) != n {
+		return fmt.Errorf("graph: active mask length %d, want %d", len(active), n)
+	}
+	act := func(v int) bool { return active == nil || active[v] }
+	for v := 0; v < n; v++ {
+		if !act(v) {
+			if in[v] {
+				return fmt.Errorf("graph: inactive vertex %d is in the set", v)
+			}
+			continue
+		}
+		if in[v] {
+			conflict := false
+			t.ForEachNeighbor(v, func(u int32) bool {
+				if act(int(u)) && in[u] {
+					conflict = true
+					return false
+				}
+				return true
+			})
+			if conflict {
+				return fmt.Errorf("graph: active vertex %d in the set has an active neighbor in the set (independence violated)", v)
+			}
+			continue
+		}
+		dominated := false
+		t.ForEachNeighbor(v, func(u int32) bool {
+			if act(int(u)) && in[u] {
+				dominated = true
+				return false
+			}
+			return true
+		})
+		if !dominated {
+			return fmt.Errorf("graph: active vertex %d outside the set has no active neighbor in the set (maximality violated)", v)
+		}
+	}
+	return nil
+}

@@ -232,7 +232,7 @@ func TestClaimAllFaultRequiresLevels(t *testing.T) {
 type noLevelProto struct{}
 
 func (noLevelProto) Channels() int { return 1 }
-func (noLevelProto) NewMachine(int, *graph.Graph) beep.Machine {
+func (noLevelProto) NewMachine(int, graph.Topology) beep.Machine {
 	return &noLevelMachine{}
 }
 

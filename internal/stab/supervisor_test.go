@@ -233,7 +233,7 @@ func TestSupervisorRejectsCorruptedCheckpointFile(t *testing.T) {
 type panicAtProto struct{ round int64 }
 
 func (p panicAtProto) Channels() int { return 1 }
-func (p panicAtProto) NewMachine(v int, g *graph.Graph) beep.Machine {
+func (p panicAtProto) NewMachine(v int, g graph.Topology) beep.Machine {
 	inner := testProto().NewMachine(v, g)
 	return &panicAtMachine{inner: inner, round: p.round, vertex: v}
 }

@@ -139,7 +139,7 @@ func TestWriteLevelsCSVRequiresKeep(t *testing.T) {
 type levelLessProto struct{}
 
 func (levelLessProto) Channels() int { return 1 }
-func (levelLessProto) NewMachine(int, *graph.Graph) beep.Machine {
+func (levelLessProto) NewMachine(int, graph.Topology) beep.Machine {
 	return &levelLessMachine{}
 }
 
