@@ -344,7 +344,13 @@ func loadGraph(family, file string, seed uint64) (*graph.Graph, error) {
 			if err != nil {
 				return nil, err
 			}
-			return graph.Materialize(c), nil
+			g := graph.Materialize(c)
+			// The compact image is a scratch source here; release its
+			// mapping instead of keeping it for the process lifetime.
+			if err := c.Close(); err != nil {
+				return nil, err
+			}
+			return g, nil
 		}
 		data, err := os.ReadFile(file)
 		if err != nil {
@@ -372,34 +378,17 @@ func loadGraph(family, file string, seed uint64) (*graph.Graph, error) {
 	}
 }
 
+// protocolFor and initFor resolve through the shared core registry, so
+// the CLI and the beepd job API accept exactly the same names.
 func protocolFor(alg string) (beep.Protocol, error) {
-	switch alg {
-	case "alg1-known-delta":
-		return core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta)), nil
-	case "alg1-own-degree":
-		return core.NewAlg1(core.OwnDegree(core.DefaultC1OwnDegree)), nil
-	case "alg2-two-channel":
-		return core.NewAlg2(core.NeighborhoodMaxDegree(core.DefaultC1TwoHop)), nil
-	case "alg1-adaptive":
-		return core.NewAdaptiveAlg1(), nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", alg)
-	}
+	return core.ProtocolByName(alg)
 }
 
 func initFor(s string) (core.InitMode, error) {
-	switch s {
-	case "fresh":
-		return core.InitFresh, nil
-	case "random":
-		return core.InitRandom, nil
-	case "adversarial":
-		return core.InitAdversarial, nil
-	case "zero":
-		return core.InitZero, nil
-	default:
+	if s == "" {
 		return 0, fmt.Errorf("unknown init mode %q", s)
 	}
+	return core.InitByName(s)
 }
 
 func runBaseline(g *graph.Graph, alg string, seed uint64, maxRounds int, init string, printMIS bool) error {

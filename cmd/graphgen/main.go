@@ -64,6 +64,11 @@ func run(args []string) error {
 			return err
 		}
 		g = loaded
+		// .bgr inputs are mmap-backed; release the mapping once the
+		// conversion has been written.
+		if c, ok := loaded.(*graph.Compact); ok {
+			defer c.Close()
+		}
 	default:
 		return fmt.Errorf("need -family or -in (try -help-families)")
 	}

@@ -28,6 +28,15 @@ func WriteFile(path string, write func(w io.Writer) error) (err error) {
 	}
 	tmpName := tmp.Name()
 	defer func() {
+		// Clean up on error AND on a panicking payload writer: the
+		// panic unwinds with the named return still nil, and litter
+		// from unwound writes would otherwise accumulate in the
+		// destination directory.
+		if r := recover(); r != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+			panic(r)
+		}
 		if err != nil {
 			tmp.Close()
 			os.Remove(tmpName)

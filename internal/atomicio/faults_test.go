@@ -1,0 +1,123 @@
+package atomicio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// These tests inject write-path failures and assert the two properties
+// the checkpoint/manifest stack leans on: a failed WriteFile leaves no
+// temporary-file litter in the destination directory, and it never
+// truncates or corrupts a pre-existing destination file.
+
+var errInjected = errors.New("injected write failure")
+
+// listDir returns the directory's entries, for litter assertions.
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// assertIntact asserts path still holds exactly want.
+func assertIntact(t *testing.T, path string, want []byte) {
+	t.Helper()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("destination unreadable after failed write: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("destination corrupted after failed write: got %q, want %q", got, want)
+	}
+}
+
+func TestWriteFileFailureLeavesNoLitterAndDestinationIntact(t *testing.T) {
+	old := []byte("the complete old file")
+	cases := []struct {
+		name  string
+		write func(w io.Writer) error
+	}{
+		{"fail-immediately", func(w io.Writer) error {
+			return errInjected
+		}},
+		{"fail-after-partial-write", func(w io.Writer) error {
+			if _, err := io.WriteString(w, "torn new conten"); err != nil {
+				return err
+			}
+			return errInjected
+		}},
+		{"enospc-style-short-write", func(w io.Writer) error {
+			// An ENOSPC-shaped writer: reports fewer bytes than asked,
+			// the way a full disk surfaces through buffered writers.
+			if _, err := io.WriteString(w, "partial"); err != nil {
+				return err
+			}
+			return fmt.Errorf("write payload: %w", io.ErrShortWrite)
+		}},
+		{"panic-in-writer", func(w io.Writer) error {
+			panic("writer panicked mid-payload")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			dst := filepath.Join(dir, "state.json")
+			if err := os.WriteFile(dst, old, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			func() {
+				if tc.name == "panic-in-writer" {
+					// A panicking payload writer unwinds through
+					// WriteFile; the deferred cleanup must still run.
+					defer func() { _ = recover() }()
+				}
+				if err := WriteFile(dst, tc.write); err == nil && tc.name != "panic-in-writer" {
+					t.Fatal("injected failure did not surface")
+				}
+			}()
+			assertIntact(t, dst, old)
+			for _, name := range listDir(t, dir) {
+				if name != "state.json" {
+					t.Fatalf("temp-file litter left behind: %q", name)
+				}
+			}
+		})
+	}
+}
+
+func TestWriteFileFailureWithoutPreexistingDestination(t *testing.T) {
+	dir := t.TempDir()
+	dst := filepath.Join(dir, "fresh.json")
+	if err := WriteFile(dst, func(w io.Writer) error { return errInjected }); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	if _, err := os.Stat(dst); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("failed write materialized a destination: %v", err)
+	}
+	if names := listDir(t, dir); len(names) != 0 {
+		t.Fatalf("temp-file litter left behind: %v", names)
+	}
+}
+
+func TestWriteFileReportsInjectedCause(t *testing.T) {
+	dir := t.TempDir()
+	err := WriteFile(filepath.Join(dir, "x"), func(w io.Writer) error { return errInjected })
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v does not wrap the writer's error", err)
+	}
+	if !strings.Contains(err.Error(), "atomicio") {
+		t.Fatalf("err = %v does not identify the layer", err)
+	}
+}

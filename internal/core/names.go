@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/beep"
+)
+
+// This file is the canonical name registry for the self-stabilizing
+// protocols and initial configurations, shared by every surface that
+// accepts them as strings: the beepmis CLI flags and the beepd job API
+// resolve through the same functions, so a job spec and a command line
+// always mean the same run.
+
+// ProtocolNames lists the accepted protocol names, in display order.
+var ProtocolNames = []string{
+	"alg1-known-delta", "alg1-own-degree", "alg2-two-channel", "alg1-adaptive",
+}
+
+// ProtocolByName constructs the protocol named by the CLI/API string.
+// Each call returns a fresh protocol value.
+func ProtocolByName(name string) (beep.Protocol, error) {
+	switch name {
+	case "alg1-known-delta":
+		return NewAlg1(KnownMaxDegreeExact(DefaultC1KnownDelta)), nil
+	case "alg1-own-degree":
+		return NewAlg1(OwnDegree(DefaultC1OwnDegree)), nil
+	case "alg2-two-channel":
+		return NewAlg2(NeighborhoodMaxDegree(DefaultC1TwoHop)), nil
+	case "alg1-adaptive":
+		return NewAdaptiveAlg1(), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (want one of %v)", name, ProtocolNames)
+	}
+}
+
+// InitByName parses an initial-configuration name.
+func InitByName(name string) (InitMode, error) {
+	switch name {
+	case "fresh":
+		return InitFresh, nil
+	case "random", "":
+		return InitRandom, nil
+	case "adversarial":
+		return InitAdversarial, nil
+	case "zero":
+		return InitZero, nil
+	default:
+		return 0, fmt.Errorf("unknown init mode %q (want fresh | random | adversarial | zero)", name)
+	}
+}

@@ -129,18 +129,25 @@ func EncodeBGR(w io.Writer, c *Compact, fingerprint uint64) error {
 }
 
 // ReadBGR loads a .bgr file. On unix the payload is memory-mapped
-// read-only and stays mapped for the life of the returned graph (the
-// validation pass touches every page once; steady-state access is
-// backed by the page cache). Elsewhere the file is read into memory.
+// read-only and stays mapped until the returned graph's Close is
+// called (the validation pass touches every page once; steady-state
+// access is backed by the page cache). Elsewhere the file is read into
+// memory and Close is a no-op. Callers that load graphs repeatedly —
+// a long-running daemon serving many jobs — must Close each graph once
+// done with it, or the process accumulates mappings.
 func ReadBGR(path string) (*Compact, error) {
-	data, err := mapFile(path)
+	data, unmap, err := mapFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("graph: bgr: %w", err)
 	}
 	c, err := DecodeBGR(data)
 	if err != nil {
+		if unmap != nil {
+			_ = unmap()
+		}
 		return nil, fmt.Errorf("graph: bgr: %s: %w", path, err)
 	}
+	c.unmap = unmap
 	return c, nil
 }
 

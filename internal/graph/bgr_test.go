@@ -2,8 +2,10 @@ package graph
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/rng"
@@ -120,4 +122,61 @@ func TestWriteBGRIsAtomic(t *testing.T) {
 	if len(ents) != 1 {
 		t.Fatalf("directory has %d entries after overwrite, want 1", len(ents))
 	}
+}
+
+func TestCompactCloseReleasesAndRejectsUse(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "close.bgr")
+	g := Cycle(64)
+	if err := WriteBGR(path, g); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadBGR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: usable before Close.
+	if got := c.Degree(3); got != 2 {
+		t.Fatalf("degree %d, want 2", got)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Idempotent.
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// Use after Close must fail cleanly — a descriptive panic, never a
+	// fault on unmapped memory or silently wrong data.
+	assertClosedPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s on closed graph did not panic", name)
+			}
+			if msg := fmt.Sprint(r); !strings.Contains(msg, "closed") {
+				t.Fatalf("%s panic %q does not name the closed graph", name, msg)
+			}
+		}()
+		fn()
+	}
+	buf := make([]int32, c.MaxDegree())
+	assertClosedPanic("Degree", func() { c.Degree(0) })
+	assertClosedPanic("NeighborsInto", func() { c.NeighborsInto(0, buf) })
+	assertClosedPanic("ForEachNeighbor", func() { c.ForEachNeighbor(0, func(int32) bool { return true }) })
+}
+
+func TestCompactCloseNoopForInMemory(t *testing.T) {
+	// Compress output has no mapping; Close must still invalidate it.
+	c := Compress(Path(9))
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close on in-memory compact: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("row access on closed in-memory compact did not panic")
+		}
+	}()
+	c.Degree(0)
 }

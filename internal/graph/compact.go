@@ -1,5 +1,7 @@
 package graph
 
+import "fmt"
+
 // Compact is the delta-varint materialized graph backend: adjacency
 // rows are stored as unsigned varints of consecutive-neighbor gaps, so
 // a sorted row of small-degree, locality-heavy graphs (grids, meshes,
@@ -29,6 +31,12 @@ type Compact struct {
 	stride  int
 	samples []uint64 // byte offset of row start for vertices 0, stride, 2·stride, …
 	payload []byte   // concatenated varint rows
+
+	// unmap releases a memory mapping backing payload (set by ReadBGR
+	// on unix, nil for in-memory graphs); closed marks a graph whose
+	// backing store has been released.
+	unmap  func() error
+	closed bool
 }
 
 // DefaultCompactStride is the sampling stride used by Compress: row
@@ -104,10 +112,33 @@ func (c *Compact) Stride() int { return c.stride }
 // number the bytes/vertex memory-model figures quote.
 func (c *Compact) Bytes() int { return len(c.payload) + 8*len(c.samples) }
 
+// Close releases the graph's backing store: for a graph loaded by
+// ReadBGR on unix this unmaps the file; for in-memory graphs it only
+// drops the payload for the collector. Close is idempotent and must
+// not race with readers. Any row access after Close panics with a
+// descriptive message instead of faulting on unmapped memory — a
+// closed graph must not be used.
+func (c *Compact) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.samples, c.payload = nil, nil
+	if u := c.unmap; u != nil {
+		c.unmap = nil
+		return u()
+	}
+	return nil
+}
+
 // rowStart returns the byte offset of vertex v's row: jump to the
 // nearest preceding sample, then skip whole rows. Skipping scans
-// continuation bits only — no decoding.
+// continuation bits only — no decoding. Every row accessor funnels
+// through here, so the use-after-Close check guards them all.
 func (c *Compact) rowStart(v int) int {
+	if c.closed {
+		panic(fmt.Sprintf("graph: use of closed compact graph %q", c.name))
+	}
 	p := int(c.samples[v/c.stride])
 	for skip := v % c.stride; skip > 0; skip-- {
 		deg, q := decodeUvarint(c.payload, p)

@@ -5,7 +5,9 @@ package graph
 import "os"
 
 // mapFile reads the whole file on platforms without mmap support; the
-// semantics of ReadBGR are unchanged, only the loading cost.
-func mapFile(path string) ([]byte, error) {
-	return os.ReadFile(path)
+// semantics of ReadBGR are unchanged, only the loading cost. There is
+// no mapping to release, so the closer is nil.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	return data, nil, err
 }

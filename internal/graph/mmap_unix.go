@@ -8,33 +8,36 @@ import (
 	"syscall"
 )
 
-// mapFile returns the file's contents as a read-only memory mapping.
-// The mapping is never unmapped: .bgr graphs live for the process (they
-// back long-running simulations), and the pages are clean and
-// reclaimable by the kernel at any time. Empty files map to an empty
-// slice (mmap of length 0 is an error on most unixes).
-func mapFile(path string) ([]byte, error) {
+// mapFile returns the file's contents as a read-only memory mapping
+// plus the closer that releases it. A long-running daemon loads many
+// graphs over its lifetime, so mappings must be releasable: the caller
+// (ReadBGR) hands the closer to the Compact's Close method. The pages
+// are clean and reclaimable by the kernel at any time while mapped.
+// Empty files map to an empty slice with no closer (mmap of length 0
+// is an error on most unixes).
+func mapFile(path string) ([]byte, func() error, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	size := st.Size()
 	if size == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if size != int64(int(size)) {
-		return nil, fmt.Errorf("file too large to map (%d bytes)", size)
+		return nil, nil, fmt.Errorf("file too large to map (%d bytes)", size)
 	}
 	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
 	if err != nil {
 		// Filesystems without mmap support (some network mounts): fall
 		// back to reading.
-		return os.ReadFile(path)
+		buf, rerr := os.ReadFile(path)
+		return buf, nil, rerr
 	}
-	return data, nil
+	return data, func() error { return syscall.Munmap(data) }, nil
 }

@@ -1,0 +1,79 @@
+package service
+
+import "time"
+
+// JobState is the job lifecycle state machine:
+//
+//	pending ──► running ──► done
+//	   │           │   ├──► failed
+//	   │           │   └──► canceled
+//	   │           └──────► interrupted ──► (recovery) ──► pending
+//	   └──────────────────► canceled
+//
+// pending and interrupted are the resumable states: on startup the
+// daemon re-queues both (interrupted jobs resume from their last valid
+// checkpoint; a tampered or torn checkpoint moves the job to failed
+// with the validation diagnostic instead). done, failed and canceled
+// are terminal.
+type JobState string
+
+const (
+	// JobPending is queued, not yet started (or re-queued by recovery).
+	JobPending JobState = "pending"
+	// JobRunning is executing on a worker.
+	JobRunning JobState = "running"
+	// JobInterrupted was checkpointed and stopped by a drain (SIGTERM)
+	// or a crash; it resumes on the next startup.
+	JobInterrupted JobState = "interrupted"
+	// JobDone completed; for stabilization jobs the MIS was verified.
+	JobDone JobState = "done"
+	// JobFailed hit an unrecoverable error; Error carries the
+	// diagnostic.
+	JobFailed JobState = "failed"
+	// JobCanceled was canceled by a client.
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Job is the persisted record of one job (job.json in the job
+// directory, written atomically on every transition). Wall-clock
+// timestamps are bookkeeping only — nothing in the execution or its
+// trace depends on them.
+type Job struct {
+	ID    string   `json:"id"`
+	Spec  JobSpec  `json:"spec"`
+	State JobState `json:"state"`
+
+	CreatedAt time.Time `json:"createdAt"`
+	UpdatedAt time.Time `json:"updatedAt"`
+
+	// Rounds is the execution's round counter at the last transition
+	// (final for terminal states, the checkpointed round for
+	// interrupted ones).
+	Rounds int `json:"rounds,omitempty"`
+	// Stabilized/MISSize report the verified outcome (stabilization
+	// jobs always stabilize when done; fixed-length jobs report
+	// whatever the horizon reached).
+	Stabilized bool `json:"stabilized,omitempty"`
+	MISSize    int  `json:"misSize,omitempty"`
+	// Attempts counts supervisor budget episodes; Checkpoints counts
+	// auto-checkpoints taken by the most recent run.
+	Attempts    int `json:"attempts,omitempty"`
+	Checkpoints int `json:"checkpoints,omitempty"`
+	// Resumed reports that the most recent run continued from a
+	// checkpoint rather than starting fresh.
+	Resumed bool `json:"resumed,omitempty"`
+	// Error is the diagnostic for failed jobs (contained panic, budget
+	// exhaustion, tampered checkpoint, …).
+	Error string `json:"error,omitempty"`
+}
+
+// clone returns a copy safe to serve outside the daemon lock.
+func (j *Job) clone() *Job {
+	c := *j
+	return &c
+}

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/atomicio"
+)
+
+// Store is the on-disk layout of the daemon's state:
+//
+//	<data>/jobs/<id>/job.json        job record (atomic replace)
+//	<data>/jobs/<id>/checkpoint.ck   latest integrity-hashed checkpoint
+//	<data>/jobs/<id>/trace.ndjson    per-round event log (append; fsynced
+//	                                 before each checkpoint write)
+//	<data>/beepd.addr                actual listen address, for tooling
+//
+// Every mutation of job.json goes through atomicio, so a SIGKILL at any
+// instant leaves either the old record or the new one — the startup
+// scan never has to guess about a half-written transition. The trace
+// file is the one append-mode file; its torn tail is truncated against
+// the checkpoint on resume.
+type Store struct {
+	dir string
+	seq int
+}
+
+const (
+	jobFileName        = "job.json"
+	checkpointFileName = "checkpoint.ck"
+	traceFileName      = "trace.ndjson"
+	addrFileName       = "beepd.addr"
+)
+
+// OpenStore creates (or reopens) the data directory and seeds the job
+// ID counter past every existing job.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("service: empty data directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s := &Store{dir: dir}
+	ids, err := s.jobIDs()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		if n, ok := parseJobID(id); ok && n > s.seq {
+			s.seq = n
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the data directory root.
+func (s *Store) Dir() string { return s.dir }
+
+// AddrFile is the path the daemon publishes its actual listen address
+// to, so tests and tooling can find a daemon started with ":0".
+func (s *Store) AddrFile() string { return filepath.Join(s.dir, addrFileName) }
+
+// JobDir returns the directory of one job.
+func (s *Store) JobDir(id string) string { return filepath.Join(s.dir, "jobs", id) }
+
+// CheckpointPath returns the job's checkpoint file path.
+func (s *Store) CheckpointPath(id string) string {
+	return filepath.Join(s.JobDir(id), checkpointFileName)
+}
+
+// TracePath returns the job's per-round event log path.
+func (s *Store) TracePath(id string) string {
+	return filepath.Join(s.JobDir(id), traceFileName)
+}
+
+// NextID allocates the next job ID. Not safe for concurrent use; the
+// daemon serializes allocation under its own lock.
+func (s *Store) NextID() string {
+	s.seq++
+	return fmt.Sprintf("j%06d", s.seq)
+}
+
+func parseJobID(id string) (int, bool) {
+	if !strings.HasPrefix(id, "j") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// jobIDs lists existing job directories in ID order.
+func (s *Store) jobIDs() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("service: scan jobs: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// SaveJob atomically persists the job record, creating the job
+// directory if needed.
+func (s *Store) SaveJob(j *Job) error {
+	dir := s.JobDir(j.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	data, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: encode job %s: %w", j.ID, err)
+	}
+	if err := atomicio.WriteFileBytes(filepath.Join(dir, jobFileName), data); err != nil {
+		return fmt.Errorf("service: persist job %s: %w", j.ID, err)
+	}
+	return nil
+}
+
+// LoadJob reads one job record.
+func (s *Store) LoadJob(id string) (*Job, error) {
+	data, err := os.ReadFile(filepath.Join(s.JobDir(id), jobFileName))
+	if err != nil {
+		return nil, fmt.Errorf("service: job %s: %w", id, err)
+	}
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("service: job %s: malformed job.json: %w", id, err)
+	}
+	if j.ID == "" {
+		j.ID = id
+	}
+	if j.ID != id {
+		return nil, fmt.Errorf("service: job %s: job.json claims id %q", id, j.ID)
+	}
+	return &j, nil
+}
+
+// WriteAddrFile publishes the daemon's actual listen address.
+func (s *Store) WriteAddrFile(addr string) error {
+	return atomicio.WriteFileBytes(s.AddrFile(), []byte(addr+"\n"))
+}

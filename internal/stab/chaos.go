@@ -88,11 +88,12 @@ type chaosTrace struct {
 	lastCP *beep.Checkpoint
 }
 
-// traceHash folds one round's signals into a 64-bit FNV-1a digest. The
+// TraceHash folds one round's signals into a 64-bit FNV-1a digest. The
 // round number and vertex count are mixed in so a silent round is not
 // confused with a skipped one, nor a pre-churn round with a post-churn
-// one.
-func traceHash(round int, sent, heard []beep.Signal) uint64 {
+// one. It is the per-round fingerprint both the chaos harness and the
+// beepd service layer use to prove bit-exact resume.
+func TraceHash(round int, sent, heard []beep.Signal) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(round))
@@ -148,7 +149,7 @@ func runPass(s *ChaosScenario, p chaosPass) (*chaosTrace, error) {
 		beep.WithSleep(s.Sleep),
 		beep.WithObserver(func(round int, sent, heard []beep.Signal) {
 			if round >= 0 && round < len(tr.hashes) {
-				tr.hashes[round] = traceHash(round, sent, heard)
+				tr.hashes[round] = TraceHash(round, sent, heard)
 			}
 		}),
 	}

@@ -1,6 +1,7 @@
 package stab
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -21,6 +22,11 @@ var (
 	// ErrBudget reports that the final attempt exhausted its round
 	// budget without stabilizing.
 	ErrBudget = errors.New("stab: round budget exhausted without stabilization")
+	// ErrCanceled reports that the run's context was canceled between
+	// rounds. When a checkpoint path is configured the execution state
+	// at the cancellation point has been persisted first, so a canceled
+	// run is always resumable.
+	ErrCanceled = errors.New("stab: run canceled")
 )
 
 // SupervisorConfig describes a supervised run: one execution of a core
@@ -39,6 +45,23 @@ type SupervisorConfig struct {
 	Engine beep.Engine
 	// Options are extra network options (noise, sleep, adversaries).
 	Options []beep.Option
+
+	// Ctx, when non-nil, allows cooperative cancellation: it is checked
+	// between rounds (rounds are short; interrupting one would tear the
+	// engine state). On cancellation the supervisor takes a final
+	// checkpoint (when CheckpointPath is set) and returns ErrCanceled
+	// carrying the context's cause, so callers can distinguish a user
+	// cancel from, say, a shutdown drain.
+	Ctx context.Context
+
+	// FixedRounds, when > 0, runs the execution to exactly this round
+	// number instead of to stabilization: the mode service jobs and
+	// chaos scenarios use, where trace equivalence — not convergence —
+	// is the property of interest. Mutually exclusive with MaxRounds
+	// and MaxRetries; deadline, cancellation and auto-checkpointing
+	// apply unchanged. A resumed execution already at or past the
+	// target completes immediately.
+	FixedRounds int
 
 	// MaxRounds is the round budget of the FIRST attempt; 0 selects the
 	// default budget for the graph. Attempts that exhaust it are
@@ -89,6 +112,12 @@ type SupervisorResult struct {
 	Attempts int
 	// Resumed reports whether the run started from a checkpoint.
 	Resumed bool
+	// Stabilized reports whether the final configuration is legal. A
+	// stabilization run (FixedRounds == 0) only returns with
+	// Stabilized == true; a fixed-length run reports whatever the
+	// execution reached, and MIS/MISSize are populated only when it
+	// happens to have stabilized.
+	Stabilized bool
 	// Checkpoints counts the auto-checkpoints taken.
 	Checkpoints int
 	// LastCheckpoint is the most recent auto-checkpoint (nil if none
@@ -108,9 +137,13 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	if cfg.Graph == nil || cfg.Protocol == nil {
 		return nil, fmt.Errorf("stab: supervisor needs a graph and a protocol")
 	}
-	if cfg.MaxRounds < 0 || cfg.MaxRetries < 0 || cfg.CheckpointEvery < 0 {
-		return nil, fmt.Errorf("stab: negative supervisor budget (maxRounds=%d maxRetries=%d checkpointEvery=%d)",
-			cfg.MaxRounds, cfg.MaxRetries, cfg.CheckpointEvery)
+	if cfg.MaxRounds < 0 || cfg.MaxRetries < 0 || cfg.CheckpointEvery < 0 || cfg.FixedRounds < 0 {
+		return nil, fmt.Errorf("stab: negative supervisor budget (maxRounds=%d maxRetries=%d checkpointEvery=%d fixedRounds=%d)",
+			cfg.MaxRounds, cfg.MaxRetries, cfg.CheckpointEvery, cfg.FixedRounds)
+	}
+	if cfg.FixedRounds > 0 && (cfg.MaxRounds > 0 || cfg.MaxRetries > 0) {
+		return nil, fmt.Errorf("stab: FixedRounds is exclusive with MaxRounds/MaxRetries (fixedRounds=%d maxRounds=%d maxRetries=%d)",
+			cfg.FixedRounds, cfg.MaxRounds, cfg.MaxRetries)
 	}
 	if cfg.Deadline < 0 {
 		return nil, fmt.Errorf("stab: negative deadline %v", cfg.Deadline)
@@ -206,6 +239,24 @@ func (s *Supervisor) Run() (*SupervisorResult, error) {
 		return nil
 	}
 
+	// canceled implements the cooperative stop path: between rounds, a
+	// canceled context checkpoints the execution (when a path is
+	// configured, so the run is resumable) and surfaces ErrCanceled with
+	// the cancellation cause.
+	canceled := func() error {
+		if cfg.Ctx == nil || cfg.Ctx.Err() == nil {
+			return nil
+		}
+		cause := context.Cause(cfg.Ctx)
+		if cfg.CheckpointPath != "" {
+			if cerr := checkpoint(); cerr != nil {
+				return fmt.Errorf("%w at round %d on %s: %v (cancel checkpoint failed: %v)",
+					ErrCanceled, net.Round(), net.Graph().Name(), cause, cerr)
+			}
+		}
+		return fmt.Errorf("%w at round %d on %s: %v", ErrCanceled, net.Round(), net.Graph().Name(), cause)
+	}
+
 	finish := func() (*SupervisorResult, error) {
 		if err := probe.Refresh(net); err != nil {
 			return nil, err
@@ -214,6 +265,7 @@ func (s *Supervisor) Run() (*SupervisorResult, error) {
 			return nil, fmt.Errorf("stab: stabilized illegally: %w", err)
 		}
 		res.Rounds = net.Round()
+		res.Stabilized = true
 		res.MIS = probe.MISMask()
 		res.MISSize = 0
 		for _, in := range res.MIS {
@@ -222,6 +274,17 @@ func (s *Supervisor) Run() (*SupervisorResult, error) {
 			}
 		}
 		return res, nil
+	}
+
+	// Cancel-before-start still checkpoints the (initialized or
+	// restored) round-zero state, so even a run that never stepped
+	// resumes deterministically.
+	if err := canceled(); err != nil {
+		return nil, err
+	}
+
+	if cfg.FixedRounds > 0 {
+		return s.runFixed(net, res, &probe, checkpoint, canceled)
 	}
 
 	// A resumed or already-legal configuration costs zero rounds.
@@ -234,6 +297,9 @@ func (s *Supervisor) Run() (*SupervisorResult, error) {
 		res.Attempts = attempt + 1
 		start := cfg.now()
 		for r := 0; r < budget; r++ {
+			if err := canceled(); err != nil {
+				return nil, err
+			}
 			if err := net.TryStep(); err != nil {
 				var rerr *beep.RunError
 				if errors.As(err, &rerr) {
@@ -274,6 +340,56 @@ func (s *Supervisor) Run() (*SupervisorResult, error) {
 		}
 		deadline = time.Duration(float64(deadline) * cfg.EscalateFactor)
 	}
+}
+
+// runFixed executes a fixed-length run: exactly to round
+// cfg.FixedRounds, with cancellation, deadline and auto-checkpointing
+// but no stabilization stop and no budget escalation. The result
+// reports whether the final configuration happens to be legal; MIS is
+// populated only then.
+func (s *Supervisor) runFixed(net *beep.Network, res *SupervisorResult, probe *core.State,
+	checkpoint func() error, canceled func() error) (*SupervisorResult, error) {
+	cfg := s.cfg
+	res.Attempts = 1
+	start := cfg.now()
+	for net.Round() < cfg.FixedRounds {
+		if err := canceled(); err != nil {
+			return nil, err
+		}
+		if err := net.TryStep(); err != nil {
+			var rerr *beep.RunError
+			if errors.As(err, &rerr) {
+				return nil, fmt.Errorf("stab: contained machine panic (fixed run): %w", rerr)
+			}
+			return nil, fmt.Errorf("stab: %w", err)
+		}
+		if cfg.CheckpointEvery > 0 && net.Round()%cfg.CheckpointEvery == 0 {
+			if err := checkpoint(); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.Deadline > 0 && cfg.now().Sub(start) > cfg.Deadline {
+			return nil, fmt.Errorf("%w: fixed run at round %d of %d on %s",
+				ErrDeadline, net.Round(), cfg.FixedRounds, net.Graph().Name())
+		}
+	}
+	if err := probe.Refresh(net); err != nil {
+		return nil, fmt.Errorf("stab: %w", err)
+	}
+	res.Rounds = net.Round()
+	if probe.Stabilized() {
+		if err := probe.VerifyMIS(); err != nil {
+			return nil, fmt.Errorf("stab: stabilized illegally: %w", err)
+		}
+		res.Stabilized = true
+		res.MIS = probe.MISMask()
+		for _, in := range res.MIS {
+			if in {
+				res.MISSize++
+			}
+		}
+	}
+	return res, nil
 }
 
 // engineOrDefault maps the zero Engine to Sequential.

@@ -1,9 +1,11 @@
 package stab
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -261,3 +263,214 @@ func (m *panicAtMachine) Randomize(src *rng.Source) { m.inner.Randomize(src) }
 func (m *panicAtMachine) Level() int     { return m.inner.(core.Leveled).Level() }
 func (m *panicAtMachine) Cap() int       { return m.inner.(core.Leveled).Cap() }
 func (m *panicAtMachine) SetLevel(l int) { m.inner.(core.Leveled).SetLevel(l) }
+
+func TestSupervisorCancelBeforeStart(t *testing.T) {
+	g := testGraph(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(errors.New("operator abort"))
+	sup, err := NewSupervisor(SupervisorConfig{
+		Graph: g, Protocol: testProto(), Seed: 9,
+		Ctx: ctx, CheckpointEvery: 5, CheckpointPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sup.Run(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled-before-start run: %v, want ErrCanceled", err)
+	}
+
+	// Cancel-on-start still checkpoints the round-zero state; resuming
+	// from it reproduces the uninterrupted execution exactly.
+	cp, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatalf("no resumable checkpoint after cancel-before-start: %v", err)
+	}
+	if cp.Round != 0 {
+		t.Fatalf("cancel-before-start checkpoint at round %d, want 0", cp.Round)
+	}
+	refSup, err := NewSupervisor(SupervisorConfig{Graph: g, Protocol: testProto(), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refSup.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resume, err := NewSupervisor(SupervisorConfig{Graph: g, Protocol: testProto(), Seed: 9, Resume: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := resume.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != ref.Rounds || res.MISSize != ref.MISSize {
+		t.Fatalf("resumed-from-round-0 run (rounds=%d mis=%d) differs from uninterrupted (rounds=%d mis=%d)",
+			res.Rounds, res.MISSize, ref.Rounds, ref.MISSize)
+	}
+}
+
+func TestSupervisorCancelMidRun(t *testing.T) {
+	g := testGraph(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	const cancelAt = 7
+	sup, err := NewSupervisor(SupervisorConfig{
+		Graph: g, Protocol: testProto(), Seed: 9,
+		Ctx: ctx, CheckpointPath: path,
+		Options: []beep.Option{beep.WithObserver(func(round int, _, _ []beep.Signal) {
+			if round == cancelAt {
+				cancel(errors.New("mid-run cancel"))
+			}
+		})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sup.Run()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("mid-run cancel: %v, want ErrCanceled", err)
+	}
+	if want := "mid-run cancel"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("cancel error %q does not carry the cause %q", err, want)
+	}
+
+	// Checkpoint-on-cancel captured the state at the cancellation
+	// point; resuming completes with the reference outcome.
+	cp, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatalf("no checkpoint after mid-run cancel: %v", err)
+	}
+	if cp.Round != cancelAt {
+		t.Fatalf("cancel checkpoint at round %d, want %d", cp.Round, cancelAt)
+	}
+	refSup, err := NewSupervisor(SupervisorConfig{Graph: g, Protocol: testProto(), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refSup.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resume, err := NewSupervisor(SupervisorConfig{Graph: g, Protocol: testProto(), Seed: 9, Resume: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := resume.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != ref.Rounds || res.MISSize != ref.MISSize {
+		t.Fatalf("resumed-after-cancel run (rounds=%d mis=%d) differs from uninterrupted (rounds=%d mis=%d)",
+			res.Rounds, res.MISSize, ref.Rounds, ref.MISSize)
+	}
+}
+
+func TestSupervisorCancelDuringRetry(t *testing.T) {
+	g := testGraph(t)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	// A 3-round budget forces escalation; canceling at round 8 lands
+	// inside a retry attempt, which must still honor the stop path.
+	sup, err := NewSupervisor(SupervisorConfig{
+		Graph: g, Protocol: testProto(), Seed: 9,
+		MaxRounds: 3, MaxRetries: 10, Ctx: ctx,
+		Options: []beep.Option{beep.WithObserver(func(round int, _, _ []beep.Signal) {
+			if round == 8 {
+				cancel(errors.New("cancel during retry"))
+			}
+		})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sup.Run()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("cancel during retry: %v, want ErrCanceled", err)
+	}
+	if !strings.Contains(err.Error(), "round 8") {
+		t.Fatalf("cancel error %q does not name the round", err)
+	}
+}
+
+func TestSupervisorFixedRounds(t *testing.T) {
+	g := testGraph(t)
+	const rounds = 25
+	sup, err := NewSupervisor(SupervisorConfig{
+		Graph: g, Protocol: testProto(), Seed: 9, FixedRounds: rounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sup.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != rounds {
+		t.Fatalf("fixed run stopped at round %d, want %d", res.Rounds, rounds)
+	}
+
+	// Long enough to stabilize: the fixed run reports legality and the
+	// same MIS as the stabilization run.
+	ref, err := core.Run(core.RunConfig{Graph: g, Protocol: testProto(), Seed: 9, Init: core.InitRandom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := NewSupervisor(SupervisorConfig{
+		Graph: g, Protocol: testProto(), Seed: 9, FixedRounds: ref.Rounds + 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lres, err := long.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lres.Stabilized || lres.MISSize != ref.MISSize {
+		t.Fatalf("long fixed run stabilized=%v mis=%d, want true/%d", lres.Stabilized, lres.MISSize, ref.MISSize)
+	}
+
+	// A resumed execution already past the target completes
+	// immediately without stepping.
+	net := mustNetwork(t, g, 9)
+	defer net.Close()
+	net.RandomizeAll()
+	for i := 0; i < rounds+5; i++ {
+		net.Step()
+	}
+	cp, err := net.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	past, err := NewSupervisor(SupervisorConfig{
+		Graph: g, Protocol: testProto(), Seed: 9, FixedRounds: rounds, Resume: cp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := past.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Rounds != rounds+5 || !pres.Resumed {
+		t.Fatalf("past-target resume rounds=%d resumed=%v, want %d/true", pres.Rounds, pres.Resumed, rounds+5)
+	}
+
+	// FixedRounds is exclusive with the stabilization budget knobs.
+	if _, err := NewSupervisor(SupervisorConfig{
+		Graph: g, Protocol: testProto(), Seed: 9, FixedRounds: 5, MaxRounds: 10,
+	}); err == nil {
+		t.Fatal("FixedRounds+MaxRounds accepted")
+	}
+}
+
+func mustNetwork(t *testing.T, g *graph.Graph, seed uint64) *beep.Network {
+	t.Helper()
+	net, err := beep.NewNetwork(g, testProto(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
