@@ -15,6 +15,7 @@ package main
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/beep"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/famspec"
 	"repro/internal/graph"
 	"repro/internal/prof"
@@ -90,6 +92,10 @@ func run(args []string) (retErr error) {
 	maxRetries := fs.Int("max-retries", 0, "budget escalations after the first attempt (the run is extended, not restarted)")
 	engineName := fs.String("engine", "sequential", "round engine: sequential | parallel | pervertex | flat | flatparallel")
 	workers := fs.Int("workers", 0, "worker count for the parallel engines (0 = GOMAXPROCS; ignored by sequential engines)")
+	distributed := fs.Bool("distributed", false, "run over partitioned workers (coordinator + N beepworkers)")
+	partitions := fs.Int("partitions", 2, "worker partition count for -distributed")
+	workerBin := fs.String("worker-bin", "", "beepworker binary for -distributed (empty = in-process workers)")
+	distRoundDelay := fs.Duration("dist-round-delay", 0, "pace between distributed rounds (widens the crash window for drills)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file (written atomically)")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file (written atomically)")
 	helpFams := fs.Bool("help-families", false, "list graph family specs and exit")
@@ -99,6 +105,11 @@ func run(args []string) (retErr error) {
 	if *helpFams {
 		fmt.Println(famspec.Help)
 		return nil
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if !*distributed && (explicit["partitions"] || explicit["worker-bin"] || explicit["dist-round-delay"]) {
+		return fmt.Errorf("-partitions, -worker-bin and -dist-round-delay require -distributed")
 	}
 	engine, err := beep.ParseEngine(*engineName)
 	if err != nil {
@@ -151,6 +162,9 @@ func run(args []string) (retErr error) {
 		if *churnSpec != "" || *advList != "" {
 			return fmt.Errorf("-churn and -adversaries apply to the self-stabilizing algorithms only, not %q", *alg)
 		}
+		if *distributed {
+			return fmt.Errorf("-distributed applies to the self-stabilizing algorithms only, not %q", *alg)
+		}
 		if engine != beep.Sequential {
 			return fmt.Errorf("-engine applies to the self-stabilizing algorithms only, not %q", *alg)
 		}
@@ -170,6 +184,27 @@ func run(args []string) (retErr error) {
 	initMode, err := initFor(*init)
 	if err != nil {
 		return err
+	}
+	if *distributed {
+		// The distributed engine proves bit-exactness against the Flat
+		// engine under deterministic per-vertex streams; the features
+		// below either perturb determinism (noise, adversaries, churn)
+		// or are single-process drivers (-csv recorder, fault drill,
+		// supervisor retries) and stay with the local engines.
+		switch {
+		case *churnSpec != "" || *advList != "":
+			return fmt.Errorf("-distributed cannot be combined with -churn or -adversaries")
+		case *noise > 0:
+			return fmt.Errorf("-distributed cannot be combined with -noise")
+		case *csvPath != "" || *faults > 0:
+			return fmt.Errorf("-distributed cannot be combined with -csv or -faults")
+		case *deadline != 0 || *maxRetries > 0:
+			return fmt.Errorf("-distributed cannot be combined with -deadline or -max-retries")
+		case explicit["engine"] || *workers > 0:
+			return fmt.Errorf("-engine/-workers select a local engine; -distributed always runs flat kernels over -partitions workers")
+		}
+		return runDistributed(g, *alg, *seed, initMode, *maxRounds, *partitions,
+			*workerBin, *distRoundDelay, sup, *printMIS)
 	}
 	if *advList == "" && *advPolicy != "jammer" {
 		return fmt.Errorf("-adversary-policy %q requires -adversaries", *advPolicy)
@@ -268,6 +303,53 @@ func run(args []string) (retErr error) {
 	}
 	if *faults > 0 {
 		return recoverFromFaults(g, proto, *seed, engineOpts(), *faults, *maxRounds)
+	}
+	return nil
+}
+
+// runDistributed drives a coordinator + N partition workers run. The
+// result line keeps the same parseable "stabilized:" prefix as the
+// single-process paths — by design the distributed execution is
+// bit-identical to them, so the rounds/|MIS| fields must match too.
+func runDistributed(g *graph.Graph, alg string, seed uint64, initMode core.InitMode,
+	maxRounds, partitions int, workerBin string, roundDelay time.Duration,
+	sup supervision, printMIS bool) error {
+	cfg := dist.Config{
+		Graph:           g,
+		Protocol:        alg,
+		Seed:            seed,
+		Init:            initMode,
+		Partitions:      partitions,
+		MaxRounds:       maxRounds,
+		CheckpointEvery: sup.ckEvery,
+		CheckpointPath:  sup.ckPath,
+		RoundDelay:      roundDelay,
+	}
+	if workerBin != "" {
+		cfg.Spawner = &dist.ProcSpawner{Binary: workerBin, Stderr: os.Stderr}
+	} else {
+		cfg.Spawner = dist.InProcessSpawner(nil)
+	}
+	if sup.resumePath != "" {
+		cp, err := stab.ReadCheckpointFile(sup.resumePath)
+		if err != nil {
+			return err
+		}
+		cfg.Resume = cp
+		fmt.Printf("resuming from %s (round %d)\n", sup.resumePath, cp.Round)
+	}
+	res, err := dist.Run(context.Background(), cfg)
+	if err != nil {
+		if sup.ckPath != "" {
+			return fmt.Errorf("%w (the last synchronized checkpoint, if any, is at %s; re-run with -resume %s)",
+				err, sup.ckPath, sup.ckPath)
+		}
+		return err
+	}
+	fmt.Printf("stabilized: rounds=%d |MIS|=%d (verified) distributed partitions=%d respawns=%d\n",
+		res.StabilizedRound, res.MISSize, partitions, res.Respawns)
+	if printMIS {
+		printMask(res.MIS)
 	}
 	return nil
 }

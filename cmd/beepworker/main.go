@@ -1,0 +1,49 @@
+// Command beepworker is the partition worker process of the distributed
+// engine: it dials a coordinator (beepmis -distributed -worker-bin, or
+// a test harness), joins with its partition index and run token, and
+// serves its vertex range until the coordinator shuts the run down or
+// the connection drops.
+//
+//	beepworker -connect 127.0.0.1:7421 -part 0 -token run-abc
+//
+// Exit status 0 means an orderly shutdown frame was received; a lost
+// connection (including a coordinator crash) exits 1 so supervisors can
+// tell the difference.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	connect := flag.String("connect", "", "coordinator address to dial (required)")
+	part := flag.Int("part", -1, "partition index assigned by the coordinator (required)")
+	token := flag.String("token", "", "run token issued by the coordinator (required)")
+	verbose := flag.Bool("v", false, "log worker progress to stderr")
+	flag.Parse()
+
+	if *connect == "" || *part < 0 || *token == "" {
+		fmt.Fprintln(os.Stderr, "beepworker: -connect, -part and -token are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var logf func(string, ...any)
+	if *verbose {
+		logf = log.New(os.Stderr, fmt.Sprintf("beepworker[%d]: ", *part), log.Lmicroseconds).Printf
+	}
+	if err := dist.RunWorker(context.Background(), dist.WorkerConfig{
+		Addr:  *connect,
+		Part:  *part,
+		Token: *token,
+		Logf:  logf,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "beepworker:", err)
+		os.Exit(1)
+	}
+}

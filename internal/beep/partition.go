@@ -1,0 +1,249 @@
+package beep
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// This file exports the partition hooks of the distributed engine
+// (internal/dist): a Partition executes the flat kernels for one
+// contiguous vertex range [lo, hi) of a full Network, with the signal
+// exchange between ranges left to the caller. A distributed worker
+// constructs the complete network (graph, machines, streams — state is
+// cheap, the rounds are the cost), then steps only its own range; the
+// per-vertex private streams guarantee that the union of the ranges
+// reproduces the single-process execution bit for bit, exactly the
+// determinism argument of the FlatParallel engine (see flat.go).
+//
+// A round of a partitioned execution is:
+//
+//	drew := p.EmitLocal()            // kernels fill sent[lo:hi), pack sender words
+//	words := p.SenderWords(c)        // upload: bits of [lo, hi) only
+//	p.SetSenderWord(c, wi, merged)   // download: coordinator-merged words
+//	changed := p.UpdateLocal()       // gather heard[lo:hi), kernels update, round++
+//
+// Ranges need not be 64-aligned: each partition packs only its own
+// vertices' bits (foreign bits of shared edge words stay zero), so the
+// coordinator can OR word uploads from adjacent partitions into the
+// exact global sender bitset.
+//
+// Partitioned execution excludes the fault models that consume shared
+// sequential randomness (noise, sleep, adversaries) and the batched
+// sampler: their draw order is a whole-network sequence that vertex
+// ranges cannot consume independently. Partition refuses to construct
+// when any of them is enabled.
+
+// Partition is a [lo, hi) execution window over a Network, created by
+// Network.Partition. It is not safe for concurrent use.
+type Partition struct {
+	net    *Network
+	lo, hi int
+	// words are the per-channel sender bitsets of the round, full
+	// word-length arrays: EmitLocal packs the partition's own bits,
+	// SetSenderWord installs coordinator-merged words, and UpdateLocal
+	// gathers heard signals from them.
+	words  [2][]uint64
+	env    FlatEnv
+	rowBuf []int32
+}
+
+// Partition creates the execution window for vertices [lo, hi). It
+// requires the flat kernels (like the Flat engine) and rejects networks
+// with noise, sleep, adversaries or batched sampling enabled: those
+// draw from shared sequential streams that partitions cannot split.
+func (n *Network) Partition(lo, hi int) (*Partition, error) {
+	if n.closed {
+		return nil, fmt.Errorf("beep: Partition on closed Network")
+	}
+	if lo < 0 || hi < lo || hi > n.N() {
+		return nil, fmt.Errorf("beep: partition range [%d, %d) out of [0, %d)", lo, hi, n.N())
+	}
+	if n.flatOps == nil {
+		return nil, fmt.Errorf("beep: Partition requires flat kernels, but %T's bulk state (%T) does not implement FlatProtocol", n.proto, n.bulk)
+	}
+	if n.sampler != nil {
+		return nil, fmt.Errorf("beep: Partition with batched sampling enabled: the sampler is one shared sequential stream")
+	}
+	if n.noise.enabled() || n.sleep.enabled() || n.advCount > 0 {
+		return nil, fmt.Errorf("beep: Partition with noise/sleep/adversaries enabled: fault-model draws are a whole-network sequence")
+	}
+	p := &Partition{net: n, lo: lo, hi: hi}
+	nw := (n.N() + 63) / 64
+	for c := 0; c < n.channels; c++ {
+		p.words[c] = make([]uint64, nw)
+	}
+	if n.csr == nil {
+		p.rowBuf = make([]int32, n.g.MaxDegree())
+	}
+	return p, nil
+}
+
+// Range returns the partition's vertex window.
+func (p *Partition) Range() (lo, hi int) { return p.lo, p.hi }
+
+// Channels returns the protocol's channel count (1 or 2).
+func (p *Partition) Channels() int { return p.net.channels }
+
+// EmitLocal runs the emit kernel for the partition's range and packs
+// the resulting sender bits into the partition's word arrays. It
+// reports whether the kernel consumed randomness. A kernel panic is
+// contained into a *RunError and poisons the network like TryStep.
+func (p *Partition) EmitLocal() (drew bool, err error) {
+	n := p.net
+	if n.closed {
+		return false, ErrClosed
+	}
+	if n.failed != nil {
+		return false, n.failed
+	}
+	env := &p.env
+	env.Sent, env.Heard, env.Srcs = n.sent, n.heard, n.srcs
+	env.Skip, env.Sampler = nil, nil
+	env.Drew, env.Changed = false, false
+	if rerr := p.runKernel("emit"); rerr != nil {
+		n.failed = rerr
+		return false, rerr
+	}
+	for c := 0; c < n.channels; c++ {
+		p.packRange(c)
+	}
+	return env.Drew, nil
+}
+
+// packRange writes the channel-c sender bits of [lo, hi) into the
+// partition's word array, zeroing every other bit of the touched words
+// so adjacent partitions' uploads OR cleanly at the coordinator.
+func (p *Partition) packRange(c int) {
+	if p.lo == p.hi {
+		return
+	}
+	words := p.words[c]
+	for wi := p.lo >> 6; wi <= (p.hi-1)>>6; wi++ {
+		words[wi] = 0
+	}
+	mask := Signal(1) << uint(c)
+	sent := p.net.sent
+	for v := p.lo; v < p.hi; v++ {
+		if sent[v]&mask != 0 {
+			words[v>>6] |= 1 << uint(v&63)
+		}
+	}
+}
+
+// SenderWords returns the partition's channel-c sender word array (full
+// word length; only bits of [lo, hi) are set by EmitLocal). The slice
+// aliases partition storage and is overwritten by SetSenderWord and the
+// next EmitLocal.
+func (p *Partition) SenderWords(c int) []uint64 { return p.words[c] }
+
+// SetSenderWord installs a coordinator-merged sender word. UpdateLocal
+// reads whatever the words hold, so the caller must install every word
+// that contains a neighbor of the range before updating.
+func (p *Partition) SetSenderWord(c, wi int, w uint64) { p.words[c][wi] = w }
+
+// UpdateLocal gathers heard[lo:hi) from the installed sender words,
+// runs the update kernel for the range, and advances the network's
+// round counter. It reports whether any machine state changed. Kernel
+// panics are contained like EmitLocal.
+func (p *Partition) UpdateLocal() (changed bool, err error) {
+	n := p.net
+	if n.closed {
+		return false, ErrClosed
+	}
+	if n.failed != nil {
+		return false, n.failed
+	}
+	p.gatherHeard()
+	if rerr := p.runKernel("update"); rerr != nil {
+		n.failed = rerr
+		return false, rerr
+	}
+	n.round++
+	return p.env.Changed, nil
+}
+
+// gatherHeard computes heard[v] for v in [lo, hi) by testing neighbor
+// bits in the installed sender words — the word-level sibling of
+// Network.deliverRange, with the same early exit once every channel has
+// been heard.
+func (p *Partition) gatherHeard() {
+	n := p.net
+	full := n.fullMask
+	heard := n.heard
+	w0 := p.words[0]
+	var w1 []uint64
+	if n.channels == 2 {
+		w1 = p.words[1]
+	}
+	for v := p.lo; v < p.hi; v++ {
+		var row []int32
+		if n.csr != nil {
+			row = n.csr.Neighbors(v)
+		} else {
+			row = n.g.NeighborsInto(v, p.rowBuf)
+		}
+		var h Signal
+		for _, u := range row {
+			sh := uint(u) & 63
+			h |= Signal((w0[u>>6] >> sh) & 1)
+			if w1 != nil {
+				h |= Signal((w1[u>>6]>>sh)&1) << 1
+			}
+			if h == full {
+				break
+			}
+		}
+		heard[v] = h
+	}
+}
+
+// runKernel invokes one cohort kernel over the partition's range with
+// the same panic containment contract as the engines. The kernels
+// process the range as a whole, so the error cannot name the vertex.
+func (p *Partition) runKernel(phase string) (rerr *RunError) {
+	n := p.net
+	defer func() {
+		if r := recover(); r != nil {
+			rerr = &RunError{
+				Vertex: -1, Round: n.round + 1, Phase: phase,
+				Engine: n.engine, Recovered: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	if phase == "emit" {
+		n.flatOps.EmitRange(&p.env, p.lo, p.hi)
+	} else {
+		n.flatOps.UpdateRange(&p.env, p.lo, p.hi)
+	}
+	return nil
+}
+
+// Signals returns the network's sent and heard arrays. Only the
+// partition's own range is maintained by EmitLocal/UpdateLocal; foreign
+// entries are stale. The slices alias network storage.
+func (p *Partition) Signals() (sent, heard []Signal) { return p.net.sent, p.net.heard }
+
+// ExportRangeState returns the machine and stream states of vertices
+// [lo, hi), the per-partition slice of a Checkpoint: a distributed
+// coordinator assembles the full checkpoint from these. It fails on a
+// poisoned network (the state is not a round boundary) or machines
+// without StateCodec.
+func (n *Network) ExportRangeState(lo, hi int) (machines [][]int64, streams [][4]uint64, err error) {
+	if n.failed != nil {
+		return nil, nil, fmt.Errorf("beep: state export of failed network: %w", n.failed)
+	}
+	if lo < 0 || hi < lo || hi > n.N() {
+		return nil, nil, fmt.Errorf("beep: state export range [%d, %d) out of [0, %d)", lo, hi, n.N())
+	}
+	machines = make([][]int64, hi-lo)
+	streams = make([][4]uint64, hi-lo)
+	for v := lo; v < hi; v++ {
+		codec, ok := n.machines[v].(StateCodec)
+		if !ok {
+			return nil, nil, fmt.Errorf("beep: machine %T of vertex %d does not support checkpointing", n.machines[v], v)
+		}
+		machines[v-lo] = codec.EncodeState()
+		streams[v-lo] = n.srcs[v].State()
+	}
+	return machines, streams, nil
+}

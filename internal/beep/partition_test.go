@@ -1,0 +1,171 @@
+package beep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TestPartitionEquivalence pins the partition determinism contract: k
+// networks each stepping only its own vertex range, with the sender
+// words merged between emit and update exactly as a coordinator would,
+// reproduce the single-process Flat execution signal for signal. The
+// ranges are deliberately unaligned so the masked pack + OR-merge of
+// shared edge words is exercised.
+func TestPartitionEquivalence(t *testing.T) {
+	g := graph.GNPAvgDegree(100, 5, rng.New(3))
+	const rounds = 12
+
+	// Reference: whole-network Flat execution, signals recorded per round.
+	var refSent, refHeard [][]Signal
+	ref, err := NewNetwork(g, flatPanicProtocol{round: -1}, 9, WithEngine(Flat),
+		WithObserver(func(round int, sent, heard []Signal) {
+			refSent = append(refSent, append([]Signal(nil), sent...))
+			refHeard = append(refHeard, append([]Signal(nil), heard...))
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for r := 0; r < rounds; r++ {
+		if err := ref.TryStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Partitioned: one full network per range (as distributed workers
+	// hold), stepped range-locally with a manual word merge.
+	ranges := [][2]int{{0, 37}, {37, 70}, {70, 100}}
+	parts := make([]*Partition, len(ranges))
+	for i, r := range ranges {
+		net, err := NewNetwork(g, flatPanicProtocol{round: -1}, 9, WithEngine(Flat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer net.Close()
+		p, err := net.Partition(r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = p
+	}
+
+	words := (g.N() + 63) / 64
+	merged := make([]uint64, words)
+	for r := 0; r < rounds; r++ {
+		for _, p := range parts {
+			if _, err := p.EmitLocal(); err != nil {
+				t.Fatalf("round %d: emit: %v", r+1, err)
+			}
+		}
+		// Coordinator merge: OR each partition's own words (masked pack
+		// keeps foreign bits zero, so shared edge words OR cleanly).
+		for wi := range merged {
+			merged[wi] = 0
+		}
+		for _, p := range parts {
+			lo, hi := p.Range()
+			w := p.SenderWords(0)
+			for wi := lo >> 6; wi <= (hi-1)>>6; wi++ {
+				merged[wi] |= w[wi]
+			}
+		}
+		for _, p := range parts {
+			for wi, w := range merged {
+				p.SetSenderWord(0, wi, w)
+			}
+			if _, err := p.UpdateLocal(); err != nil {
+				t.Fatalf("round %d: update: %v", r+1, err)
+			}
+		}
+		for _, p := range parts {
+			lo, hi := p.Range()
+			sent, heard := p.Signals()
+			for v := lo; v < hi; v++ {
+				if sent[v] != refSent[r][v] {
+					t.Fatalf("round %d vertex %d: partitioned sent %v, reference %v", r+1, v, sent[v], refSent[r][v])
+				}
+				if heard[v] != refHeard[r][v] {
+					t.Fatalf("round %d vertex %d: partitioned heard %v, reference %v", r+1, v, heard[v], refHeard[r][v])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionValidation pins the construction-time rejections: bad
+// ranges, protocols without flat kernels, and the shared-sequential-
+// randomness features (noise, sleep, adversaries) that ranges cannot
+// split.
+func TestPartitionValidation(t *testing.T) {
+	g := graph.Cycle(64)
+
+	flat := func(opts ...Option) *Network {
+		t.Helper()
+		net, err := NewNetwork(g, flatPanicProtocol{round: -1}, 1, append([]Option{WithEngine(Flat)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(net.Close)
+		return net
+	}
+
+	for _, bad := range [][2]int{{-1, 10}, {10, 5}, {0, 65}} {
+		if _, err := flat().Partition(bad[0], bad[1]); err == nil {
+			t.Fatalf("range [%d, %d) accepted", bad[0], bad[1])
+		}
+	}
+
+	// No flat kernels (Sequential engine leaves flatOps nil even for
+	// protocols that have them — Partition is tied to the flat path).
+	seqNet, err := NewNetwork(g, panicProtocol{vertex: -1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seqNet.Close()
+	if _, err := seqNet.Partition(0, 10); err == nil || !strings.Contains(err.Error(), "flat kernels") {
+		t.Fatalf("protocol without flat kernels accepted: %v", err)
+	}
+
+	if _, err := flat(WithNoise(Noise{PLoss: 0.2})).Partition(0, 10); err == nil {
+		t.Fatal("noisy network accepted")
+	}
+	if _, err := flat(WithSleep(Sleep{P: 0.1})).Partition(0, 10); err == nil {
+		t.Fatal("sleepy network accepted")
+	}
+
+	closed := flat()
+	closed.Close()
+	if _, err := closed.Partition(0, 10); err == nil {
+		t.Fatal("closed network accepted")
+	}
+}
+
+// TestPartitionPanicContainment pins the poisoning contract: a kernel
+// panic inside a range pass surfaces as *RunError and poisons the
+// network for every later call, like the engines.
+func TestPartitionPanicContainment(t *testing.T) {
+	g := graph.Cycle(64)
+	net, err := NewNetwork(g, flatPanicProtocol{round: 0, phase: "emit"}, 1, WithEngine(Flat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	p, err := net.Partition(0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.EmitLocal(); err == nil {
+		t.Fatal("injected panic not surfaced")
+	} else if rerr, ok := err.(*RunError); !ok || rerr.Phase != "emit" {
+		t.Fatalf("emit fault surfaced as %T (%v), want *RunError{Phase: emit}", err, err)
+	}
+	if _, err := p.UpdateLocal(); err == nil {
+		t.Fatal("poisoned network still updating")
+	}
+	if _, _, err := net.ExportRangeState(0, 32); err == nil {
+		t.Fatal("poisoned network still exporting state")
+	}
+}

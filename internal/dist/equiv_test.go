@@ -1,0 +1,267 @@
+package dist
+
+import (
+	"context"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/beep"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// The golden execution every engine in the repo must reproduce
+// (see internal/core/golden_test.go).
+const (
+	goldenStabRound = 39
+	goldenMISSize   = 20
+	goldenMaskHash  = uint64(0xc3308e69f7440ccb)
+)
+
+func goldenGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.GNPAvgDegree(64, 6, rng.New(42))
+	if g.N() != 64 || g.M() != 189 {
+		t.Fatalf("golden generator changed: n=%d m=%d", g.N(), g.M())
+	}
+	return g
+}
+
+func maskHash(mask []bool) uint64 {
+	h := fnv.New64a()
+	for _, in := range mask {
+		if in {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	return h.Sum64()
+}
+
+// flatReference executes `rounds` rounds on the single-process Flat
+// engine and returns the per-round combined digests over the given
+// partition ranges — the trace a distributed run with those ranges must
+// reproduce hash for hash.
+func flatReference(t *testing.T, g *graph.Graph, protoName string, seed uint64, ranges [][2]int, rounds int) []uint64 {
+	t.Helper()
+	proto, err := core.ProtocolByName(protoName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hashes []uint64
+	parts := make([]uint64, len(ranges))
+	net, err := beep.NewNetwork(g, proto, seed, beep.WithEngine(beep.Flat),
+		beep.WithObserver(func(round int, sent, heard []beep.Signal) {
+			for p, r := range ranges {
+				parts[p] = RangeDigest(round, r[0], sent[r[0]:r[1]], heard[r[0]:r[1]])
+			}
+			hashes = append(hashes, CombineDigests(round, parts))
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if err := core.ApplyInit(net, core.InitRandom); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rounds; i++ {
+		if err := net.TryStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return hashes
+}
+
+// TestPartTable pins the exchange-plan invariants: the ranges tile
+// [0, n), every word a partition needs is uploaded by someone (the send
+// union covers the need union), and uploads are restricted to words a
+// partition actually owns.
+func TestPartTable(t *testing.T) {
+	g := graph.GNPAvgDegree(200, 8, rng.New(5))
+	for _, parts := range []int{1, 2, 3, 5, 8} {
+		ranges := computeRanges(g.N(), parts)
+		if ranges[0][0] != 0 || ranges[len(ranges)-1][1] != g.N() {
+			t.Fatalf("parts=%d: ranges do not span [0, n): %v", parts, ranges)
+		}
+		for i := 1; i < len(ranges); i++ {
+			if ranges[i][0] != ranges[i-1][1] {
+				t.Fatalf("parts=%d: gap between ranges %v", parts, ranges)
+			}
+		}
+		table := buildPartTable(g, ranges)
+		sent := map[int32]bool{}
+		for p, send := range table.send {
+			lo, hi := ranges[p][0], ranges[p][1]
+			for _, wi := range send {
+				sent[wi] = true
+				if int(wi) < lo>>6 || int(wi) > (hi-1)>>6 {
+					t.Fatalf("parts=%d: partition %d uploads foreign word %d", parts, p, wi)
+				}
+			}
+		}
+		needAny := map[int32]bool{}
+		for _, need := range table.need {
+			for _, wi := range need {
+				needAny[wi] = true
+				if !sent[wi] {
+					t.Fatalf("parts=%d: needed word %d uploaded by nobody", parts, wi)
+				}
+			}
+		}
+		if len(needAny) != len(table.neededAny) {
+			t.Fatalf("parts=%d: neededAny has %d words, union of need sets %d", parts, len(table.neededAny), len(needAny))
+		}
+	}
+}
+
+func distConfig(g *graph.Graph, parts int) Config {
+	return Config{
+		Graph:      g,
+		Protocol:   "alg1-known-delta",
+		Seed:       7,
+		Init:       core.InitRandom,
+		Partitions: parts,
+		Spawner:    InProcessSpawner(nil),
+	}
+}
+
+// TestDistGoldenEquivalence is the N-partition trace-equivalence
+// matrix: at every partition count the distributed engine must
+// reproduce the golden execution — stabilization round, MIS, mask hash
+// — and every per-round combined digest of the single-process Flat
+// reference over the same ranges.
+func TestDistGoldenEquivalence(t *testing.T) {
+	g := goldenGraph(t)
+	for parts := 1; parts <= 4; parts++ {
+		res, err := Run(context.Background(), distConfig(g, parts))
+		if err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+		if !res.Stabilized || res.StabilizedRound != goldenStabRound || res.MISSize != goldenMISSize {
+			t.Fatalf("parts=%d: stabilized=%v round=%d |MIS|=%d, want true/%d/%d",
+				parts, res.Stabilized, res.StabilizedRound, res.MISSize, goldenStabRound, goldenMISSize)
+		}
+		if h := maskHash(res.MIS); h != goldenMaskHash {
+			t.Fatalf("parts=%d: mask hash %#x, want %#x", parts, h, goldenMaskHash)
+		}
+		if res.Respawns != 0 {
+			t.Fatalf("parts=%d: %d respawns in a fault-free run", parts, res.Respawns)
+		}
+		ranges := computeRanges(g.N(), parts)
+		ref := flatReference(t, g, "alg1-known-delta", 7, ranges, res.Rounds)
+		if len(res.RoundHashes) != len(ref) {
+			t.Fatalf("parts=%d: %d round hashes, reference has %d", parts, len(res.RoundHashes), len(ref))
+		}
+		for i := range ref {
+			if res.RoundHashes[i] != ref[i] {
+				t.Fatalf("parts=%d: round %d hash %#x, reference %#x", parts, i+1, res.RoundHashes[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestDistTwoChannel runs the two-channel Algorithm 2 distributed: the
+// second sender bitset rides the same exchange, and the legality probe
+// must apply Algorithm 2 membership semantics.
+func TestDistTwoChannel(t *testing.T) {
+	g := graph.GNPAvgDegree(96, 5, rng.New(11))
+	cfg := distConfig(g, 3)
+	cfg.Protocol = "alg2-two-channel"
+	cfg.Seed = 13
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stabilized || res.MISSize == 0 {
+		t.Fatalf("two-channel run did not stabilize: %+v", res)
+	}
+	ranges := computeRanges(g.N(), 3)
+	ref := flatReference(t, g, "alg2-two-channel", 13, ranges, res.Rounds)
+	for i := range ref {
+		if res.RoundHashes[i] != ref[i] {
+			t.Fatalf("round %d hash %#x, reference %#x", i+1, res.RoundHashes[i], ref[i])
+		}
+	}
+}
+
+// TestDistFaultInjectionEquivalence turns on every wire fault at once —
+// drops, duplicates, corruption, receive loss — on both sides of every
+// connection. The retransmission ladder and idempotent workers must
+// absorb all of it: the result is still bit-identical to the golden
+// execution.
+func TestDistFaultInjectionEquivalence(t *testing.T) {
+	g := goldenGraph(t)
+	plan := FaultPlan{Seed: 99, Drop: 0.05, Dup: 0.05, Corrupt: 0.03, DropRecv: 0.03}
+	cfg := distConfig(g, 3)
+	cfg.Fault = plan
+	cfg.Spawner = SpawnerFunc(func(ctx context.Context, part int, addr, token string) error {
+		go func() {
+			_ = RunWorker(ctx, WorkerConfig{Addr: addr, Part: part, Token: token, Fault: plan})
+		}()
+		return nil
+	})
+	cfg.PhaseTimeout = 50 * time.Millisecond
+	cfg.MaxAttempts = 10
+	cfg.HeartbeatEvery = -1 // the per-round RPCs are the liveness probe here
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stabilized || res.StabilizedRound != goldenStabRound || res.MISSize != goldenMISSize || maskHash(res.MIS) != goldenMaskHash {
+		t.Fatalf("faulty-wire run diverged: stabilized=%v round=%d |MIS|=%d hash=%#x",
+			res.Stabilized, res.StabilizedRound, res.MISSize, maskHash(res.MIS))
+	}
+	ranges := computeRanges(g.N(), 3)
+	ref := flatReference(t, g, "alg1-known-delta", 7, ranges, res.Rounds)
+	for i := range ref {
+		if res.RoundHashes[i] != ref[i] {
+			t.Fatalf("round %d hash %#x, reference %#x", i+1, res.RoundHashes[i], ref[i])
+		}
+	}
+}
+
+// TestDistCheckpointResume pins the checkpoint interop: a run persists
+// its synchronized checkpoints; resuming a fresh distributed run (with
+// a different partition count) from the persisted file must land on the
+// same stabilized configuration as the uninterrupted golden run.
+func TestDistCheckpointResume(t *testing.T) {
+	g := goldenGraph(t)
+	path := filepath.Join(t.TempDir(), "cp.json")
+
+	cfg := distConfig(g, 2)
+	cfg.FixedRounds = 16
+	cfg.CheckpointEvery = 8
+	cfg.CheckpointPath = path
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := beep.ReadCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Round != 16 {
+		t.Fatalf("persisted checkpoint at round %d, want 16", cp.Round)
+	}
+
+	resumed := distConfig(g, 3)
+	resumed.Resume = cp
+	res, err := Run(context.Background(), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stabilized || res.StabilizedRound != goldenStabRound || maskHash(res.MIS) != goldenMaskHash {
+		t.Fatalf("resumed run diverged: stabilized=%v round=%d hash=%#x",
+			res.Stabilized, res.StabilizedRound, maskHash(res.MIS))
+	}
+}

@@ -1,0 +1,104 @@
+package dist
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// FaultPlan is a deterministic frame-fault schedule: each frame event
+// draws from a seeded stream, so a given (plan, traffic order) produces
+// the same drop/duplicate/corrupt/delay decisions every run. The
+// injected faults exercise exactly the failure modes the wire layer is
+// built to absorb: drops and swallowed frames surface as RPC timeouts
+// (retransmission), corruption as CRC failures (resync + retransmit),
+// duplicates as stale-seq or replayed-idempotent requests.
+type FaultPlan struct {
+	// Seed keys the fault stream (combined with a per-connection salt).
+	Seed uint64
+	// Drop, Dup and Corrupt are per-frame probabilities on the send
+	// path; DropRecv discards received frames after decoding, modeling
+	// loss of the peer's sends.
+	Drop     float64
+	Dup      float64
+	Corrupt  float64
+	DropRecv float64
+	// Delay is the probability of delaying a send by a uniform duration
+	// in (0, MaxDelay].
+	Delay    float64
+	MaxDelay time.Duration
+}
+
+// enabled reports whether the plan injects anything.
+func (p FaultPlan) enabled() bool {
+	return p.Drop > 0 || p.Dup > 0 || p.Corrupt > 0 || p.DropRecv > 0 || (p.Delay > 0 && p.MaxDelay > 0)
+}
+
+// faultConn injects FaultPlan faults around a frameConn. Sends are
+// serialized by the RPC layer; the mutex keeps the draw sequence
+// deterministic if a caller ever overlaps them.
+type faultConn struct {
+	fc   *frameConn
+	plan FaultPlan
+
+	mu  sync.Mutex
+	src *rng.Source
+	buf []byte
+}
+
+// wrapFaults wraps fc with the plan's fault injection; a disabled plan
+// returns fc unchanged. salt decorrelates connections sharing a plan.
+func wrapFaults(fc *frameConn, plan FaultPlan, salt uint64) transport {
+	if !plan.enabled() {
+		return fc
+	}
+	return &faultConn{fc: fc, plan: plan, src: rng.New(plan.Seed ^ (salt * 0x9e3779b97f4a7c15))}
+}
+
+func (f *faultConn) send(fr frame) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	copies := 1
+	if f.plan.Dup > 0 && f.src.Float64() < f.plan.Dup {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		if f.plan.Drop > 0 && f.src.Float64() < f.plan.Drop {
+			continue // lost on the wire; the sender cannot tell
+		}
+		if f.plan.Delay > 0 && f.src.Float64() < f.plan.Delay {
+			time.Sleep(time.Duration(f.src.Float64() * float64(f.plan.MaxDelay)))
+		}
+		if f.plan.Corrupt > 0 && f.src.Float64() < f.plan.Corrupt {
+			f.buf = appendFrame(f.buf[:0], fr)
+			f.buf[int(f.src.Uint64()%uint64(len(f.buf)))] ^= 1 << (f.src.Uint64() % 8)
+			if err := f.fc.sendRaw(f.buf); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := f.fc.send(fr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *faultConn) recv(deadline time.Time) (frame, error) {
+	for {
+		fr, err := f.fc.recv(deadline)
+		if err != nil {
+			return fr, err
+		}
+		f.mu.Lock()
+		drop := f.plan.DropRecv > 0 && f.src.Float64() < f.plan.DropRecv
+		f.mu.Unlock()
+		if drop {
+			continue
+		}
+		return fr, nil
+	}
+}
+
+func (f *faultConn) close() error { return f.fc.close() }

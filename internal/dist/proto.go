@@ -1,0 +1,287 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/beep"
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// This file defines the RPC payloads and the partition table: which
+// vertex range each worker owns, which sender-bitset words it must
+// upload after emit (its own words that some partition's gather reads),
+// and which merged words it must receive before update (every word
+// containing a neighbor of its range). Both sets are computed once from
+// the graph at setup, so the per-round exchange is position-implicit:
+// word payloads carry no indices, just values in table order.
+
+// joinMsg is the worker's hello (JSON payload of fJoin).
+type joinMsg struct {
+	Part  int    `json:"part"`
+	Token string `json:"token"`
+}
+
+// configMsg bootstraps a worker (JSON payload of fConfig): the graph as
+// an edge-list blob, the protocol/seed identity, and the worker's slice
+// of the partition table.
+type configMsg struct {
+	Protocol string `json:"protocol"`
+	Seed     uint64 `json:"seed"`
+	Channels int    `json:"channels"`
+	Graph    []byte `json:"graph"`
+	Lo       int    `json:"lo"`
+	Hi       int    `json:"hi"`
+	// Send and Need are the worker's word-index sets, in ascending
+	// order: emit replies carry the Send words, deliver requests the
+	// Need words, values only.
+	Send []int32 `json:"send"`
+	Need []int32 `json:"need"`
+}
+
+// stateMsg is a worker's range state export (JSON payload of fStateOK):
+// the checkpoint slice plus the level/cap export the coordinator's
+// legality probe reads.
+type stateMsg struct {
+	Round    int         `json:"round"`
+	Machines [][]int64   `json:"machines"`
+	Streams  [][4]uint64 `json:"streams"`
+	Levels   []int32     `json:"levels"`
+	Caps     []int32     `json:"caps"`
+}
+
+// partTable is the static exchange plan for one partitioned run.
+type partTable struct {
+	n      int
+	words  int
+	ranges [][2]int
+	// send[p] and need[p] are ascending word-index sets per partition;
+	// neededAny is the union of the need sets (the words the coordinator
+	// merges each round).
+	send      [][]int32
+	need      [][]int32
+	neededAny []int32
+}
+
+// computeRanges splits [0, n) into parts contiguous ranges, 64-aligned
+// when the per-partition share is at least a word (mirroring the
+// FlatParallel shard padding); smaller shares split plainly and rely on
+// the coordinator's OR-merge for shared edge words.
+func computeRanges(n, parts int) [][2]int {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n && n > 0 {
+		parts = n
+	}
+	per := (n + parts - 1) / parts
+	if per > 64 {
+		per = (per + 63) &^ 63
+	}
+	ranges := make([][2]int, 0, parts)
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		ranges = append(ranges, [2]int{lo, hi})
+	}
+	if len(ranges) == 0 {
+		ranges = [][2]int{{0, 0}}
+	}
+	return ranges
+}
+
+// buildPartTable computes the word sets: need[p] is every word
+// containing a neighbor of p's range (what p's gather reads), send[p]
+// is every word overlapping p's range that some partition needs (what p
+// must upload so the coordinator can merge it).
+func buildPartTable(g graph.Topology, ranges [][2]int) *partTable {
+	n := g.N()
+	t := &partTable{n: n, words: (n + 63) / 64, ranges: ranges}
+	var needAny bitset.Set
+	needAny.Resize(t.words)
+	var buf []int32
+	if _, ok := g.(*graph.Graph); !ok {
+		buf = make([]int32, g.MaxDegree())
+	}
+	needSets := make([]bitset.Set, len(ranges))
+	for p, r := range ranges {
+		nb := &needSets[p]
+		nb.Resize(t.words)
+		for v := r[0]; v < r[1]; v++ {
+			var row []int32
+			if csr, ok := g.(*graph.Graph); ok {
+				row = csr.Neighbors(v)
+			} else {
+				row = g.NeighborsInto(v, buf)
+			}
+			for _, u := range row {
+				nb.Set1(int(u >> 6))
+				needAny.Set1(int(u >> 6))
+			}
+		}
+		t.need = append(t.need, setToList(nb))
+	}
+	t.neededAny = setToList(&needAny)
+	for _, r := range ranges {
+		var send []int32
+		if r[0] < r[1] {
+			for wi := r[0] >> 6; wi <= (r[1]-1)>>6; wi++ {
+				if needAny.Get(wi) {
+					send = append(send, int32(wi))
+				}
+			}
+		}
+		t.send = append(t.send, send)
+	}
+	return t
+}
+
+func setToList(s *bitset.Set) []int32 {
+	var out []int32
+	for i := 0; i < s.Len(); i++ {
+		if s.Get(i) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// --- binary round payloads -------------------------------------------
+
+// encodeRound is the emit/state request payload: just the round.
+func encodeRound(r int) []byte {
+	return binary.LittleEndian.AppendUint32(nil, uint32(r))
+}
+
+func decodeRound(b []byte) (int, error) {
+	if len(b) != 4 {
+		return 0, fmt.Errorf("dist: round payload is %d bytes, want 4", len(b))
+	}
+	return int(binary.LittleEndian.Uint32(b)), nil
+}
+
+// encodeEmitOK packs the emit reply: round, drew flag, then the
+// partition's Send-set words per channel in table order.
+func encodeEmitOK(round int, drew bool, send []int32, channels int, words func(c int) []uint64) []byte {
+	b := make([]byte, 0, 5+8*len(send)*channels)
+	b = binary.LittleEndian.AppendUint32(b, uint32(round))
+	if drew {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	for c := 0; c < channels; c++ {
+		w := words(c)
+		for _, wi := range send {
+			b = binary.LittleEndian.AppendUint64(b, w[wi])
+		}
+	}
+	return b
+}
+
+// decodeEmitOK unpacks an emit reply, invoking set for every word.
+func decodeEmitOK(b []byte, send []int32, channels int, set func(c, wi int, w uint64)) (round int, drew bool, err error) {
+	want := 5 + 8*len(send)*channels
+	if len(b) != want {
+		return 0, false, fmt.Errorf("dist: emit reply is %d bytes, want %d", len(b), want)
+	}
+	round = int(binary.LittleEndian.Uint32(b))
+	drew = b[4] != 0
+	off := 5
+	for c := 0; c < channels; c++ {
+		for _, wi := range send {
+			set(c, int(wi), binary.LittleEndian.Uint64(b[off:]))
+			off += 8
+		}
+	}
+	return round, drew, nil
+}
+
+// encodeDeliver packs the deliver request: round, then the partition's
+// Need-set merged words per channel in table order.
+func encodeDeliver(round int, need []int32, channels int, merged func(c int) []uint64) []byte {
+	b := make([]byte, 0, 4+8*len(need)*channels)
+	b = binary.LittleEndian.AppendUint32(b, uint32(round))
+	for c := 0; c < channels; c++ {
+		w := merged(c)
+		for _, wi := range need {
+			b = binary.LittleEndian.AppendUint64(b, w[wi])
+		}
+	}
+	return b
+}
+
+func decodeDeliver(b []byte, need []int32, channels int, set func(c, wi int, w uint64)) (round int, err error) {
+	want := 4 + 8*len(need)*channels
+	if len(b) != want {
+		return 0, fmt.Errorf("dist: deliver request is %d bytes, want %d", len(b), want)
+	}
+	round = int(binary.LittleEndian.Uint32(b))
+	off := 4
+	for c := 0; c < channels; c++ {
+		for _, wi := range need {
+			set(c, int(wi), binary.LittleEndian.Uint64(b[off:]))
+			off += 8
+		}
+	}
+	return round, nil
+}
+
+// encodeDeliverOK packs the deliver reply: round, changed flag, range
+// trace digest.
+func encodeDeliverOK(round int, changed bool, digest uint64) []byte {
+	b := make([]byte, 0, 13)
+	b = binary.LittleEndian.AppendUint32(b, uint32(round))
+	if changed {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return binary.LittleEndian.AppendUint64(b, digest)
+}
+
+func decodeDeliverOK(b []byte) (round int, changed bool, digest uint64, err error) {
+	if len(b) != 13 {
+		return 0, false, 0, fmt.Errorf("dist: deliver reply is %d bytes, want 13", len(b))
+	}
+	return int(binary.LittleEndian.Uint32(b)), b[4] != 0, binary.LittleEndian.Uint64(b[5:]), nil
+}
+
+// --- trace digests ----------------------------------------------------
+
+// RangeDigest is the FNV-1a digest of one partition's slice of a
+// round's signals — the distributed analogue of stab.TraceHash, split
+// at the partition boundaries so per-range digests can be compared
+// against a single-process reference observing the same boundaries.
+func RangeDigest(round, lo int, sent, heard []beep.Signal) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(round))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(lo))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(sent)))
+	h.Write(buf[:])
+	for i := range sent {
+		h.Write([]byte{byte(sent[i]), byte(heard[i])})
+	}
+	return h.Sum64()
+}
+
+// CombineDigests folds the per-partition digests of one round (in
+// partition order) into the round hash recorded in Result.RoundHashes.
+func CombineDigests(round int, parts []uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(round))
+	h.Write(buf[:])
+	for _, d := range parts {
+		binary.LittleEndian.PutUint64(buf[:], d)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,307 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/atomicio"
+	"repro/internal/beep"
+	"repro/internal/core"
+)
+
+// defaultBudget mirrors the stab supervisor's round budget: generous
+// multiples of the O(log n) expected stabilization time.
+func defaultBudget(n int) int {
+	log := 0
+	for x := n; x > 1; x >>= 1 {
+		log++
+	}
+	return 1000*(log+1) + 1000
+}
+
+// loop drives the per-round exchange until stabilization (or the fixed
+// round target), recovering from worker deaths by rewinding everyone to
+// the last synchronized checkpoint.
+func (co *coordinator) loop(ctx context.Context) error {
+	cfg := &co.cfg
+	startRound := co.lastCP.Round
+	r := startRound
+	budget := cfg.MaxRounds
+	if budget == 0 {
+		budget = defaultBudget(co.g.N())
+	}
+	digests := make([]uint64, len(co.clients))
+
+	// rewind routes a dead-worker signal through recovery and resets
+	// the round cursor to the restored checkpoint.
+	rewind := func(err error) (bool, error) {
+		if !errors.Is(err, errNeedRecovery) {
+			return false, err
+		}
+		if rerr := co.recoverWorkers(ctx); rerr != nil {
+			return false, rerr
+		}
+		r = co.lastCP.Round
+		return true, nil
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %v", ErrCanceled, context.Cause(ctx))
+		}
+		if cfg.FixedRounds > 0 && r >= cfg.FixedRounds {
+			break
+		}
+		if cfg.FixedRounds == 0 && r-startRound >= budget {
+			return fmt.Errorf("%w after %d rounds", ErrBudget, r-startRound)
+		}
+		if cfg.RoundDelay > 0 {
+			select {
+			case <-time.After(cfg.RoundDelay):
+			case <-ctx.Done():
+				return fmt.Errorf("%w: %v", ErrCanceled, context.Cause(ctx))
+			}
+		}
+		round := r + 1
+
+		// EMIT: every worker runs its range's emit kernel and uploads
+		// its send-set words plus the drew flag.
+		errs := co.broadcast(nil, fEmit, fEmitOK, func(int) []byte { return encodeRound(round) })
+		if err := co.classify(errs); err != nil {
+			if retried, rerr := rewind(err); rerr != nil {
+				return rerr
+			} else if retried {
+				continue
+			}
+			return err
+		}
+		for c := 0; c < co.channels; c++ {
+			for _, wi := range co.table.neededAny {
+				co.merged[c][wi] = 0
+			}
+		}
+		anyDrew := false
+		for p := range co.clients {
+			gotRound, drew, err := decodeEmitOK(co.replies[p], co.table.send[p], co.channels, func(c, wi int, w uint64) {
+				co.merged[c][wi] |= w
+			})
+			if err != nil {
+				return &WorkerError{Part: p, Msg: err.Error()}
+			}
+			if gotRound != round {
+				return &WorkerError{Part: p, Msg: fmt.Sprintf("emit reply for round %d, want %d", gotRound, round)}
+			}
+			anyDrew = anyDrew || drew
+		}
+
+		// DELIVER: every worker receives the merged words covering its
+		// neighborhoods, gathers, updates, and reports (changed, digest).
+		errs = co.broadcast(nil, fDeliver, fDeliverOK, func(p int) []byte {
+			return encodeDeliver(round, co.table.need[p], co.channels, func(c int) []uint64 { return co.merged[c] })
+		})
+		if err := co.classify(errs); err != nil {
+			if retried, rerr := rewind(err); rerr != nil {
+				return rerr
+			} else if retried {
+				continue
+			}
+			return err
+		}
+		anyChanged := false
+		for p := range co.clients {
+			gotRound, changed, d, err := decodeDeliverOK(co.replies[p])
+			if err != nil {
+				return &WorkerError{Part: p, Msg: err.Error()}
+			}
+			if gotRound != round {
+				return &WorkerError{Part: p, Msg: fmt.Sprintf("deliver reply for round %d, want %d", gotRound, round)}
+			}
+			anyChanged = anyChanged || changed
+			digests[p] = d
+		}
+		hash := CombineDigests(round, digests)
+		if idx := round - startRound - 1; idx == len(co.res.RoundHashes) {
+			co.res.RoundHashes = append(co.res.RoundHashes, hash)
+		} else {
+			// A recovered round re-executes; determinism makes the
+			// digest identical, but record what actually ran.
+			co.res.RoundHashes[idx] = hash
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(round, hash)
+		}
+		r = round
+
+		// Synchronized checkpoint cadence: the recovery anchor.
+		if cfg.CheckpointEvery > 0 && (round-startRound)%cfg.CheckpointEvery == 0 {
+			if err := co.checkpointNow(round); err != nil {
+				if retried, rerr := rewind(err); rerr != nil {
+					return rerr
+				} else if retried {
+					continue
+				}
+				return err
+			}
+		}
+
+		// Stop detection: a round in which nobody drew and nobody
+		// changed means the previous configuration is a fixed point;
+		// probe it for MIS legality. (A non-legal fixed point keeps
+		// looping and falls to the budget.)
+		if cfg.FixedRounds == 0 && !anyDrew && !anyChanged {
+			states, err := co.collectStates(round)
+			if err != nil {
+				if retried, rerr := rewind(err); rerr != nil {
+					return rerr
+				} else if retried {
+					continue
+				}
+				return err
+			}
+			probe := co.buildProbe(states)
+			if probe.Stabilized() {
+				if err := probe.VerifyMIS(); err != nil {
+					return fmt.Errorf("dist: stabilized configuration failed verification: %w", err)
+				}
+				co.res.Stabilized = true
+				co.res.StabilizedRound = round - 1
+				co.res.MIS = probe.MISMask()
+				for _, in := range co.res.MIS {
+					if in {
+						co.res.MISSize++
+					}
+				}
+				co.finalCheckpoint(round, states)
+				break
+			}
+		}
+	}
+	co.res.Rounds = r
+
+	if co.cfg.FixedRounds > 0 {
+		// Fixed-round runs still report legality and state at the end.
+		states, err := co.collectStates(r)
+		if err != nil {
+			if errors.Is(err, errNeedRecovery) {
+				// Workers died after the last round completed; the run's
+				// results are already determined, so don't revive anyone
+				// just for the export.
+				return fmt.Errorf("%w: worker died during final state collection", ErrWorkerLost)
+			}
+			return err
+		}
+		probe := co.buildProbe(states)
+		if probe.Stabilized() && probe.VerifyMIS() == nil {
+			co.res.Stabilized = true
+			co.res.MIS = probe.MISMask()
+			for _, in := range co.res.MIS {
+				if in {
+					co.res.MISSize++
+				}
+			}
+		}
+		co.finalCheckpoint(r, states)
+	}
+	co.res.LastCheckpoint = co.lastCP
+	return nil
+}
+
+// collectStates gathers every worker's range state at the given round.
+func (co *coordinator) collectStates(round int) ([]stateMsg, error) {
+	errs := co.broadcast(nil, fState, fStateOK, func(int) []byte { return encodeRound(round) })
+	if err := co.classify(errs); err != nil {
+		return nil, err
+	}
+	states := make([]stateMsg, len(co.clients))
+	for p := range co.clients {
+		var st stateMsg
+		if err := json.Unmarshal(co.replies[p], &st); err != nil {
+			return nil, &WorkerError{Part: p, Msg: fmt.Sprintf("state reply: %v", err)}
+		}
+		r := co.table.ranges[p]
+		span := r[1] - r[0]
+		if st.Round != round || len(st.Machines) != span || len(st.Streams) != span ||
+			len(st.Levels) != span || len(st.Caps) != span {
+			return nil, &WorkerError{Part: p, Msg: fmt.Sprintf(
+				"state reply shape: round %d (want %d), %d/%d/%d/%d entries (want %d)",
+				st.Round, round, len(st.Machines), len(st.Streams), len(st.Levels), len(st.Caps), span)}
+		}
+		states[p] = st
+	}
+	return states, nil
+}
+
+// buildProbe assembles the workers' level exports into a legality
+// checker over the full graph.
+func (co *coordinator) buildProbe(states []stateMsg) *core.State {
+	n := co.g.N()
+	levels := make([]int32, n)
+	caps := make([]int32, n)
+	for p, st := range states {
+		r := co.table.ranges[p]
+		copy(levels[r[0]:r[1]], st.Levels)
+		copy(caps[r[0]:r[1]], st.Caps)
+	}
+	return core.NewStateWith(co.g, levels, caps, co.two)
+}
+
+// assembleCheckpoint splices the workers' range states into a sealed
+// full checkpoint. The identity header and allocator/fault stream
+// fields are invariant across rounds, so the previous checkpoint is the
+// template.
+func (co *coordinator) assembleCheckpoint(round int, states []stateMsg) *beep.Checkpoint {
+	cp := *co.lastCP
+	cp.Round = round
+	cp.Machines = make([][]int64, cp.GraphN)
+	cp.Streams = make([][4]uint64, cp.GraphN)
+	for p, st := range states {
+		r := co.table.ranges[p]
+		copy(cp.Machines[r[0]:r[1]], st.Machines)
+		copy(cp.Streams[r[0]:r[1]], st.Streams)
+	}
+	cp.Seal()
+	return &cp
+}
+
+// checkpointNow collects states and installs a new recovery anchor,
+// persisting it when configured.
+func (co *coordinator) checkpointNow(round int) error {
+	states, err := co.collectStates(round)
+	if err != nil {
+		return err
+	}
+	co.finalCheckpoint(round, states)
+	if co.cfg.CheckpointPath != "" {
+		if err := atomicio.WriteFile(co.cfg.CheckpointPath, func(w io.Writer) error {
+			return beep.WriteCheckpoint(w, co.lastCP)
+		}); err != nil {
+			return fmt.Errorf("dist: persist checkpoint: %w", err)
+		}
+	}
+	co.logf("checkpoint at round %d (%d workers)", round, len(co.clients))
+	return nil
+}
+
+// finalCheckpoint installs an assembled checkpoint as the current
+// anchor without persisting it.
+func (co *coordinator) finalCheckpoint(round int, states []stateMsg) {
+	cp := co.assembleCheckpoint(round, states)
+	co.lastCP = cp
+	if b, err := encodeCheckpoint(cp); err == nil {
+		co.lastCPBytes = b
+	}
+}
+
+// encodeCheckpoint serializes a checkpoint into the fRestore payload.
+func encodeCheckpoint(cp *beep.Checkpoint) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := beep.WriteCheckpoint(&buf, cp); err != nil {
+		return nil, fmt.Errorf("dist: encode checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}

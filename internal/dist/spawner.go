@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os/exec"
+	"sync"
+)
+
+// Spawner launches (and re-launches, after a crash) the worker of one
+// partition. The worker must dial addr and send a join carrying part
+// and token. Spawn returns once the launch is initiated; the join
+// itself is awaited by the coordinator under its JoinTimeout.
+type Spawner interface {
+	Spawn(ctx context.Context, part int, addr, token string) error
+}
+
+// SpawnerFunc adapts a function to the Spawner interface — the
+// in-process spawner of tests and beepmis's single-binary mode runs
+// RunWorker in a goroutine.
+type SpawnerFunc func(ctx context.Context, part int, addr, token string) error
+
+func (f SpawnerFunc) Spawn(ctx context.Context, part int, addr, token string) error {
+	return f(ctx, part, addr, token)
+}
+
+// InProcessSpawner runs workers as goroutines inside the coordinator
+// process: the zero-setup mode of beepmis -distributed. The goroutines
+// exit when the coordinator closes their connections or cancels ctx.
+func InProcessSpawner(logf func(string, ...any)) Spawner {
+	return SpawnerFunc(func(ctx context.Context, part int, addr, token string) error {
+		go func() {
+			_ = RunWorker(ctx, WorkerConfig{Addr: addr, Part: part, Token: token, Logf: logf})
+		}()
+		return nil
+	})
+}
+
+// ProcSpawner launches workers as OS processes running a beepworker
+// binary: `Binary -connect ADDR -part P -token T [ExtraArgs...]`. It
+// records the live process per partition so chaos harnesses can SIGKILL
+// a specific worker (Pid) and the respawn replaces the record.
+type ProcSpawner struct {
+	Binary    string
+	ExtraArgs []string
+	// Stderr receives the workers' stderr (nil discards it).
+	Stderr io.Writer
+
+	mu    sync.Mutex
+	procs map[int]*exec.Cmd
+}
+
+func (s *ProcSpawner) Spawn(ctx context.Context, part int, addr, token string) error {
+	args := append([]string{"-connect", addr, "-part", fmt.Sprint(part), "-token", token}, s.ExtraArgs...)
+	cmd := exec.Command(s.Binary, args...)
+	cmd.Stderr = s.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("dist: spawn worker %d: %w", part, err)
+	}
+	go cmd.Wait() // reap; workers exit when their connection drops
+	s.mu.Lock()
+	if s.procs == nil {
+		s.procs = make(map[int]*exec.Cmd)
+	}
+	s.procs[part] = cmd
+	s.mu.Unlock()
+	return nil
+}
+
+// Pid returns the last-spawned process id for a partition (-1 if none),
+// for chaos tests that kill specific workers.
+func (s *ProcSpawner) Pid(part int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cmd, ok := s.procs[part]; ok && cmd.Process != nil {
+		return cmd.Process.Pid
+	}
+	return -1
+}

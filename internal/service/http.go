@@ -129,11 +129,28 @@ func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	d.mu.Lock()
+	running := 0
+	for _, j := range d.jobs {
+		if j.State == JobRunning {
+			running++
+		}
+	}
+	// Per-tenant backlog: the admission-counted queue shares, so an
+	// operator can see which tenant is saturating its depth limit
+	// without walking the job list. Zero-share tenants are elided.
+	backlog := make(map[string]int, len(d.queued))
+	for tenant, n := range d.queued {
+		if n > 0 {
+			backlog[tenant] = n
+		}
+	}
 	status := map[string]any{
-		"ok":       true,
-		"draining": d.draining,
-		"queued":   len(d.pending),
-		"jobs":     len(d.jobs),
+		"ok":            true,
+		"draining":      d.draining,
+		"queued":        len(d.pending),
+		"jobs":          len(d.jobs),
+		"running":       running,
+		"tenantBacklog": backlog,
 	}
 	d.mu.Unlock()
 	writeJSON(w, http.StatusOK, status)

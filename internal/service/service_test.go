@@ -568,3 +568,62 @@ func TestLiveStreamFollowsToDone(t *testing.T) {
 		t.Fatalf("stream ended at id %d (done=%v), want 301", last, sawDone)
 	}
 }
+
+// TestHealthzReportsLoad pins the operator view: with one worker busy
+// and two jobs queued under distinct tenants, /v1/healthz must report
+// the running-job count, total queue depth, and the per-tenant backlog
+// (eliding tenants whose share is zero).
+func TestHealthzReportsLoad(t *testing.T) {
+	_, base := testDaemon(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 8
+	})
+	slow := JobSpec{Family: "gnp:32:0.15", Seed: 3, Rounds: 2000, RoundDelayMS: 2, Tenant: "alpha"}
+	running := submitJob(t, base, slow)
+	waitState(t, base, running.ID, func(s JobState) bool { return s == JobRunning }, 10*time.Second)
+	submitJob(t, base, slow) // queued under alpha
+	beta := slow
+	beta.Tenant = "beta"
+	submitJob(t, base, beta) // queued under beta
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h struct {
+		OK            bool           `json:"ok"`
+		Draining      bool           `json:"draining"`
+		Queued        int            `json:"queued"`
+		Jobs          int            `json:"jobs"`
+		Running       int            `json:"running"`
+		TenantBacklog map[string]int `json:"tenantBacklog"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	if !h.OK || h.Draining {
+		t.Fatalf("healthz flags: %+v", h)
+	}
+	if h.Running != 1 {
+		t.Fatalf("running %d, want 1", h.Running)
+	}
+	if h.Queued != 2 {
+		t.Fatalf("queued %d, want 2", h.Queued)
+	}
+	if h.Jobs != 3 {
+		t.Fatalf("jobs %d, want 3", h.Jobs)
+	}
+	want := map[string]int{"alpha": 1, "beta": 1}
+	if len(h.TenantBacklog) != len(want) {
+		t.Fatalf("tenant backlog %v, want %v", h.TenantBacklog, want)
+	}
+	for tenant, n := range want {
+		if h.TenantBacklog[tenant] != n {
+			t.Fatalf("tenant %s backlog %d, want %d", tenant, h.TenantBacklog[tenant], n)
+		}
+	}
+}

@@ -75,6 +75,13 @@ type SupervisorConfig struct {
 	// EscalateFactor multiplies the round budget (and the deadline) on
 	// each retry; values < 1 (including 0) default to 2.
 	EscalateFactor float64
+	// RetryBackoff, when > 0, sleeps before each escalated attempt,
+	// doubling per retry: backoff, 2·backoff, 4·backoff, … capped at
+	// MaxRetryBackoff. On shared machines a failed attempt often means
+	// contention, and hammering retries back-to-back makes it worse.
+	RetryBackoff time.Duration
+	// MaxRetryBackoff caps the doubling (0 defaults to 16·RetryBackoff).
+	MaxRetryBackoff time.Duration
 	// Deadline bounds each attempt's wall-clock time; 0 disables the
 	// watchdog. The deadline is checked between rounds: rounds are
 	// short, and interrupting a round would tear the engine state.
@@ -93,8 +100,10 @@ type SupervisorConfig struct {
 	// applying Init: the execution continues exactly where it stopped.
 	Resume *beep.Checkpoint
 
-	// now overrides the clock in tests.
-	now func() time.Time
+	// now overrides the clock in tests; sleep overrides the retry
+	// backoff sleep.
+	now   func() time.Time
+	sleep func(time.Duration)
 }
 
 // SupervisorResult reports a supervised run.
@@ -147,6 +156,13 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	}
 	if cfg.Deadline < 0 {
 		return nil, fmt.Errorf("stab: negative deadline %v", cfg.Deadline)
+	}
+	if cfg.RetryBackoff < 0 || cfg.MaxRetryBackoff < 0 {
+		return nil, fmt.Errorf("stab: negative retry backoff (retryBackoff=%v maxRetryBackoff=%v)",
+			cfg.RetryBackoff, cfg.MaxRetryBackoff)
+	}
+	if cfg.MaxRetryBackoff == 0 {
+		cfg.MaxRetryBackoff = 16 * cfg.RetryBackoff
 	}
 	if cfg.EscalateFactor < 1 {
 		cfg.EscalateFactor = 2
@@ -331,6 +347,15 @@ func (s *Supervisor) Run() (*SupervisorResult, error) {
 			return nil, fmt.Errorf("%w: %d attempt(s), final budget %d rounds, round %d on %s",
 				ErrBudget, attempt+1, budget, net.Round(), net.Graph().Name())
 		}
+		// Back off before the escalated attempt (capped exponential),
+		// then re-check cancellation: a cancel that landed during the
+		// sleep must not start another attempt.
+		if cfg.RetryBackoff > 0 {
+			s.retrySleep(retryBackoffDelay(cfg.RetryBackoff, cfg.MaxRetryBackoff, attempt))
+			if err := canceled(); err != nil {
+				return nil, err
+			}
+		}
 		// Escalate: extend the SAME execution with a larger budget (and
 		// proportionally more wall-clock) — deterministic replay of a
 		// failed attempt cannot succeed, continuation can.
@@ -390,6 +415,42 @@ func (s *Supervisor) runFixed(net *beep.Network, res *SupervisorResult, probe *c
 		}
 	}
 	return res, nil
+}
+
+// retryBackoffDelay is the capped-exponential schedule: base << attempt
+// bounded by max (attempt counts completed attempts, so the first retry
+// waits base).
+func retryBackoffDelay(base, max time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// retrySleep waits out a backoff delay, honoring the injected test hook
+// and waking early on context cancellation.
+func (s *Supervisor) retrySleep(d time.Duration) {
+	if s.cfg.sleep != nil {
+		s.cfg.sleep(d)
+		return
+	}
+	if s.cfg.Ctx != nil {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-s.cfg.Ctx.Done():
+		}
+		return
+	}
+	time.Sleep(d)
 }
 
 // engineOrDefault maps the zero Engine to Sequential.

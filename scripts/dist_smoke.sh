@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the distributed engine with the SHIPPED binaries:
+# beepmis as coordinator, real beepworker processes as partitions.
+#
+# Proves, at the process level with nothing but the shell:
+#   1. a distributed run produces the exact same "stabilized:" line
+#      (rounds and |MIS|) as the single-process run;
+#   2. SIGKILLing a live beepworker mid-run is survived — the
+#      coordinator respawns it, rewinds to the last synchronized
+#      checkpoint, and still finishes with the identical result line.
+#
+# The Go test suites (internal/dist, cmd/beepworker) cover the same
+# ground with partition matrices, fault injection, and bit-exact
+# per-round trace comparison; this script is the cheap check that the
+# shipped binaries, flags and all, behave the same way.
+set -euo pipefail
+
+BIN=$(mktemp -d)
+go build -o "$BIN/beepmis" ./cmd/beepmis
+go build -o "$BIN/beepworker" ./cmd/beepworker
+
+FAMILY=gnp:64:0.095
+ALG=alg1-known-delta
+SEED=7
+
+result_line() { grep '^stabilized:' "$1"; }
+
+echo "== single-process reference =="
+"$BIN/beepmis" -family "$FAMILY" -alg "$ALG" -seed "$SEED" | tee "$BIN/ref.out"
+REF=$(result_line "$BIN/ref.out" | sed 's/ (verified).*//')
+
+echo "== distributed, 3 worker processes =="
+"$BIN/beepmis" -family "$FAMILY" -alg "$ALG" -seed "$SEED" \
+    -distributed -partitions 3 -worker-bin "$BIN/beepworker" | tee "$BIN/dist.out"
+DIST=$(result_line "$BIN/dist.out" | sed 's/ (verified).*//')
+[ "$DIST" = "$REF" ] || { echo "distributed result diverged: '$DIST' != '$REF'" >&2; exit 1; }
+echo "distributed result matches single-process reference"
+
+echo "== chaos: SIGKILL a worker mid-run =="
+# Paced rounds keep the run alive long enough to land the kill; the
+# checkpoint cadence gives the coordinator something to rewind to.
+"$BIN/beepmis" -family "$FAMILY" -alg "$ALG" -seed "$SEED" \
+    -distributed -partitions 3 -worker-bin "$BIN/beepworker" \
+    -dist-round-delay 50ms > "$BIN/chaos.out" &
+COORD=$!
+
+# Match the worker's argv shape, not just the path: the coordinator's
+# own command line contains the -worker-bin path too.
+VICTIM=""
+for _ in $(seq 100); do
+    VICTIM=$(pgrep -f "$BIN/beepworker -connect" | head -1 || true)
+    [ -n "$VICTIM" ] && break
+    sleep 0.05
+done
+[ -n "$VICTIM" ] || { echo "no beepworker process appeared" >&2; exit 1; }
+sleep 0.5 # let the run get a few rounds (and a checkpoint) in
+kill -9 "$VICTIM"
+echo "killed beepworker pid $VICTIM"
+
+wait "$COORD" # the coordinator must still exit 0
+cat "$BIN/chaos.out"
+CHAOS=$(result_line "$BIN/chaos.out" | sed 's/ (verified).*//')
+[ "$CHAOS" = "$REF" ] || { echo "post-crash result diverged: '$CHAOS' != '$REF'" >&2; exit 1; }
+grep -q 'respawns=[1-9]' "$BIN/chaos.out" || { echo "kill landed but no respawn was recorded" >&2; exit 1; }
+echo "worker crash recovered, result identical"
+echo "dist smoke OK"
