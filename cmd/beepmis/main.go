@@ -92,6 +92,7 @@ func run(args []string) (retErr error) {
 	maxRetries := fs.Int("max-retries", 0, "budget escalations after the first attempt (the run is extended, not restarted)")
 	engineName := fs.String("engine", "sequential", "round engine: sequential | parallel | pervertex | flat | flatparallel")
 	workers := fs.Int("workers", 0, "worker count for the parallel engines (0 = GOMAXPROCS; ignored by sequential engines)")
+	sparseName := fs.String("sparse", "auto", "flat-kernel round path: auto | on | off (on forces the sparse delta path; rejects engines without flat kernels)")
 	distributed := fs.Bool("distributed", false, "run over partitioned workers (coordinator + N beepworkers)")
 	partitions := fs.Int("partitions", 2, "worker partition count for -distributed")
 	workerBin := fs.String("worker-bin", "", "beepworker binary for -distributed (empty = in-process workers)")
@@ -118,12 +119,19 @@ func run(args []string) (retErr error) {
 	if *workers < 0 {
 		return fmt.Errorf("-workers %d: worker count must be non-negative (0 = GOMAXPROCS)", *workers)
 	}
+	sparseMode, err := beep.ParseSparseMode(*sparseName)
+	if err != nil {
+		return err
+	}
+	if sparseMode == beep.SparseOn && (engine == beep.Parallel || engine == beep.PerVertex) {
+		return fmt.Errorf("-sparse on requires a flat-kernel engine (sequential, flat, flatparallel) or -distributed; -engine %s has none", *engineName)
+	}
 	// engineOpts builds the engine configuration (engine choice plus the
 	// optional explicit worker count) shared by every network this
 	// invocation constructs; each call returns a fresh slice, so the
 	// per-path appends never alias.
 	engineOpts := func(extra ...beep.Option) []beep.Option {
-		opts := []beep.Option{beep.WithEngine(engine)}
+		opts := []beep.Option{beep.WithEngine(engine), beep.WithSparse(sparseMode)}
 		if *workers > 0 {
 			opts = append(opts, beep.WithWorkers(*workers))
 		}
@@ -171,6 +179,9 @@ func run(args []string) (retErr error) {
 		if *workers > 0 {
 			return fmt.Errorf("-workers applies to the self-stabilizing algorithms only, not %q", *alg)
 		}
+		if explicit["sparse"] {
+			return fmt.Errorf("-sparse applies to the self-stabilizing algorithms only, not %q", *alg)
+		}
 		if supervised {
 			return fmt.Errorf("-checkpoint/-resume/-deadline/-max-retries apply to the self-stabilizing algorithms only, not %q", *alg)
 		}
@@ -204,7 +215,7 @@ func run(args []string) (retErr error) {
 			return fmt.Errorf("-engine/-workers select a local engine; -distributed always runs flat kernels over -partitions workers")
 		}
 		return runDistributed(g, *alg, *seed, initMode, *maxRounds, *partitions,
-			*workerBin, *distRoundDelay, sup, *printMIS)
+			*workerBin, *distRoundDelay, sparseMode, sup, *printMIS)
 	}
 	if *advList == "" && *advPolicy != "jammer" {
 		return fmt.Errorf("-adversary-policy %q requires -adversaries", *advPolicy)
@@ -313,7 +324,7 @@ func run(args []string) (retErr error) {
 // bit-identical to them, so the rounds/|MIS| fields must match too.
 func runDistributed(g *graph.Graph, alg string, seed uint64, initMode core.InitMode,
 	maxRounds, partitions int, workerBin string, roundDelay time.Duration,
-	sup supervision, printMIS bool) error {
+	sparse beep.SparseMode, sup supervision, printMIS bool) error {
 	cfg := dist.Config{
 		Graph:           g,
 		Protocol:        alg,
@@ -324,6 +335,7 @@ func runDistributed(g *graph.Graph, alg string, seed uint64, initMode core.InitM
 		CheckpointEvery: sup.ckEvery,
 		CheckpointPath:  sup.ckPath,
 		RoundDelay:      roundDelay,
+		Sparse:          sparse,
 	}
 	if workerBin != "" {
 		cfg.Spawner = &dist.ProcSpawner{Binary: workerBin, Stderr: os.Stderr}
@@ -346,8 +358,12 @@ func runDistributed(g *graph.Graph, alg string, seed uint64, initMode core.InitM
 		}
 		return err
 	}
-	fmt.Printf("stabilized: rounds=%d |MIS|=%d (verified) distributed partitions=%d respawns=%d\n",
-		res.StabilizedRound, res.MISSize, partitions, res.Respawns)
+	exchange := "dense"
+	if res.Sparse {
+		exchange = "delta"
+	}
+	fmt.Printf("stabilized: rounds=%d |MIS|=%d (verified) distributed partitions=%d respawns=%d exchange=%s wire-bytes=%d\n",
+		res.StabilizedRound, res.MISSize, partitions, res.Respawns, exchange, res.WireBytes)
 	if printMIS {
 		printMask(res.MIS)
 	}

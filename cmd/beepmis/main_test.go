@@ -248,6 +248,52 @@ func TestRunWorkersFlag(t *testing.T) {
 	}
 }
 
+// TestRunSparseFlag covers -sparse: the three mode names on every
+// engine that supports them (sequential carries flat kernels, so
+// forced-on works there too), the distributed path, and the rejection
+// matrix — unknown mode names, forced-on with kernel-less engines, and
+// baseline algorithms.
+func TestRunSparseFlag(t *testing.T) {
+	for _, engine := range []string{"sequential", "flat", "flatparallel"} {
+		for _, mode := range []string{"auto", "on", "off"} {
+			if err := run([]string{"-family", "cycle:24", "-engine", engine, "-sparse", mode, "-seed", "3"}); err != nil {
+				t.Fatalf("%s/-sparse=%s: %v", engine, mode, err)
+			}
+		}
+	}
+	// The delta path must survive the churn and fault-drill drivers
+	// (faults corrupt state mid-run; churn rewires live).
+	if err := run([]string{"-family", "gnp:24:0.2", "-engine", "flat", "-sparse", "on",
+		"-churn", "flap:2:2", "-seed", "5"}); err != nil {
+		t.Fatalf("churn with -sparse on: %v", err)
+	}
+	if err := run([]string{"-family", "cycle:20", "-engine", "flat", "-sparse", "on",
+		"-faults", "4", "-seed", "3"}); err != nil {
+		t.Fatalf("faults with -sparse on: %v", err)
+	}
+	if err := run([]string{"-family", "cycle:24", "-distributed", "-partitions", "2",
+		"-sparse", "on", "-seed", "3"}); err != nil {
+		t.Fatalf("distributed with -sparse on: %v", err)
+	}
+	if err := run([]string{"-family", "cycle:24", "-distributed", "-partitions", "2",
+		"-sparse", "off", "-seed", "3"}); err != nil {
+		t.Fatalf("distributed with -sparse off: %v", err)
+	}
+	if err := run([]string{"-family", "cycle:24", "-sparse", "bogus"}); err == nil ||
+		!strings.Contains(err.Error(), "sparse") {
+		t.Fatalf("want unknown-mode error, got %v", err)
+	}
+	for _, engine := range []string{"parallel", "pervertex"} {
+		if err := run([]string{"-family", "cycle:24", "-engine", engine, "-sparse", "on"}); err == nil ||
+			!strings.Contains(err.Error(), "flat-kernel") {
+			t.Fatalf("%s: want flat-kernel rejection, got %v", engine, err)
+		}
+	}
+	if err := run([]string{"-family", "cycle:16", "-alg", "luby", "-init", "fresh", "-sparse", "on"}); err == nil {
+		t.Fatal("want error for -sparse with a baseline algorithm")
+	}
+}
+
 // TestRunProfiles checks -cpuprofile/-memprofile leave non-empty pprof
 // files behind after a successful run.
 func TestRunProfiles(t *testing.T) {

@@ -313,8 +313,10 @@ func (n *Network) Restore(c *Checkpoint) error {
 	n.round = c.Round
 	// The sent/heard arrays still describe the pre-restore execution, so
 	// a quiescence snapshot (if any) must not elide the next round even
-	// if the restored state happens to match it.
+	// if the restored state happens to match it. The same staleness
+	// invalidates the sparse path's frontier and sender-bit baselines.
 	n.quiet = false
+	n.sparse.markAll()
 	return nil
 }
 

@@ -178,6 +178,14 @@ func (n *Network) finishFlatSetup(proto Protocol, seed uint64) error {
 			return fmt.Errorf("beep: %v engine requires flat kernels, but %T's bulk state (%T) does not implement FlatProtocol", n.engine, proto, n.bulk)
 		}
 	}
+	if n.sparseMode == SparseOn {
+		if n.flatOps == nil || n.engine == Parallel || n.engine == PerVertex {
+			return fmt.Errorf("beep: WithSparse(on) requires a flat-kernel engine (Sequential with kernels, Flat, or FlatParallel); got %v", n.engine)
+		}
+		if _, ok := n.flatOps.(SparseFlatProtocol); !ok {
+			return fmt.Errorf("beep: WithSparse(on): %T's bulk state (%T) does not implement SparseFlatProtocol", proto, n.bulk)
+		}
+	}
 	if n.batched {
 		if n.engine != Flat {
 			// FlatParallel is also excluded: the amortized sampler is one
@@ -199,6 +207,10 @@ func (n *Network) bindFlatOps() {
 	n.flatOps = nil
 	n.flatQuiescer = nil
 	n.quiet = false
+	// Whatever triggered the rebind (construction, Rewire) changed the
+	// cohort or topology: the sparse path must restart from an
+	// all-active frontier and rebuild its delivery invariants densely.
+	n.sparse.markAll()
 	if n.noFlat {
 		return
 	}
@@ -226,6 +238,7 @@ func (n *Network) stepFlat(ops FlatProtocol) *RunError {
 		// sent and heard already hold its signals, no stream moves, no
 		// state moves. One O(n) compare replaces the O(n + m) round.
 		if n.flatQuiescer.StateUnchanged() {
+			n.roundActive, n.roundFrontier = 0, 0
 			return nil
 		}
 		n.quiet = false
@@ -542,7 +555,11 @@ func (n *Network) Reseed(seed uint64) error {
 	n.round = 0
 	n.failed = nil
 	n.quiet = false // sent/heard were cleared: a stale snapshot must not elide
-	n.advEpoch++    // new execution: legality observers must re-key
+	// The sender bitsets still hold the previous execution's bits while
+	// sent was just cleared: force the sparse path to restart all-active
+	// and rebuild its delivery invariants densely.
+	n.sparse.markAll()
+	n.advEpoch++ // new execution: legality observers must re-key
 	if n.workers != nil {
 		// Flat-parallel stripe state is per-round (reset by every
 		// stepFlatParallel), but a reseed starts a NEW execution on the

@@ -65,6 +65,11 @@ type flatWorker struct {
 	row []int32
 	// senders is the worker's pack-phase sender count (all channels).
 	senders int
+	// drewW / changedW are the worker's private sparse-path output
+	// masks (full mask length, lazily sized; see sparse.go). Each
+	// worker clears its own mask at phase start and the coordinator
+	// OR-folds them after the barrier.
+	drewW, changedW []uint64
 	// active reports that the worker reset and scattered into scratch
 	// this round; merge skips inactive workers (their scratch words are
 	// stale or never allocated).
@@ -85,6 +90,7 @@ func (n *Network) stepFlatParallel(ops FlatProtocol) *RunError {
 		// touched the state since, so this round is byte-identical to
 		// the last. One O(n) compare replaces the whole barrier dance.
 		if n.flatQuiescer.StateUnchanged() {
+			n.roundActive, n.roundFrontier = 0, 0
 			return nil
 		}
 		n.quiet = false

@@ -89,6 +89,18 @@ type Network struct {
 	sendBits   [2]bitset.Set
 	heardBits  [2]bitset.Set
 
+	// Sparse activity-gated round state (see sparse.go): the mode,
+	// the word-activity masks and their bookkeeping, the parallel
+	// kernel handle published before sparse phases (barrier-ordered
+	// like flatParOps), and the per-round activity statistics exposed
+	// to WithStatsObserver.
+	sparseMode    SparseMode
+	sparse        sparseState
+	flatParSparse SparseFlatProtocol
+	statsObs      func(round, active, frontierWords int)
+	roundActive   int
+	roundFrontier int
+
 	// seed is the root seed the network was constructed with, recorded
 	// in checkpoints for provenance.
 	seed uint64
@@ -264,8 +276,14 @@ func (n *Network) Graph() graph.Topology { return n.g }
 func (n *Network) Round() int { return n.round }
 
 // Machine returns the state machine of vertex v, for inspection by the
-// harness (legality checks) and the fault injector.
-func (n *Network) Machine(v int) Machine { return n.machines[v] }
+// harness (legality checks) and the fault injector. A retained handle
+// can mutate state behind the engine's back, so the vertex is
+// conservatively marked active for the sparse path (bulk read paths —
+// core.LevelExporter — bypass this accessor and stay mark-free).
+func (n *Network) Machine(v int) Machine {
+	n.sparse.markVertex(v)
+	return n.machines[v]
+}
 
 // BulkState returns the opaque bulk-state handle provided by a
 // BatchProtocol, or nil. Callers type-assert it to the protocol's bulk
@@ -280,6 +298,7 @@ func (n *Network) N() int { return len(n.machines) }
 // vertices' own streams: the "arbitrary initial configuration" of the
 // self-stabilization model.
 func (n *Network) RandomizeAll() {
+	n.sparse.markAll()
 	for v, m := range n.machines {
 		m.Randomize(n.srcs[v])
 	}
@@ -296,6 +315,7 @@ func (n *Network) Corrupt(vertices []int) error {
 		}
 	}
 	for _, v := range vertices {
+		n.sparse.markVertex(v)
 		n.machines[v].Randomize(n.srcs[v])
 	}
 	return nil
@@ -331,6 +351,9 @@ func (n *Network) TryStep() error {
 	if n.failed != nil {
 		return n.failed
 	}
+	// Dense rounds report full activity; the sparse and elided paths
+	// overwrite these with the round's real frontier.
+	n.roundActive, n.roundFrontier = n.N(), (n.N()+63)>>6
 	var rerr *RunError
 	switch n.engine {
 	case Parallel, PerVertex:
@@ -339,7 +362,9 @@ func (n *Network) TryStep() error {
 		// Construction requires the kernels, but a Rewire can drop the
 		// bulk handle (non-codec machine cohorts); the interface-loop
 		// pool remains trace-equivalent, so fall back to it.
-		if n.flatOps != nil {
+		if so := n.sparseOps(); so != nil {
+			rerr = n.stepFlatParallelSparse(so)
+		} else if n.flatOps != nil {
 			rerr = n.stepFlatParallel(n.flatOps)
 		} else {
 			rerr = n.stepParallel()
@@ -348,8 +373,12 @@ func (n *Network) TryStep() error {
 		// Sequential and Flat: the flat kernels are the sequential
 		// semantics without per-vertex dispatch, so Sequential upgrades
 		// transparently whenever the protocol provides them (traces are
-		// bit-identical; see flat.go).
-		if n.flatOps != nil {
+		// bit-identical; see flat.go), and both run the activity-gated
+		// sparse path on top unless WithSparse(SparseOff) was given
+		// (also bit-identical; see sparse.go).
+		if so := n.sparseOps(); so != nil {
+			rerr = n.stepFlatSparse(so)
+		} else if n.flatOps != nil {
 			rerr = n.stepFlat(n.flatOps)
 		} else {
 			rerr = n.stepSequential()
@@ -360,6 +389,9 @@ func (n *Network) TryStep() error {
 		return rerr
 	}
 	n.round++
+	if n.statsObs != nil {
+		n.statsObs(n.round, n.roundActive, n.roundFrontier)
+	}
 	if n.observer != nil {
 		n.observer(n.round, n.sent, n.heard)
 	}
@@ -575,6 +607,10 @@ const (
 	phaseFlatMerge
 	phaseFlatGather
 	phaseFlatUpdate
+	// Sparse-path phases (see sparse.go): activity-gated kernel
+	// stripes writing per-worker drew/changed word masks.
+	phaseFlatSparseEmit
+	phaseFlatSparseUpdate
 )
 
 func newWorkerPool(net *Network, workers int) *workerPool {
@@ -651,6 +687,14 @@ func (p *workerPool) worker(i int) {
 			net.deliverRange(lo, hi, p.rowBuf(i))
 		case phaseFlatUpdate:
 			if err := net.flatKernelRange("update", &p.flat[i], lo, hi); err != nil {
+				p.failed.CompareAndSwap(nil, err)
+			}
+		case phaseFlatSparseEmit:
+			if err := net.flatSparseKernelRange("emit", &p.flat[i], lo, hi); err != nil {
+				p.failed.CompareAndSwap(nil, err)
+			}
+		case phaseFlatSparseUpdate:
+			if err := net.flatSparseKernelRange("update", &p.flat[i], lo, hi); err != nil {
 				p.failed.CompareAndSwap(nil, err)
 			}
 		}

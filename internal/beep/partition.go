@@ -45,6 +45,9 @@ type Partition struct {
 	words  [2][]uint64
 	env    FlatEnv
 	rowBuf []int32
+	// sparse, when non-nil, holds the delta-round state installed by
+	// EnableSparse (see partition_sparse.go).
+	sparse *partSparse
 }
 
 // Partition creates the execution window for vertices [lo, hi). It

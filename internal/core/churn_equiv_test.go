@@ -230,15 +230,32 @@ func TestEngineEquivalenceThroughChurn(t *testing.T) {
 		return trace
 	}
 	ref := run(beep.Sequential, beep.WithFlatKernels(false))
-	for _, engine := range []beep.Engine{beep.Sequential, beep.Parallel, beep.PerVertex, beep.Flat, beep.FlatParallel} {
-		got := run(engine)
+	engines := []struct {
+		name   string
+		engine beep.Engine
+		opts   []beep.Option
+	}{
+		{"sequential", beep.Sequential, nil},
+		{"parallel", beep.Parallel, nil},
+		{"pervertex", beep.PerVertex, nil},
+		{"flat", beep.Flat, nil},
+		{"flatparallel", beep.FlatParallel, nil},
+		// Forced-sparse pins: with adversaries installed every round
+		// falls back to the dense kernels through the sparse gate, and
+		// the Rewire invalidation must keep the trace exact on both
+		// sides of the churn event.
+		{"flat-sparse-on", beep.Flat, []beep.Option{beep.WithSparse(beep.SparseOn)}},
+		{"flatparallel-sparse-on", beep.FlatParallel, []beep.Option{beep.WithSparse(beep.SparseOn)}},
+	}
+	for _, e := range engines {
+		got := run(e.engine, e.opts...)
 		if len(got) != len(ref) {
-			t.Fatalf("engine %v recorded %d rounds, reference %d", engine, len(got), len(ref))
+			t.Fatalf("engine %v recorded %d rounds, reference %d", e.name, len(got), len(ref))
 		}
 		for r := range ref {
 			for i := range ref[r] {
 				if got[r][i] != ref[r][i] {
-					t.Fatalf("engine %v diverged at round %d slot %d", engine, r, i)
+					t.Fatalf("engine %v diverged at round %d slot %d", e.name, r, i)
 				}
 			}
 		}

@@ -101,6 +101,14 @@ func TestEngineTraceEquivalence(t *testing.T) {
 		{"flatparallel-w1", beep.FlatParallel, []beep.Option{beep.WithWorkers(1)}},
 		{"flatparallel-w3", beep.FlatParallel, []beep.Option{beep.WithWorkers(3)}},
 		{"flatparallel-w8", beep.FlatParallel, []beep.Option{beep.WithWorkers(8)}},
+		// Sparse-path pins: forced delta delivery (SparseOn) and the
+		// legacy dense path (SparseOff) must both match the reference
+		// bit for bit — the default engines above already run
+		// SparseAuto, so together the three modes are covered.
+		{"flat-sparse-on", beep.Flat, []beep.Option{beep.WithSparse(beep.SparseOn)}},
+		{"flat-sparse-off", beep.Flat, []beep.Option{beep.WithSparse(beep.SparseOff)}},
+		{"flatparallel-sparse-on", beep.FlatParallel, []beep.Option{beep.WithSparse(beep.SparseOn)}},
+		{"flatparallel-w3-sparse-on", beep.FlatParallel, []beep.Option{beep.WithWorkers(3), beep.WithSparse(beep.SparseOn)}},
 	}
 	const seed, maxRounds = 90210, 20000
 	for _, fam := range families {

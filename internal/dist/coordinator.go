@@ -67,6 +67,11 @@ type Config struct {
 	CheckpointPath string
 	// Resume restores this checkpoint instead of applying Init.
 	Resume *beep.Checkpoint
+	// Sparse selects the round exchange. SparseAuto (the default) uses
+	// the delta protocol whenever the protocol's kernels support it;
+	// SparseOn fails setup if they don't; SparseOff forces the dense
+	// position-implicit word tables.
+	Sparse beep.SparseMode
 
 	// Spawner launches partition workers; required.
 	Spawner Spawner
@@ -122,6 +127,13 @@ type Result struct {
 	RoundHashes []uint64
 	// LastCheckpoint is the most recent synchronized checkpoint.
 	LastCheckpoint *beep.Checkpoint
+	// Sparse reports whether the run used the delta exchange.
+	Sparse bool
+	// WireBytes totals the logical payload bytes of the per-round signal
+	// exchange (emit replies + deliver requests, the two directions that
+	// scale with the graph); retransmissions are not counted. The delta
+	// exchange shrinks this to the changed-word traffic.
+	WireBytes int64
 }
 
 // client is the coordinator's handle on one worker connection: the RPC
@@ -293,6 +305,23 @@ type coordinator struct {
 	// merged per-channel sender word arrays of the current round.
 	merged [2][]uint64
 
+	// Sparse-exchange state (nil/false in dense mode). cur[p][c] is
+	// partition p's last-uploaded value of every word; owners[wi] lists
+	// the partitions whose range overlaps word wi (2 on unaligned
+	// boundaries), so a changed upload re-merges the word by OR over
+	// owners; dirty[c] is the bitset of merged words changed since the
+	// last deliver; needSet[p] is partition p's need set as a bitset for
+	// the dirty ∩ need filtering of its deliver delta.
+	sparse  bool
+	cur     [][2][]uint64
+	owners  [][]int32
+	dirty   [2][]uint64
+	needSet [][]uint64
+	// downWi/downVal are the deliver-payload scratch lists, reused
+	// across partitions and rounds.
+	downWi  [2][]int32
+	downVal [2][]uint64
+
 	lastCP      *beep.Checkpoint
 	lastCPBytes []byte
 
@@ -392,6 +421,27 @@ func (co *coordinator) setup(ctx context.Context) error {
 		return fmt.Errorf("dist: protocol %s does not export levels", cfg.Protocol)
 	}
 	co.two = le.TwoChannel()
+	// Sparse probe: the delta exchange needs the activity-gated kernels
+	// on every worker, which a throwaway partition of the reference
+	// network detects. (EnableSparse resets heard values the reference
+	// never reads; the checkpoint below carries machines and streams
+	// only.)
+	if cfg.Sparse != beep.SparseOff {
+		probe, perr := refNet.Partition(0, co.g.N())
+		if perr == nil {
+			perr = probe.EnableSparse()
+		}
+		if perr != nil {
+			if cfg.Sparse == beep.SparseOn {
+				refNet.Close()
+				return fmt.Errorf("dist: sparse exchange forced but unavailable: %w", perr)
+			}
+			co.logf("sparse exchange unavailable, falling back to dense rounds: %v", perr)
+		} else {
+			co.sparse = true
+		}
+	}
+	co.res.Sparse = co.sparse
 	if cfg.Resume != nil {
 		if len(cfg.Resume.Adversaries) > 0 || cfg.Resume.NoiseLoss != 0 || cfg.Resume.NoiseFalse != 0 || cfg.Resume.SleepP != 0 {
 			refNet.Close()
@@ -429,6 +479,36 @@ func (co *coordinator) setup(ctx context.Context) error {
 	for c := 0; c < co.channels; c++ {
 		co.merged[c] = make([]uint64, co.table.words)
 	}
+	if co.sparse {
+		words := co.table.words
+		mw := (words + 63) / 64
+		co.cur = make([][2][]uint64, len(co.table.ranges))
+		for p := range co.cur {
+			for c := 0; c < co.channels; c++ {
+				co.cur[p][c] = make([]uint64, words)
+			}
+		}
+		co.owners = make([][]int32, words)
+		for p, r := range co.table.ranges {
+			if r[0] >= r[1] {
+				continue
+			}
+			for wi := r[0] >> 6; wi <= (r[1]-1)>>6; wi++ {
+				co.owners[wi] = append(co.owners[wi], int32(p))
+			}
+		}
+		co.needSet = make([][]uint64, len(co.table.ranges))
+		for p, need := range co.table.need {
+			ns := make([]uint64, mw)
+			for _, wi := range need {
+				ns[wi>>6] |= 1 << uint(wi&63)
+			}
+			co.needSet[p] = ns
+		}
+		for c := 0; c < co.channels; c++ {
+			co.dirty[c] = make([]uint64, mw)
+		}
+	}
 
 	var gbuf bytes.Buffer
 	if err := graph.WriteEdgeList(&gbuf, co.g); err != nil {
@@ -441,6 +521,7 @@ func (co *coordinator) setup(ctx context.Context) error {
 			Protocol: cfg.Protocol, Seed: cfg.Seed, Channels: co.channels,
 			Graph: gbuf.Bytes(), Lo: r[0], Hi: r[1],
 			Send: co.table.send[p], Need: co.table.need[p],
+			Sparse: co.sparse,
 		})
 		if err != nil {
 			return fmt.Errorf("dist: %w", err)
@@ -601,9 +682,34 @@ func (co *coordinator) classify(errs []error) error {
 var errNeedRecovery = errors.New("dist: worker death, recovery required")
 
 // restoreAll rewinds every worker to the last synchronized checkpoint.
+// The coordinator's exchange baselines are zeroed in the same breath:
+// every worker's fRestore handler runs ResetSparse, so both sides of
+// the delta protocol restart from the all-zero word state.
 func (co *coordinator) restoreAll() error {
+	co.resetExchange()
 	errs := co.broadcast(nil, fRestore, fRestoreOK, func(int) []byte { return co.lastCPBytes })
 	return co.classify(errs)
+}
+
+// resetExchange zeroes the merged words and, in sparse mode, every
+// per-partition upload baseline and the dirty set.
+func (co *coordinator) resetExchange() {
+	for c := 0; c < co.channels; c++ {
+		for i := range co.merged[c] {
+			co.merged[c][i] = 0
+		}
+		if co.sparse {
+			for i := range co.dirty[c] {
+				co.dirty[c][i] = 0
+			}
+			for p := range co.cur {
+				cw := co.cur[p][c]
+				for i := range cw {
+					cw[i] = 0
+				}
+			}
+		}
+	}
 }
 
 // recoverWorkers revives every dead partition and rewinds the run to

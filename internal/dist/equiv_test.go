@@ -225,6 +225,76 @@ func TestDistFaultInjectionEquivalence(t *testing.T) {
 	}
 }
 
+// TestDistSparseDenseEquivalence pins the delta boundary exchange
+// against the dense wire: at every partition count, forced-sparse and
+// forced-dense runs must produce identical per-round combined digests
+// and the golden result, and on a graph with enough sender words the
+// sparse run must move fewer logical payload bytes.
+func TestDistSparseDenseEquivalence(t *testing.T) {
+	g := goldenGraph(t)
+	for parts := 1; parts <= 4; parts++ {
+		dcfg := distConfig(g, parts)
+		dcfg.Sparse = beep.SparseOff
+		dres, err := Run(context.Background(), dcfg)
+		if err != nil {
+			t.Fatalf("parts=%d dense: %v", parts, err)
+		}
+		scfg := distConfig(g, parts)
+		scfg.Sparse = beep.SparseOn
+		sres, err := Run(context.Background(), scfg)
+		if err != nil {
+			t.Fatalf("parts=%d sparse: %v", parts, err)
+		}
+		if dres.Sparse || !sres.Sparse {
+			t.Fatalf("parts=%d: Sparse flags dense=%v sparse=%v", parts, dres.Sparse, sres.Sparse)
+		}
+		for _, res := range []*Result{dres, sres} {
+			if !res.Stabilized || res.StabilizedRound != goldenStabRound ||
+				res.MISSize != goldenMISSize || maskHash(res.MIS) != goldenMaskHash {
+				t.Fatalf("parts=%d sparse=%v diverged from golden: stabilized=%v round=%d |MIS|=%d hash=%#x",
+					parts, res.Sparse, res.Stabilized, res.StabilizedRound, res.MISSize, maskHash(res.MIS))
+			}
+		}
+		if len(dres.RoundHashes) != len(sres.RoundHashes) {
+			t.Fatalf("parts=%d: dense %d rounds, sparse %d", parts, len(dres.RoundHashes), len(sres.RoundHashes))
+		}
+		for i := range dres.RoundHashes {
+			if dres.RoundHashes[i] != sres.RoundHashes[i] {
+				t.Fatalf("parts=%d: round %d dense hash %#x, sparse %#x",
+					parts, i+1, dres.RoundHashes[i], sres.RoundHashes[i])
+			}
+		}
+	}
+
+	// Byte savings need more than one word per range: on a 2048-vertex
+	// graph most words stop changing well before stabilization, so the
+	// delta wire must be strictly smaller than re-sending every word.
+	big := graph.GNPAvgDegree(2048, 6, rng.New(5))
+	bd := distConfig(big, 4)
+	bd.Sparse = beep.SparseOff
+	dres, err := Run(context.Background(), bd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := distConfig(big, 4)
+	bs.Sparse = beep.SparseOn
+	sres, err := Run(context.Background(), bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dres.Stabilized || !sres.Stabilized || maskHash(dres.MIS) != maskHash(sres.MIS) {
+		t.Fatalf("big-graph runs diverged: dense=%+v sparse=%+v", dres, sres)
+	}
+	if sres.WireBytes <= 0 || dres.WireBytes <= 0 {
+		t.Fatalf("WireBytes not recorded: dense=%d sparse=%d", dres.WireBytes, sres.WireBytes)
+	}
+	if sres.WireBytes >= dres.WireBytes {
+		t.Fatalf("sparse exchange moved %d bytes, dense %d — no reduction", sres.WireBytes, dres.WireBytes)
+	}
+	t.Logf("n=2048 parts=4: dense %d bytes, sparse %d bytes (%.1f%%)",
+		dres.WireBytes, sres.WireBytes, 100*float64(sres.WireBytes)/float64(dres.WireBytes))
+}
+
 // TestDistCheckpointResume pins the checkpoint interop: a run persists
 // its synchronized checkpoints; resuming a fresh distributed run (with
 // a different partition count) from the persisted file must land on the

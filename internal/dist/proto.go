@@ -39,6 +39,11 @@ type configMsg struct {
 	// Need words, values only.
 	Send []int32 `json:"send"`
 	Need []int32 `json:"need"`
+	// Sparse switches the round exchange to the delta protocol: emit
+	// replies and deliver requests carry only CHANGED words as explicit
+	// (index, value) pairs instead of the full position-implicit table
+	// sets, and the worker runs the activity-gated Partition kernels.
+	Sparse bool `json:"sparse,omitempty"`
 }
 
 // stateMsg is a worker's range state export (JSON payload of fStateOK):
@@ -249,6 +254,104 @@ func decodeDeliverOK(b []byte) (round int, changed bool, digest uint64, err erro
 		return 0, false, 0, fmt.Errorf("dist: deliver reply is %d bytes, want 13", len(b))
 	}
 	return int(binary.LittleEndian.Uint32(b)), b[4] != 0, binary.LittleEndian.Uint64(b[5:]), nil
+}
+
+// --- sparse (delta) round payloads ------------------------------------
+//
+// The delta exchange replaces the position-implicit word tables with
+// explicit (index, value) pairs covering only the words that CHANGED
+// since the previous round — after the transient phase, almost none.
+// Both directions use the same per-channel block layout:
+//
+//	count   4 bytes   pair count for this channel
+//	pairs   12 bytes  word index (4) + word value (8), ascending
+//
+// Baselines on both sides start zeroed and are re-zeroed together on
+// every restore (coordinator resetExchange ↔ worker ResetSparse), so
+// the first round after any rewind re-exchanges every nonzero word.
+
+// appendWordPairs appends the per-channel (count, pairs...) blocks.
+func appendWordPairs(b []byte, channels int, pairs func(c int) ([]int32, []uint64)) []byte {
+	for c := 0; c < channels; c++ {
+		wis, vals := pairs(c)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(wis)))
+		for i, wi := range wis {
+			b = binary.LittleEndian.AppendUint32(b, uint32(wi))
+			b = binary.LittleEndian.AppendUint64(b, vals[i])
+		}
+	}
+	return b
+}
+
+// readWordPairs decodes the per-channel blocks, bounds-checking every
+// word index against the table's word count before invoking apply.
+func readWordPairs(b []byte, channels, words int, apply func(c, wi int, w uint64)) error {
+	off := 0
+	for c := 0; c < channels; c++ {
+		if len(b)-off < 4 {
+			return fmt.Errorf("dist: delta payload truncated at channel %d", c)
+		}
+		cnt := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if cnt > (len(b)-off)/12 {
+			return fmt.Errorf("dist: delta payload claims %d pairs, only %d bytes left", cnt, len(b)-off)
+		}
+		for i := 0; i < cnt; i++ {
+			wi := int(binary.LittleEndian.Uint32(b[off:]))
+			val := binary.LittleEndian.Uint64(b[off+4:])
+			off += 12
+			if wi >= words {
+				return fmt.Errorf("dist: delta word %d out of range (%d words)", wi, words)
+			}
+			apply(c, wi, val)
+		}
+	}
+	if off != len(b) {
+		return fmt.Errorf("dist: delta payload has %d trailing bytes", len(b)-off)
+	}
+	return nil
+}
+
+// encodeEmitOKSparse packs a sparse emit reply: round, drew flag, then
+// the upload delta blocks.
+func encodeEmitOKSparse(round int, drew bool, channels int, pairs func(c int) ([]int32, []uint64)) []byte {
+	b := make([]byte, 0, 64)
+	b = binary.LittleEndian.AppendUint32(b, uint32(round))
+	if drew {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return appendWordPairs(b, channels, pairs)
+}
+
+func decodeEmitOKSparse(b []byte, channels, words int, apply func(c, wi int, w uint64)) (round int, drew bool, err error) {
+	if len(b) < 5 {
+		return 0, false, fmt.Errorf("dist: sparse emit reply is %d bytes, want >= 5", len(b))
+	}
+	if err := readWordPairs(b[5:], channels, words, apply); err != nil {
+		return 0, false, err
+	}
+	return int(binary.LittleEndian.Uint32(b)), b[4] != 0, nil
+}
+
+// encodeDeliverSparse packs a sparse deliver request: round, then the
+// changed-merged-word delta blocks filtered to the partition's need
+// set.
+func encodeDeliverSparse(round, channels int, pairs func(c int) ([]int32, []uint64)) []byte {
+	b := make([]byte, 0, 64)
+	b = binary.LittleEndian.AppendUint32(b, uint32(round))
+	return appendWordPairs(b, channels, pairs)
+}
+
+func decodeDeliverSparse(b []byte, channels, words int, apply func(c, wi int, w uint64)) (round int, err error) {
+	if len(b) < 4 {
+		return 0, fmt.Errorf("dist: sparse deliver request is %d bytes, want >= 4", len(b))
+	}
+	if err := readWordPairs(b[4:], channels, words, apply); err != nil {
+		return 0, err
+	}
+	return int(binary.LittleEndian.Uint32(b)), nil
 }
 
 // --- trace digests ----------------------------------------------------

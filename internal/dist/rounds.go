@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"time"
 
 	"repro/internal/atomicio"
@@ -80,30 +81,72 @@ func (co *coordinator) loop(ctx context.Context) error {
 			}
 			return err
 		}
-		for c := 0; c < co.channels; c++ {
-			for _, wi := range co.table.neededAny {
-				co.merged[c][wi] = 0
-			}
-		}
 		anyDrew := false
-		for p := range co.clients {
-			gotRound, drew, err := decodeEmitOK(co.replies[p], co.table.send[p], co.channels, func(c, wi int, w uint64) {
-				co.merged[c][wi] |= w
-			})
-			if err != nil {
-				return &WorkerError{Part: p, Msg: err.Error()}
+		if co.sparse {
+			// Delta merge: a changed per-partition word re-merges by OR
+			// over the word's owners; only words whose MERGED value moved
+			// enter the dirty set (a boundary flip shadowed by the
+			// adjacent owner travels no further).
+			for p := range co.clients {
+				gotRound, drew, err := decodeEmitOKSparse(co.replies[p], co.channels, co.table.words, func(c, wi int, w uint64) {
+					cw := co.cur[p][c]
+					if cw[wi] == w {
+						return
+					}
+					cw[wi] = w
+					var m uint64
+					for _, q := range co.owners[wi] {
+						m |= co.cur[q][c][wi]
+					}
+					if co.merged[c][wi] != m {
+						co.merged[c][wi] = m
+						co.dirty[c][wi>>6] |= 1 << uint(wi&63)
+					}
+				})
+				if err != nil {
+					return &WorkerError{Part: p, Msg: err.Error()}
+				}
+				if gotRound != round {
+					return &WorkerError{Part: p, Msg: fmt.Sprintf("emit reply for round %d, want %d", gotRound, round)}
+				}
+				anyDrew = anyDrew || drew
+				co.res.WireBytes += int64(len(co.replies[p]))
 			}
-			if gotRound != round {
-				return &WorkerError{Part: p, Msg: fmt.Sprintf("emit reply for round %d, want %d", gotRound, round)}
+		} else {
+			for c := 0; c < co.channels; c++ {
+				for _, wi := range co.table.neededAny {
+					co.merged[c][wi] = 0
+				}
 			}
-			anyDrew = anyDrew || drew
+			for p := range co.clients {
+				gotRound, drew, err := decodeEmitOK(co.replies[p], co.table.send[p], co.channels, func(c, wi int, w uint64) {
+					co.merged[c][wi] |= w
+				})
+				if err != nil {
+					return &WorkerError{Part: p, Msg: err.Error()}
+				}
+				if gotRound != round {
+					return &WorkerError{Part: p, Msg: fmt.Sprintf("emit reply for round %d, want %d", gotRound, round)}
+				}
+				anyDrew = anyDrew || drew
+				co.res.WireBytes += int64(len(co.replies[p]))
+			}
 		}
 
 		// DELIVER: every worker receives the merged words covering its
-		// neighborhoods, gathers, updates, and reports (changed, digest).
-		errs = co.broadcast(nil, fDeliver, fDeliverOK, func(p int) []byte {
-			return encodeDeliver(round, co.table.need[p], co.channels, func(c int) []uint64 { return co.merged[c] })
-		})
+		// neighborhoods — all of its need set in dense mode, the changed
+		// subset in sparse mode — gathers, updates, and reports
+		// (changed, digest).
+		payloads := make([][]byte, len(co.clients))
+		for p := range co.clients {
+			if co.sparse {
+				payloads[p] = co.sparseDeliverPayload(round, p)
+			} else {
+				payloads[p] = encodeDeliver(round, co.table.need[p], co.channels, func(c int) []uint64 { return co.merged[c] })
+			}
+			co.res.WireBytes += int64(len(payloads[p]))
+		}
+		errs = co.broadcast(nil, fDeliver, fDeliverOK, func(p int) []byte { return payloads[p] })
 		if err := co.classify(errs); err != nil {
 			if retried, rerr := rewind(err); rerr != nil {
 				return rerr
@@ -123,6 +166,15 @@ func (co *coordinator) loop(ctx context.Context) error {
 			}
 			anyChanged = anyChanged || changed
 			digests[p] = d
+		}
+		if co.sparse {
+			// Every worker consumed this round's deltas; the merged words
+			// are the new shared baseline.
+			for c := 0; c < co.channels; c++ {
+				for i := range co.dirty[c] {
+					co.dirty[c][i] = 0
+				}
+			}
 		}
 		hash := CombineDigests(round, digests)
 		if idx := round - startRound - 1; idx == len(co.res.RoundHashes) {
@@ -209,6 +261,30 @@ func (co *coordinator) loop(ctx context.Context) error {
 	}
 	co.res.LastCheckpoint = co.lastCP
 	return nil
+}
+
+// sparseDeliverPayload builds partition p's deliver delta: the dirty
+// merged words intersected with p's need set, as per-channel (index,
+// value) pairs. The scratch lists are reused across partitions — the
+// encoder copies them into the payload before the next call.
+func (co *coordinator) sparseDeliverPayload(round, p int) []byte {
+	ns := co.needSet[p]
+	return encodeDeliverSparse(round, co.channels, func(c int) ([]int32, []uint64) {
+		wis, vals := co.downWi[c][:0], co.downVal[c][:0]
+		d := co.dirty[c]
+		for i, dw := range d {
+			m := dw & ns[i]
+			for m != 0 {
+				b := bits.TrailingZeros64(m)
+				m &= m - 1
+				wi := i<<6 + b
+				wis = append(wis, int32(wi))
+				vals = append(vals, co.merged[c][wi])
+			}
+		}
+		co.downWi[c], co.downVal[c] = wis, vals
+		return wis, vals
+	})
 }
 
 // collectStates gathers every worker's range state at the given round.

@@ -43,6 +43,10 @@ type workerState struct {
 	lo   int
 	hi   int
 	cfg  configMsg
+	// sparse mirrors cfg.Sparse after a successful EnableSparse; words
+	// bounds delta word indices on decode.
+	sparse bool
+	words  int
 
 	emittedRound int
 	updatedRound int
@@ -147,6 +151,11 @@ func handleFrame(wsp **workerState, part int, f frame, logf func(string, ...any)
 		if err := ws.net.Restore(cp); err != nil {
 			return fail("worker %d: restore: %v", part, err)
 		}
+		if ws.sparse {
+			// The restored state invalidates every delta baseline; the
+			// coordinator zeroes its side in the same recovery.
+			ws.part.ResetSparse()
+		}
 		ws.emittedRound, ws.updatedRound = cp.Round, cp.Round
 		ws.emitReply, ws.deliverReply = nil, nil
 		logf("worker %d: restored at round %d", part, cp.Round)
@@ -162,12 +171,20 @@ func handleFrame(wsp **workerState, part int, f frame, logf func(string, ...any)
 			// Retransmit of the round we already emitted.
 			return &frame{Type: fEmitOK, Seq: f.Seq, Payload: ws.emitReply}, false
 		case r == ws.updatedRound+1:
-			drew, err := ws.part.EmitLocal()
-			if err != nil {
-				return fail("worker %d: emit round %d: %v", part, r, err)
+			if ws.sparse {
+				drew, err := ws.part.EmitLocalSparse()
+				if err != nil {
+					return fail("worker %d: emit round %d: %v", part, r, err)
+				}
+				ws.emitReply = encodeEmitOKSparse(r, drew, ws.cfg.Channels, ws.part.SparseUpload)
+			} else {
+				drew, err := ws.part.EmitLocal()
+				if err != nil {
+					return fail("worker %d: emit round %d: %v", part, r, err)
+				}
+				ws.emitReply = encodeEmitOK(r, drew, ws.cfg.Send, ws.cfg.Channels, ws.part.SenderWords)
 			}
 			ws.emittedRound = r
-			ws.emitReply = encodeEmitOK(r, drew, ws.cfg.Send, ws.cfg.Channels, ws.part.SenderWords)
 			return &frame{Type: fEmitOK, Seq: f.Seq, Payload: ws.emitReply}, false
 		case r <= ws.updatedRound:
 			return nil, false // stale duplicate
@@ -189,12 +206,21 @@ func handleFrame(wsp **workerState, part int, f frame, logf func(string, ...any)
 			}
 			return &frame{Type: fDeliverOK, Seq: f.Seq, Payload: ws.deliverReply}, false
 		case round == ws.emittedRound && round == ws.updatedRound+1:
-			if _, err := decodeDeliver(f.Payload, ws.cfg.Need, ws.cfg.Channels, func(c, wi int, w uint64) {
-				ws.part.SetSenderWord(c, wi, w)
-			}); err != nil {
-				return fail("worker %d: deliver: %v", part, err)
+			var changed bool
+			var err error
+			if ws.sparse {
+				if _, err = decodeDeliverSparse(f.Payload, ws.cfg.Channels, ws.words, ws.part.ApplyDeltaWord); err != nil {
+					return fail("worker %d: deliver: %v", part, err)
+				}
+				changed, err = ws.part.UpdateLocalSparse()
+			} else {
+				if _, err = decodeDeliver(f.Payload, ws.cfg.Need, ws.cfg.Channels, func(c, wi int, w uint64) {
+					ws.part.SetSenderWord(c, wi, w)
+				}); err != nil {
+					return fail("worker %d: deliver: %v", part, err)
+				}
+				changed, err = ws.part.UpdateLocal()
 			}
-			changed, err := ws.part.UpdateLocal()
 			if err != nil {
 				return fail("worker %d: update round %d: %v", part, round, err)
 			}
@@ -254,7 +280,15 @@ func newWorkerState(payload []byte) (*workerState, error) {
 		net.Close()
 		return nil, err
 	}
-	return &workerState{net: net, part: part, lo: cfg.Lo, hi: cfg.Hi, cfg: cfg}, nil
+	ws := &workerState{net: net, part: part, lo: cfg.Lo, hi: cfg.Hi, cfg: cfg, words: (g.N() + 63) / 64}
+	if cfg.Sparse {
+		if err := part.EnableSparse(); err != nil {
+			net.Close()
+			return nil, err
+		}
+		ws.sparse = true
+	}
+	return ws, nil
 }
 
 // exportState serializes the worker's range state: the checkpoint slice

@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/beep"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// RunE21 measures the activity decay that the sparse round path
+// (DESIGN §11) converts into wall-clock: once most vertices reach
+// their stable behavior, the round-to-round frontier — vertices whose
+// state or signal can still change — collapses to the neighborhoods of
+// the few still-contending vertices, while the dense path keeps paying
+// O(n) every round. The experiment traces per-round active counts
+// through beep.WithStatsObserver on the forced-sparse flat engine and
+// times the identical whole run (same seed, bit-identical trace) on
+// the dense and auto-sparse paths.
+//
+//   - work-frac: Σ active / (n · rounds) — the fraction of dense work
+//     the sparse path actually performs over the whole run.
+//   - tail-frac: the same ratio over the second half of the run, where
+//     decay has set in; this bounds the long-run speedup.
+//   - speedup: dense wall-clock / sparse wall-clock for the whole run
+//     (min over trials on both sides).
+func RunE21(cfg Config) error {
+	trials := cfg.trials(2, 3)
+	sizes := []int{4096, 65536}
+	if cfg.Full {
+		sizes = append(sizes, 1_000_000)
+	}
+
+	tab := &Table{
+		Title:   "E21: activity decay and the sparse-round payoff (flat engine, randomized start)",
+		Columns: []string{"family", "n", "rounds", "work-frac", "tail-frac", "dense-ms", "sparse-ms", "speedup"},
+		Notes: []string{
+			"work-frac: fraction of dense per-vertex work the sparse path performs over the whole run (Σ active / n·rounds)",
+			"tail-frac: same ratio over the run's second half, once activity has decayed",
+			"dense/sparse runs share the seed and are bit-identical (TestSparseEquivalence*); only wall-clock differs",
+			"timing is the min over trials of whole fixed-length runs (the stabilization round count of trial's own trace)",
+		},
+	}
+
+	fams := []familyGen{
+		{name: "cycle", build: func(n int, _ *rng.Source) *graph.Graph { return graph.Cycle(n) }},
+		{name: "torus", build: func(n int, _ *rng.Source) *graph.Graph { return torusOf(n) }},
+		{name: "gnp-avg8", build: func(n int, src *rng.Source) *graph.Graph { return graph.GNPAvgDegree(n, 8, src) }},
+	}
+
+	for _, fam := range fams {
+		for _, n := range sizes {
+			var rounds, workFrac, tailFrac []float64
+			bestDense, bestSparse := 0.0, 0.0
+			for trial := 0; trial < trials; trial++ {
+				g := fam.build(n, rng.New(cellSeed(cfg.Seed, 21, uint64(n), uint64(trial), 1)))
+				seed := cellSeed(cfg.Seed, 21, uint64(n), uint64(trial), 2)
+
+				// Pass 1: forced-sparse run to stabilization, tracing the
+				// per-round active counts.
+				var active []int
+				r, err := runToStabilization(g, seed, beep.WithSparse(beep.SparseOn),
+					beep.WithStatsObserver(func(_, act, _ int) { active = append(active, act) }))
+				if err != nil {
+					return fmt.Errorf("E21 %s n=%d: %w", fam.name, n, err)
+				}
+				sum, tailSum := 0, 0
+				for i, a := range active[:r] {
+					sum += a
+					if i >= r/2 {
+						tailSum += a
+					}
+				}
+				rounds = append(rounds, float64(r))
+				workFrac = append(workFrac, float64(sum)/float64(n*r))
+				tailFrac = append(tailFrac, float64(tailSum)/float64(n*(r-r/2)))
+
+				// Pass 2: time the same fixed-length run on both paths.
+				// The probe is out of the loop, so the timing is pure
+				// round cost.
+				denseMS, err := timeFixedRun(g, seed, r, beep.SparseOff)
+				if err != nil {
+					return fmt.Errorf("E21 %s n=%d dense: %w", fam.name, n, err)
+				}
+				sparseMS, err := timeFixedRun(g, seed, r, beep.SparseAuto)
+				if err != nil {
+					return fmt.Errorf("E21 %s n=%d sparse: %w", fam.name, n, err)
+				}
+				if trial == 0 || denseMS < bestDense {
+					bestDense = denseMS
+				}
+				if trial == 0 || sparseMS < bestSparse {
+					bestSparse = sparseMS
+				}
+			}
+			tab.AddRow(fam.name, I(n), F(Summarize(rounds).Mean),
+				F(Summarize(workFrac).Mean), F(Summarize(tailFrac).Mean),
+				F(bestDense), F(bestSparse), F(bestDense/bestSparse))
+		}
+	}
+	return cfg.Render(tab)
+}
+
+// runToStabilization runs a flat-engine network from a randomized
+// start until the legality probe stabilizes and returns the round
+// count.
+func runToStabilization(g *graph.Graph, seed uint64, opts ...beep.Option) (int, error) {
+	proto := core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))
+	net, err := beep.NewNetwork(g, proto, seed, append([]beep.Option{beep.WithEngine(beep.Flat)}, opts...)...)
+	if err != nil {
+		return 0, err
+	}
+	defer net.Close()
+	net.RandomizeAll()
+	var probe core.State
+	r, ok := net.Run(1_000_000, func() bool {
+		return probe.Refresh(net) == nil && probe.Stabilized()
+	})
+	if !ok {
+		return 0, fmt.Errorf("no stabilization within 10^6 rounds")
+	}
+	return r, nil
+}
+
+// timeFixedRun times `rounds` flat-engine rounds from a randomized
+// start under the given sparse mode and returns milliseconds.
+func timeFixedRun(g *graph.Graph, seed uint64, rounds int, mode beep.SparseMode) (float64, error) {
+	proto := core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))
+	net, err := beep.NewNetwork(g, proto, seed, beep.WithEngine(beep.Flat), beep.WithSparse(mode))
+	if err != nil {
+		return 0, err
+	}
+	defer net.Close()
+	net.RandomizeAll()
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if err := net.TryStep(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / 1e6, nil
+}

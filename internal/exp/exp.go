@@ -98,6 +98,9 @@ func registry() []Experiment {
 		{ID: "E17", Title: "Chaos kill–resume certification", Description: "randomized kills resumed from integrity-checked checkpoints must replay bit-exact across engines and fault regimes", Run: RunE17},
 		{ID: "E18", Title: "Stabilization-time tails at high replication", Description: "p99/max stabilization rounds from ≥1000 reseed-in-place replications per cell", Run: RunE18},
 		{ID: "E19", Title: "Backend scaling to n=10⁸", Description: "ns/vertex/round and bytes/vertex for the csr/compact/implicit graph backends (implicit reaches 10⁸ with --full)", Run: RunE19},
+		// E20 is reserved for the protocol-portfolio tournament (ROADMAP
+		// open item 5).
+		{ID: "E21", Title: "Activity decay and the sparse-round payoff", Description: "per-round frontier decay under WithStatsObserver and whole-run dense vs sparse wall-clock (bit-identical traces)", Run: RunE21},
 	}
 }
 

@@ -280,6 +280,19 @@ func TestRunE16Smoke(t *testing.T) {
 	}
 }
 
+func TestRunE21Smoke(t *testing.T) {
+	var sb strings.Builder
+	if err := RunE21(smokeConfig(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"work-frac", "tail-frac", "speedup", "gnp-avg8", "4096"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E21 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunAllSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short")

@@ -97,8 +97,12 @@ func RunE19(cfg Config) error {
 // The minimum is the right summary for a cost measurement: noise (GC,
 // scheduling) only ever adds time.
 func minRoundMS(t graph.Topology, seed uint64, trials int) (float64, error) {
+	// warmup matches the root benchmark's measurement window
+	// (RandomizeAll + 1 warm Step + 2 AllocsPerRun rounds precede its
+	// timed region), so E19's ns/vertex/round rows are comparable with
+	// BENCH.json columns at the same n.
 	const (
-		warmup = 2
+		warmup = 3
 		timed  = 4
 	)
 	best := 0.0

@@ -90,6 +90,11 @@ func (d *Daemon) runJob(ctx context.Context, j *Job) {
 	roundDelay := time.Duration(j.Spec.RoundDelayMS) * time.Millisecond
 
 	lastRound := resumeRound
+	// The stats observer fires inside the same TryStep immediately
+	// before the signal observer, so the stashed counts always belong
+	// to the round being published.
+	var active, frontierWords int
+	statsObserver := func(round, act, fw int) { active, frontierWords = act, fw }
 	observer := func(round int, sent, heard []beep.Signal) {
 		lastRound = round
 		beeps := 0
@@ -99,11 +104,13 @@ func (d *Daemon) runJob(ctx context.Context, j *Job) {
 			}
 		}
 		ev := Event{
-			ID:    round,
-			Type:  "round",
-			Round: round,
-			Hash:  fmt.Sprintf("%016x", stab.TraceHash(round, sent, heard)),
-			Beeps: beeps,
+			ID:            round,
+			Type:          "round",
+			Round:         round,
+			Hash:          fmt.Sprintf("%016x", stab.TraceHash(round, sent, heard)),
+			Beeps:         beeps,
+			Active:        active,
+			FrontierWords: frontierWords,
 		}
 		line := ev.encode()
 		if err := tw.Append(line); err != nil {
@@ -130,7 +137,7 @@ func (d *Daemon) runJob(ctx context.Context, j *Job) {
 		}
 	}
 
-	opts := []beep.Option{beep.WithObserver(observer)}
+	opts := []beep.Option{beep.WithObserver(observer), beep.WithStatsObserver(statsObserver)}
 	if j.Spec.Noise > 0 {
 		opts = append(opts, beep.WithNoise(beep.Noise{PLoss: j.Spec.Noise, PFalse: j.Spec.Noise}))
 	}

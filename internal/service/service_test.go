@@ -154,6 +154,13 @@ func TestSubmitRunsToDone(t *testing.T) {
 		if e.Type != "round" || e.Round != i+1 || len(e.Hash) != 16 {
 			t.Fatalf("event %d malformed: %+v", i, e)
 		}
+		if e.Active < 0 || e.Active > 64 || e.FrontierWords < 0 || e.FrontierWords > 1 {
+			t.Fatalf("event %d activity out of range for n=64: %+v", i, e)
+		}
+	}
+	// Round 1 always processes the full randomized configuration.
+	if events[0].Active == 0 || events[0].FrontierWords == 0 {
+		t.Fatalf("first round reports no activity: %+v", events[0])
 	}
 	done := events[len(events)-1]
 	if done.Type != "done" || done.State != JobDone || done.ID != final.Rounds+1 {

@@ -25,10 +25,16 @@ type Event struct {
 	ID   int    `json:"id"`
 	Type string `json:"type"` // "round" | "done"
 
-	// Round events.
-	Round int    `json:"round,omitempty"`
-	Hash  string `json:"hash,omitempty"` // 16 hex digits, stab.TraceHash
-	Beeps int    `json:"beeps,omitempty"`
+	// Round events. Active and FrontierWords mirror the engine's
+	// activity accounting (beep.WithStatsObserver): the number of
+	// vertices whose words were processed this round and the frontier
+	// mask's word count. Dense rounds report n and ceil(n/64); a fully
+	// quiescent elided round reports 0/0.
+	Round         int    `json:"round,omitempty"`
+	Hash          string `json:"hash,omitempty"` // 16 hex digits, stab.TraceHash
+	Beeps         int    `json:"beeps,omitempty"`
+	Active        int    `json:"active,omitempty"`
+	FrontierWords int    `json:"frontierWords,omitempty"`
 
 	// Done events.
 	State      JobState `json:"state,omitempty"`

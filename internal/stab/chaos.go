@@ -37,8 +37,12 @@ type ChaosScenario struct {
 	Protocol beep.Protocol
 	Seed     uint64
 	Engine   beep.Engine
-	Noise    beep.Noise
-	Sleep    beep.Sleep
+	// Sparse selects the flat engines' round path (the zero value is
+	// SparseAuto). SparseOn forces the delta path on every fault-free
+	// round and is only constructible on engines with flat kernels.
+	Sparse beep.SparseMode
+	Noise  beep.Noise
+	Sleep  beep.Sleep
 	// AdvPolicy/AdvVertices install adversaries at construction time
 	// (resumed passes rely on Restore to reinstall them — deliberately,
 	// so the harness catches checkpoints that forget adversary state).
@@ -145,6 +149,7 @@ func runPass(s *ChaosScenario, p chaosPass) (*chaosTrace, error) {
 
 	opts := []beep.Option{
 		beep.WithEngine(engineOrDefault(s.Engine)),
+		beep.WithSparse(s.Sparse),
 		beep.WithNoise(s.Noise),
 		beep.WithSleep(s.Sleep),
 		beep.WithObserver(func(round int, sent, heard []beep.Signal) {

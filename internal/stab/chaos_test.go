@@ -58,7 +58,29 @@ func chaosScenarios(t *testing.T) []ChaosScenario {
 			}}},
 		},
 	}
-	return []ChaosScenario{noise, adv, churn}
+	// quiet is the only fault-free scenario: with no noise, sleep or
+	// adversaries the flat engines take the sparse delta path between the
+	// rewires, so kill–resume here certifies the activity masks and the
+	// delta-delivery baselines across Restore (which must invalidate them
+	// wholesale) rather than just the dense fallback.
+	quiet := ChaosScenario{
+		Name:     "quiet-churn",
+		Graph:    graph.GNPAvgDegree(32, 4, rng.New(34)),
+		Protocol: testProto(),
+		Seed:     105,
+		Rounds:   60,
+		Churn: []ChaosChurn{
+			{AfterRound: 20, Event: graph.ChurnEvent{Label: "crash", Edits: []graph.Edit{
+				{Kind: graph.EditDelVertex, U: 3},
+			}}},
+			{AfterRound: 40, Event: graph.ChurnEvent{Label: "join", Edits: []graph.Edit{
+				{Kind: graph.EditAddVertex},
+				{Kind: graph.EditAddEdge, U: 31, V: 0},
+				{Kind: graph.EditAddEdge, U: 31, V: 8},
+			}}},
+		},
+	}
+	return []ChaosScenario{noise, adv, churn, quiet}
 }
 
 // TestChaosKillResume is the acceptance gate of the crash-safety work:
@@ -71,15 +93,30 @@ func chaosScenarios(t *testing.T) []ChaosScenario {
 // quiescence-elision fast path under kill/resume.
 func TestChaosKillResume(t *testing.T) {
 	const killsPerCombo = 23
-	engines := []beep.Engine{beep.Sequential, beep.Parallel, beep.PerVertex, beep.Flat, beep.FlatParallel}
+	engines := []struct {
+		name   string
+		engine beep.Engine
+		sparse beep.SparseMode
+	}{
+		{"sequential", beep.Sequential, beep.SparseAuto},
+		{"parallel", beep.Parallel, beep.SparseAuto},
+		{"pervertex", beep.PerVertex, beep.SparseAuto},
+		{"flat", beep.Flat, beep.SparseAuto},
+		{"flatparallel", beep.FlatParallel, beep.SparseAuto},
+		// Forced-sparse combos: the delta path (and its dense fallback on
+		// faulty rounds) must survive kill–resume bit-exactly too.
+		{"flat-sparse-on", beep.Flat, beep.SparseOn},
+		{"flatparallel-sparse-on", beep.FlatParallel, beep.SparseOn},
+	}
 	src := rng.New(4242)
 	total, combo := 0, 0
 	for _, base := range chaosScenarios(t) {
 		for _, e := range engines {
 			combo++
 			s := base
-			s.Engine = e
-			s.Name = fmt.Sprintf("%s/%v", base.Name, e)
+			s.Engine = e.engine
+			s.Sparse = e.sparse
+			s.Name = fmt.Sprintf("%s/%s", base.Name, e.name)
 			rep, err := RunChaos(s, killsPerCombo, src.Split(uint64(combo)))
 			if err != nil {
 				t.Fatalf("%s: %v (after %d/%d kills)", s.Name, err, rep.Resumes, rep.Kills)
