@@ -27,6 +27,7 @@ import (
 	"repro/internal/atomicio"
 	"repro/internal/baseline"
 	"repro/internal/beep"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/famspec"
@@ -88,6 +89,7 @@ func run(args []string) (retErr error) {
 	ckPath := fs.String("checkpoint", "", "auto-checkpoint the run to this file (written atomically, integrity-hashed)")
 	ckEvery := fs.Int("checkpoint-every", 0, "auto-checkpoint every K rounds (default 100 when -checkpoint is set)")
 	resumePath := fs.String("resume", "", "resume from a checkpoint file instead of starting fresh (same -family/-seed/-alg)")
+	inspectCkpt := fs.String("inspect-checkpoint", "", "validate a checkpoint file (base snapshot plus any delta chain) and print its summary, then exit; a broken chain exits nonzero")
 	deadline := fs.Duration("deadline", 0, "wall-clock deadline per attempt, e.g. 30s (0 = none)")
 	maxRetries := fs.Int("max-retries", 0, "budget escalations after the first attempt (the run is extended, not restarted)")
 	engineName := fs.String("engine", "sequential", "round engine: sequential | parallel | pervertex | flat | flatparallel")
@@ -106,6 +108,9 @@ func run(args []string) (retErr error) {
 	if *helpFams {
 		fmt.Println(famspec.Help)
 		return nil
+	}
+	if *inspectCkpt != "" {
+		return inspectCheckpoint(*inspectCkpt)
 	}
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -367,6 +372,27 @@ func runDistributed(g *graph.Graph, alg string, seed uint64, initMode core.InitM
 	if printMIS {
 		printMask(res.MIS)
 	}
+	return nil
+}
+
+// inspectCheckpoint round-trip-validates a checkpoint file through the
+// chain reader — base integrity hash, every delta link's hash and
+// parentage — and prints the assembled summary. Smoke scripts call it
+// before trusting a file for kill–resume drills.
+func inspectCheckpoint(path string) error {
+	cp, info, err := ckpt.Load(path)
+	if err != nil {
+		return fmt.Errorf("inspect %s: %w", path, err)
+	}
+	torn := ""
+	if info.TornTail {
+		torn = " (torn tail discarded)"
+	}
+	fmt.Printf("checkpoint %s: valid\n", path)
+	fmt.Printf("  base:   %d bytes (%s)\n", info.BaseBytes, info.BaseFormat)
+	fmt.Printf("  deltas: %d links, %d bytes%s\n", info.Deltas, info.DeltaBytes, torn)
+	fmt.Printf("  state:  round=%d n=%d protocol=%s hash=%#016x\n",
+		cp.Round, cp.GraphN, cp.Protocol, cp.Hash)
 	return nil
 }
 

@@ -314,3 +314,36 @@ func TestRunProfiles(t *testing.T) {
 		}
 	}
 }
+
+// TestRunCheckpointInspectResume drives the checkpoint lifecycle
+// through the CLI: a supervised run persists a chain, -inspect-checkpoint
+// validates it, -resume continues from it, and a tampered file is
+// rejected with a nonzero-exit error.
+func TestRunCheckpointInspectResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	if err := run([]string{"-family", "gnp:96:0.07", "-seed", "4",
+		"-checkpoint", path, "-checkpoint-every", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-inspect-checkpoint", path}); err != nil {
+		t.Fatalf("inspect of a freshly written checkpoint failed: %v", err)
+	}
+	if err := run([]string{"-family", "gnp:96:0.07", "-seed", "4",
+		"-resume", path}); err != nil {
+		t.Fatalf("resume from inspected checkpoint failed: %v", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	bad := filepath.Join(dir, "bad.ckpt")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-inspect-checkpoint", bad}); err == nil {
+		t.Fatal("inspect accepted a tampered checkpoint")
+	}
+}

@@ -120,6 +120,9 @@ func (n *Network) setAdversaries(adv []uint8) {
 	// snapshot taken under the previous adversary set must not elide
 	// rounds under the new one.
 	n.quiet = false
+	// The policy table is checkpointed state: the next incremental
+	// checkpoint must carry the full table (see Delta.Adversaries).
+	n.ckDirty.adv = true
 	count := 0
 	for _, p := range adv {
 		if p != 0 {

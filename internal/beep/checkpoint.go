@@ -199,6 +199,19 @@ func (c *Checkpoint) Validate() error {
 	return nil
 }
 
+// graphFingerprint returns the topology fingerprint stamped into
+// checkpoints and deltas, computing it on first use and caching it
+// until Rewire replaces the graph (the hash walks every edge — at
+// delta-checkpoint cadence an uncached recompute would cost more than
+// the delta itself).
+func (n *Network) graphFingerprint() uint64 {
+	if !n.gfpOK {
+		n.gfp = graph.FingerprintOf(n.g)
+		n.gfpOK = true
+	}
+	return n.gfp
+}
+
 // Checkpoint captures the current state of the network, sealed with the
 // integrity hash. It returns an error if any machine does not implement
 // StateCodec, or if the network is poisoned by a contained machine
@@ -212,7 +225,7 @@ func (n *Network) Checkpoint() (*Checkpoint, error) {
 	}
 	c := &Checkpoint{
 		FormatVersion:    CheckpointFormatVersion,
-		GraphFingerprint: graph.FingerprintOf(n.g),
+		GraphFingerprint: n.graphFingerprint(),
 		GraphN:           n.N(),
 		GraphM:           n.g.M(),
 		Protocol:         protocolID(n.proto),
@@ -242,6 +255,11 @@ func (n *Network) Checkpoint() (*Checkpoint, error) {
 		c.Streams[v] = n.srcs[v].State()
 	}
 	c.Seal()
+	// This checkpoint is a complete baseline: dirty tracking restarts
+	// from it, so a later CheckpointDelta captures exactly the words
+	// that moved since this call (see delta.go).
+	n.ckDirty.rebaseline(n.N())
+	n.ckDirty.adv = false
 	return c, nil
 }
 
@@ -260,7 +278,7 @@ func (n *Network) Restore(c *Checkpoint) error {
 	if len(c.Machines) != n.N() {
 		return fmt.Errorf("beep: checkpoint for %d vertices restored onto %d", len(c.Machines), n.N())
 	}
-	if got := graph.FingerprintOf(n.g); got != c.GraphFingerprint {
+	if got := n.graphFingerprint(); got != c.GraphFingerprint {
 		return fmt.Errorf("beep: checkpoint captured on graph %#x (n=%d m=%d), target network runs %#x (n=%d m=%d): topologies differ",
 			c.GraphFingerprint, c.GraphN, c.GraphM, got, n.N(), n.g.M())
 	}
@@ -317,6 +335,10 @@ func (n *Network) Restore(c *Checkpoint) error {
 	// invalidates the sparse path's frontier and sender-bit baselines.
 	n.quiet = false
 	n.sparse.markAll()
+	// The restored state shares nothing with whatever baseline the
+	// dirty tracker held; the next checkpoint must be a full base.
+	n.ckDirty.markAll()
+	n.ckDirty.adv = true
 	return nil
 }
 

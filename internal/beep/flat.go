@@ -209,8 +209,11 @@ func (n *Network) bindFlatOps() {
 	n.quiet = false
 	// Whatever triggered the rebind (construction, Rewire) changed the
 	// cohort or topology: the sparse path must restart from an
-	// all-active frontier and rebuild its delivery invariants densely.
+	// all-active frontier and rebuild its delivery invariants densely,
+	// and any incremental-checkpoint baseline is void.
 	n.sparse.markAll()
+	n.ckDirty.markAll()
+	n.ckDirty.adv = true
 	if n.noFlat {
 		return
 	}
@@ -557,8 +560,11 @@ func (n *Network) Reseed(seed uint64) error {
 	n.quiet = false // sent/heard were cleared: a stale snapshot must not elide
 	// The sender bitsets still hold the previous execution's bits while
 	// sent was just cleared: force the sparse path to restart all-active
-	// and rebuild its delivery invariants densely.
+	// and rebuild its delivery invariants densely. Every vertex state
+	// and stream was rewritten, so the dirty baseline is void too.
 	n.sparse.markAll()
+	n.ckDirty.markAll()
+	n.ckDirty.adv = true
 	n.advEpoch++ // new execution: legality observers must re-key
 	if n.workers != nil {
 		// Flat-parallel stripe state is per-round (reset by every

@@ -101,6 +101,23 @@ type Network struct {
 	roundActive   int
 	roundFrontier int
 
+	// Incremental-checkpoint dirty tracking (see delta.go): ckDirty
+	// accumulates the slab words dirtied since the last checkpoint
+	// baseline; ckRoundSparse is set by the sparse step paths whose
+	// end-of-round masks describe the round exactly — any round that
+	// completes without setting it is conservatively marked all-dirty.
+	ckDirty       dirtyState
+	ckRoundSparse bool
+
+	// gfp caches graph.FingerprintOf(n.g), the topology identity
+	// stamped into every checkpoint and delta. The generic Topology
+	// path costs O(n·deg) to hash — paid per capture it would dwarf a
+	// dirty-word delta — so it is computed once on first use and
+	// invalidated only by Rewire, the sole operation that replaces the
+	// graph.
+	gfp   uint64
+	gfpOK bool
+
 	// seed is the root seed the network was constructed with, recorded
 	// in checkpoints for provenance.
 	seed uint64
@@ -282,6 +299,7 @@ func (n *Network) Round() int { return n.round }
 // core.LevelExporter — bypass this accessor and stay mark-free).
 func (n *Network) Machine(v int) Machine {
 	n.sparse.markVertex(v)
+	n.ckDirty.markVertex(v)
 	return n.machines[v]
 }
 
@@ -299,6 +317,7 @@ func (n *Network) N() int { return len(n.machines) }
 // self-stabilization model.
 func (n *Network) RandomizeAll() {
 	n.sparse.markAll()
+	n.ckDirty.markAll()
 	for v, m := range n.machines {
 		m.Randomize(n.srcs[v])
 	}
@@ -316,6 +335,7 @@ func (n *Network) Corrupt(vertices []int) error {
 	}
 	for _, v := range vertices {
 		n.sparse.markVertex(v)
+		n.ckDirty.markVertex(v)
 		n.machines[v].Randomize(n.srcs[v])
 	}
 	return nil
@@ -354,6 +374,7 @@ func (n *Network) TryStep() error {
 	// Dense rounds report full activity; the sparse and elided paths
 	// overwrite these with the round's real frontier.
 	n.roundActive, n.roundFrontier = n.N(), (n.N()+63)>>6
+	n.ckRoundSparse = false
 	var rerr *RunError
 	switch n.engine {
 	case Parallel, PerVertex:
@@ -387,6 +408,13 @@ func (n *Network) TryStep() error {
 	if rerr != nil {
 		n.failed = rerr
 		return rerr
+	}
+	if !n.ckRoundSparse {
+		// The round ran a path whose effects the activity masks do not
+		// describe (dense kernels, fault-model fallback): conservatively
+		// dirty everything for the incremental-checkpoint baseline. The
+		// sparse paths accumulate their exact end-of-round union instead.
+		n.ckDirty.markAll()
 	}
 	n.round++
 	if n.statsObs != nil {

@@ -2,6 +2,7 @@ package beep
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime/debug"
 )
 
@@ -48,6 +49,15 @@ type Partition struct {
 	// sparse, when non-nil, holds the delta-round state installed by
 	// EnableSparse (see partition_sparse.go).
 	sparse *partSparse
+	// ckDirty marks the slab words of [lo, hi) whose vertex state
+	// (machine or stream) may have moved since the last
+	// ExportStateDelta: one bit per slab word over the global word
+	// index space, the same shape as the sparse masks. ckDirtyAll is
+	// the conservative everything-dirty flag, set at creation, by every
+	// dense round, and by any restore (see MarkAllStateDirty) — the
+	// partition-side twin of the Network's dirtyState invariant.
+	ckDirty    []uint64
+	ckDirtyAll bool
 }
 
 // Partition creates the execution window for vertices [lo, hi). It
@@ -70,8 +80,9 @@ func (n *Network) Partition(lo, hi int) (*Partition, error) {
 	if n.noise.enabled() || n.sleep.enabled() || n.advCount > 0 {
 		return nil, fmt.Errorf("beep: Partition with noise/sleep/adversaries enabled: fault-model draws are a whole-network sequence")
 	}
-	p := &Partition{net: n, lo: lo, hi: hi}
+	p := &Partition{net: n, lo: lo, hi: hi, ckDirtyAll: true}
 	nw := (n.N() + 63) / 64
+	p.ckDirty = make([]uint64, (nw+63)>>6)
 	for c := 0; c < n.channels; c++ {
 		p.words[c] = make([]uint64, nw)
 	}
@@ -161,6 +172,9 @@ func (p *Partition) UpdateLocal() (changed bool, err error) {
 		n.failed = rerr
 		return false, rerr
 	}
+	// A dense round runs the kernels over the whole range: every own
+	// word may have drawn or changed.
+	p.ckDirtyAll = true
 	n.round++
 	return p.env.Changed, nil
 }
@@ -249,4 +263,88 @@ func (n *Network) ExportRangeState(lo, hi int) (machines [][]int64, streams [][4
 		streams[v-lo] = n.srcs[v].State()
 	}
 	return machines, streams, nil
+}
+
+// MarkAllStateDirty saturates the partition's state-delta baseline:
+// the next ExportStateDelta exports the whole range. Callers invoke it
+// after Network.Restore (the restored state invalidates the
+// incremental baseline), mirroring the ResetSparse contract for the
+// signal exchange.
+func (p *Partition) MarkAllStateDirty() { p.ckDirtyAll = true }
+
+// DirtyStateAll reports whether the next ExportStateDelta would cover
+// the whole range.
+func (p *Partition) DirtyStateAll() bool { return p.ckDirtyAll }
+
+// DirtyStateWords returns the number of own slab words the next
+// ExportStateDelta would cover.
+func (p *Partition) DirtyStateWords() int {
+	if p.lo == p.hi {
+		return 0
+	}
+	if p.ckDirtyAll {
+		return (p.hi-1)>>6 - p.lo>>6 + 1
+	}
+	cnt := 0
+	for _, m := range p.ckDirty {
+		cnt += bits.OnesCount64(m)
+	}
+	return cnt
+}
+
+// ExportStateDelta exports the machine and stream states of every
+// vertex whose slab word was dirtied since the previous export (the
+// whole range after creation, a dense round, or MarkAllStateDirty),
+// then rebaselines: the next export accumulates from here. Verts is
+// ascending and bounded to [lo, hi) — boundary words shared with an
+// adjacent partition export disjoint vertex sets, so a coordinator can
+// splice deltas from all partitions without ownership conflicts. On
+// error (poisoned network, non-checkpointable machine) the baseline is
+// left untouched.
+func (p *Partition) ExportStateDelta() (verts []int32, machines [][]int64, streams [][4]uint64, err error) {
+	n := p.net
+	if n.failed != nil {
+		return nil, nil, nil, fmt.Errorf("beep: state export of failed network: %w", n.failed)
+	}
+	appendWord := func(wi int) error {
+		lo, hi := wi<<6, wi<<6+64
+		if lo < p.lo {
+			lo = p.lo
+		}
+		if hi > p.hi {
+			hi = p.hi
+		}
+		for v := lo; v < hi; v++ {
+			codec, ok := n.machines[v].(StateCodec)
+			if !ok {
+				return fmt.Errorf("beep: machine %T of vertex %d does not support checkpointing", n.machines[v], v)
+			}
+			verts = append(verts, int32(v))
+			machines = append(machines, codec.EncodeState())
+			streams = append(streams, n.srcs[v].State())
+		}
+		return nil
+	}
+	if p.ckDirtyAll {
+		if p.lo < p.hi {
+			for wi := p.lo >> 6; wi <= (p.hi-1)>>6; wi++ {
+				if err := appendWord(wi); err != nil {
+					return nil, nil, nil, err
+				}
+			}
+		}
+	} else {
+		for mi, m := range p.ckDirty {
+			for m != 0 {
+				b := bits.TrailingZeros64(m)
+				m &= m - 1
+				if err := appendWord(mi<<6 + b); err != nil {
+					return nil, nil, nil, err
+				}
+			}
+		}
+	}
+	clearMask(p.ckDirty)
+	p.ckDirtyAll = false
+	return verts, machines, streams, nil
 }

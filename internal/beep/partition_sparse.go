@@ -120,6 +120,9 @@ func (p *Partition) ResetSparse() {
 	}
 	clearMask(sp.touchW)
 	sp.allActive = true
+	// The restore that triggered the reset replaced the machine and
+	// stream state wholesale; the state-delta baseline is stale too.
+	p.ckDirtyAll = true
 	for v := p.lo; v < p.hi; v++ {
 		n.heard[v] = Silent
 	}
@@ -292,11 +295,22 @@ func (p *Partition) UpdateLocalSparse() (changed bool, err error) {
 		n.failed = rerr
 		return false, rerr
 	}
+	// The end-of-round activity union is exactly the set of own words
+	// that drew a stream or changed machine state this round (the
+	// dirty-accumulation invariant, see delta.go); fuse the state-delta
+	// accumulation into the same pass.
+	dirty := p.ckDirty
+	if p.ckDirtyAll {
+		dirty = nil
+	}
 	cnt := 0
 	for mi := range sp.act {
 		a := sp.drewW[mi] | sp.changedW[mi]
 		sp.act[mi] = a
 		cnt += bits.OnesCount64(a)
+		if dirty != nil {
+			dirty[mi] |= a
+		}
 	}
 	sp.actCount = cnt
 	clearMask(sp.touchW)

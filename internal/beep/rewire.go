@@ -131,6 +131,7 @@ func (n *Network) Rewire(g2 *graph.Graph, mapping []int) error {
 	n.nextStream = joinerStream
 	n.g = g2
 	n.csr = g2
+	n.gfpOK = false // new topology: the cached fingerprint is stale
 	n.rowBuf = nil
 	n.machines = machines
 	n.srcs = srcs

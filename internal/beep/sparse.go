@@ -127,19 +127,37 @@ type SparseFlatProtocol interface {
 
 // SparseCrossoverFactor is the delta/dense crossover of the sparse
 // delivery: the delta path (re-gather only the words touched by
-// flipped senders) is taken while its estimated cost, 2 × flipped ×
-// (avgDeg + 1) — one row scan to find touched words plus roughly one
-// row re-gather per touched word — stays at or below
-// SparseCrossoverFactor × N, the scale of the dense kernel it
-// replaces. Chosen by measurement like GatherCrossoverFactor: the
-// activity-decay bench (BenchmarkSparseRound, exp E21) shows the two
-// paths within noise of each other at the boundary, so the constant is
-// uncritical; both produce identical heard arrays.
+// flipped senders) is taken while its measured cost — 64 × touched
+// words × (avgDeg + 1), a row scan per vertex of each touched word —
+// stays at or below SparseCrossoverFactor × the estimated cost of the
+// dense delivery that would otherwise run: senders × (avgDeg + 1) for
+// the scatter, capped at the gather's GatherCrossoverFactor × N
+// bound. Two asymmetries the old flipped-count estimate missed, both
+// punishing small n (BenchmarkWholeRunFlat4k, BENCH_sparse.json):
+// the touched-word count must be measured, because a few dozen
+// flipped senders on a scattered graph touch nearly every slab word,
+// degenerating the "delta" re-gather into a full gather while the
+// dense scatter is far cheaper (sparseMarkTouched computes the exact
+// count from the flip records before the decision — work the delta
+// path needs anyway); and the delta re-gather gets no early-exit
+// discount, because it runs precisely in regimes where few vertices
+// beep, so the per-vertex scan usually walks the whole row — unlike
+// the dense gather, whose GatherCrossoverFactor × N bound already
+// prices in the fast exits of a sender-rich round. Chosen by
+// measurement like GatherCrossoverFactor: the activity-decay bench
+// (BenchmarkSparseRound, exp E21) shows the two paths within noise of
+// each other at the boundary, so the constant is uncritical; both
+// produce identical heard arrays.
 const SparseCrossoverFactor = 1
 
 // deltaWantsDense applies the sparse-delivery crossover cost model.
-func deltaWantsDense(flipped, avgDeg, N int) bool {
-	return 2*flipped*(avgDeg+1) > SparseCrossoverFactor*N
+func deltaWantsDense(touched, senders, avgDeg, N int) bool {
+	deltaCost := touched * 64 * (avgDeg + 1)
+	denseCost := senders * (avgDeg + 1)
+	if bound := GatherCrossoverFactor * N; denseCost > bound {
+		denseCost = bound
+	}
+	return deltaCost > SparseCrossoverFactor*denseCost
 }
 
 // sparseState is the per-network state of the sparse path. All masks
@@ -274,15 +292,20 @@ func (n *Network) sparseFaulty() bool {
 }
 
 // sparseUseDense decides this round's delivery: forced dense after an
-// invalidation, forced delta under SparseOn, crossover otherwise.
-func (n *Network) sparseUseDense(flipped int) bool {
-	if n.sparse.forceDense {
+// invalidation, forced delta under SparseOn, crossover otherwise. On
+// every non-forced round it first materializes the touched-word mask
+// (the delta path's own first step), so the crossover compares the
+// delta re-gather's exact word count, not an estimate.
+func (n *Network) sparseUseDense() bool {
+	s := &n.sparse
+	if s.forceDense {
 		return true
 	}
+	touched := n.sparseMarkTouched()
 	if n.sparseMode == SparseOn {
 		return false
 	}
-	return deltaWantsDense(flipped, n.avgDegree(), n.N())
+	return deltaWantsDense(touched, s.senders[0]+s.senders[1], n.avgDegree(), n.N())
 }
 
 // stepFlatSparse executes one activity-gated round on the sequential
@@ -294,6 +317,7 @@ func (n *Network) stepFlatSparse(ops SparseFlatProtocol) *RunError {
 		return n.stepFlat(ops)
 	}
 	n.quiet = false
+	n.ckRoundSparse = true
 	N := n.N()
 	s := &n.sparse
 	s.ensure(n)
@@ -317,8 +341,9 @@ func (n *Network) stepFlatSparse(ops SparseFlatProtocol) *RunError {
 	if err := n.runSparseKernel("emit", ops, env); err != nil {
 		return err
 	}
-	flipped := n.sparseRepack(recount)
-	if n.sparseUseDense(flipped) {
+	n.sparseRepack(recount)
+	forced := s.forceDense
+	if n.sparseUseDense() {
 		if deliveryWantsGather(s.senders[0]+s.senders[1], n.avgDegree(), N) {
 			n.deliverRange(0, N, n.rowBuf)
 		} else {
@@ -327,11 +352,21 @@ func (n *Network) stepFlatSparse(ops SparseFlatProtocol) *RunError {
 			}
 			n.composeHeard()
 		}
-		// Dense delivery rewrote every heard value; update everywhere
-		// (exactly the dense round's update set).
-		maskSetAll(s.updW, (N+63)>>6)
+		if forced {
+			// After an invalidation the flip records don't bound which
+			// heard values the dense delivery rewrote; update everywhere
+			// (exactly the dense round's update set).
+			maskSetAll(s.updW, (N+63)>>6)
+		} else {
+			// Invariants intact: the rewrite changed heard only inside
+			// the touched words, so the delta path's update set is
+			// exact here too.
+			for mi := range s.updW {
+				s.updW[mi] = s.act[mi] | s.touchW[mi]
+			}
+		}
 	} else {
-		n.sparseDeltaDeliver()
+		n.sparseGatherWords(s.touchW)
 		for mi := range s.updW {
 			s.updW[mi] = s.act[mi] | s.touchW[mi]
 		}
@@ -342,9 +377,13 @@ func (n *Network) stepFlatSparse(ops SparseFlatProtocol) *RunError {
 		return err
 	}
 	cnt := 0
+	dirty := n.ckDirty.accum(len(s.act))
 	for mi := range s.act {
 		a := s.drewW[mi] | s.changedW[mi]
 		s.act[mi] = a
+		if dirty != nil {
+			dirty[mi] |= a
+		}
 		cnt += bits.OnesCount64(a)
 	}
 	s.actCount = cnt
@@ -456,11 +495,14 @@ func (n *Network) sparseRepack(recount bool) int {
 	return flipped
 }
 
-// sparseDeltaDeliver recomputes heard for exactly the slab words
-// containing a neighbor of a flipped sender (only those can hear
-// something new), leaving every other heard value untouched. The
-// touched-word mask is left in s.touchW for the update-set union.
-func (n *Network) sparseDeltaDeliver() {
+// sparseMarkTouched rebuilds s.touchW — the mask of slab words
+// containing a neighbor of a flipped sender, the only words that can
+// hear something new this round — from the repack's flip records, and
+// returns its popcount. Delta-delivery rounds re-gather exactly these
+// words (leaving every other heard value untouched); the count also
+// feeds the crossover decision, and the mask the update-set union, on
+// every non-forced round regardless of which delivery runs.
+func (n *Network) sparseMarkTouched() int {
 	s := &n.sparse
 	clearMask(s.touchW)
 	g := n.csr
@@ -485,7 +527,11 @@ func (n *Network) sparseDeltaDeliver() {
 			}
 		}
 	}
-	n.sparseGatherWords(s.touchW)
+	touched := 0
+	for _, m := range s.touchW {
+		touched += bits.OnesCount64(m)
+	}
+	return touched
 }
 
 // sparseGatherWords recomputes heard[v] for every vertex of every slab
@@ -549,6 +595,7 @@ func (n *Network) stepFlatParallelSparse(ops SparseFlatProtocol) *RunError {
 		return n.stepFlatParallel(ops)
 	}
 	n.quiet = false
+	n.ckRoundSparse = true
 	N := n.N()
 	s := &n.sparse
 	s.ensure(n)
@@ -582,8 +629,9 @@ func (n *Network) stepFlatParallelSparse(ops SparseFlatProtocol) *RunError {
 	if err := p.takeError(); err != nil {
 		return err
 	}
-	flipped := n.sparseRepack(recount)
-	if n.sparseUseDense(flipped) {
+	n.sparseRepack(recount)
+	forced := s.forceDense
+	if n.sparseUseDense() {
 		for c := 0; c < n.channels; c++ {
 			if hb := &n.heardBits[c]; hb.Len() != N {
 				hb.Resize(N)
@@ -603,9 +651,17 @@ func (n *Network) stepFlatParallelSparse(ops SparseFlatProtocol) *RunError {
 			p.runPhase(phaseFlatScatter)
 			p.runPhase(phaseFlatMerge)
 		}
-		maskSetAll(s.updW, (N+63)>>6)
+		if forced {
+			// See stepFlatSparse: only invalidation rounds lose the
+			// touched-word bound on the dense delivery's rewrites.
+			maskSetAll(s.updW, (N+63)>>6)
+		} else {
+			for mi := range s.updW {
+				s.updW[mi] = s.act[mi] | s.touchW[mi]
+			}
+		}
 	} else {
-		n.sparseDeltaDeliver()
+		n.sparseGatherWords(s.touchW)
 		for mi := range s.updW {
 			s.updW[mi] = s.act[mi] | s.touchW[mi]
 		}
@@ -616,12 +672,16 @@ func (n *Network) stepFlatParallelSparse(ops SparseFlatProtocol) *RunError {
 		return err
 	}
 	cnt := 0
+	dirty := n.ckDirty.accum(len(s.act))
 	for mi := range s.act {
 		var a uint64
 		for i := range p.flat {
 			a |= p.flat[i].drewW[mi] | p.flat[i].changedW[mi]
 		}
 		s.act[mi] = a
+		if dirty != nil {
+			dirty[mi] |= a
+		}
 		cnt += bits.OnesCount64(a)
 	}
 	s.actCount = cnt

@@ -61,6 +61,8 @@ const (
 	fShutdown
 	fBye
 	fErr
+	fStateDelta
+	fStateDeltaOK
 	frameTypeEnd
 )
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/beep"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/graph"
 )
@@ -322,8 +323,21 @@ type coordinator struct {
 	downWi  [2][]int32
 	downVal [2][]uint64
 
-	lastCP      *beep.Checkpoint
-	lastCPBytes []byte
+	// lastCP is the recovery anchor. Between checkpoint-cadence ticks
+	// it is patched vertex-granularly from worker state deltas and left
+	// UNSEALED (lastCPSealed false) — resealing is an O(n) pass the
+	// delta path exists to avoid — and sealed lazily wherever the
+	// checkpoint escapes: the fRestore payload, a base write, and the
+	// final Result. lastCPBytes caches the encoded fRestore payload
+	// (nil after a patch; regenerated on demand).
+	lastCP       *beep.Checkpoint
+	lastCPBytes  []byte
+	lastCPSealed bool
+	// chain persists the checkpoint to cfg.CheckpointPath as a base
+	// snapshot plus delta links (lazily created on the first cadence
+	// tick); totalWords feeds its base-vs-delta policy.
+	chain      *ckpt.Writer
+	totalWords int
 
 	res *Result
 }
@@ -451,7 +465,9 @@ func (co *coordinator) setup(ctx context.Context) error {
 			refNet.Close()
 			return fmt.Errorf("dist: resume: %w", err)
 		}
-		co.lastCP = cfg.Resume
+		// Clone: the anchor is patched in place between checkpoints and
+		// must never mutate the caller's checkpoint.
+		co.lastCP = cloneCheckpoint(cfg.Resume)
 	} else {
 		if err := core.ApplyInit(refNet, cfg.Init); err != nil {
 			refNet.Close()
@@ -465,6 +481,8 @@ func (co *coordinator) setup(ctx context.Context) error {
 		co.lastCP = cp
 	}
 	refNet.Close()
+	co.lastCPSealed = true
+	co.totalWords = (co.g.N() + 63) / 64
 	co.lastCPBytes, err = encodeCheckpoint(co.lastCP)
 	if err != nil {
 		return err
@@ -687,8 +705,47 @@ var errNeedRecovery = errors.New("dist: worker death, recovery required")
 // the delta protocol restart from the all-zero word state.
 func (co *coordinator) restoreAll() error {
 	co.resetExchange()
-	errs := co.broadcast(nil, fRestore, fRestoreOK, func(int) []byte { return co.lastCPBytes })
+	payload, err := co.restorePayload()
+	if err != nil {
+		return err
+	}
+	errs := co.broadcast(nil, fRestore, fRestoreOK, func(int) []byte { return payload })
 	return co.classify(errs)
+}
+
+// restorePayload returns the encoded fRestore payload of the current
+// anchor, sealing and re-encoding it if delta patches invalidated the
+// cache.
+func (co *coordinator) restorePayload() ([]byte, error) {
+	if co.lastCPBytes == nil {
+		co.sealLastCP()
+		b, err := encodeCheckpoint(co.lastCP)
+		if err != nil {
+			return nil, err
+		}
+		co.lastCPBytes = b
+	}
+	return co.lastCPBytes, nil
+}
+
+// sealLastCP reseals the anchor after delta patches (no-op when already
+// sealed).
+func (co *coordinator) sealLastCP() {
+	if !co.lastCPSealed {
+		co.lastCP.Seal()
+		co.lastCPSealed = true
+	}
+}
+
+// cloneCheckpoint copies a checkpoint so in-place anchor patches never
+// touch the source. Machine rows are shared: patches replace rows, they
+// never mutate one.
+func cloneCheckpoint(cp *beep.Checkpoint) *beep.Checkpoint {
+	c := *cp
+	c.Machines = append([][]int64(nil), cp.Machines...)
+	c.Streams = append([][4]uint64(nil), cp.Streams...)
+	c.Adversaries = append([]uint8(nil), cp.Adversaries...)
+	return &c
 }
 
 // resetExchange zeroes the merged words and, in sparse mode, every
@@ -779,5 +836,8 @@ func (co *coordinator) shutdown() {
 	}
 	if co.ln != nil {
 		co.ln.Close()
+	}
+	if co.chain != nil {
+		co.chain.Close()
 	}
 }

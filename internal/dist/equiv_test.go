@@ -3,12 +3,12 @@ package dist
 import (
 	"context"
 	"hash/fnv"
-	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
 	"repro/internal/beep"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -311,17 +311,21 @@ func TestDistCheckpointResume(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	f, err := os.Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cp, err := beep.ReadCheckpoint(f)
-	f.Close()
+	cp, info, err := ckpt.Load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cp.Round != 16 {
 		t.Fatalf("persisted checkpoint at round %d, want 16", cp.Round)
+	}
+	if info.BaseFormat != "v3-binary" {
+		t.Fatalf("persisted base format %q, want v3-binary", info.BaseFormat)
+	}
+	// n=64 is a single slab word, so every tick crosses the half-dirty
+	// threshold and compacts into a fresh base (see TestDistDeltaChain
+	// for the incremental path).
+	if info.Deltas != 0 {
+		t.Fatalf("single-word graph persisted %d delta links, want compacted bases", info.Deltas)
 	}
 
 	resumed := distConfig(g, 3)
@@ -334,4 +338,56 @@ func TestDistCheckpointResume(t *testing.T) {
 		t.Fatalf("resumed run diverged: stabilized=%v round=%d hash=%#x",
 			res.Stabilized, res.StabilizedRound, maskHash(res.MIS))
 	}
+}
+
+// TestDistDeltaChain pins the incremental persistence path: on a graph
+// with many slab words, the sparse run's late cadence ticks dirty only
+// the shrinking frontier, so the chain file must accumulate delta links
+// after its base — and loading the chain must reproduce the anchor the
+// coordinator held, bit-exact, as proven by resuming from it.
+func TestDistDeltaChain(t *testing.T) {
+	g := graph.GNPAvgDegree(2048, 6, rng.New(5))
+	path := filepath.Join(t.TempDir(), "chain.ckpt")
+
+	cfg := distConfig(g, 4)
+	cfg.Sparse = beep.SparseOn
+	cfg.CheckpointEvery = 4
+	cfg.CheckpointPath = path
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stabilized {
+		t.Fatalf("run did not stabilize: %+v", res)
+	}
+
+	cp, info, err := ckpt.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Deltas == 0 {
+		t.Fatalf("sparse run persisted no delta links (base %d bytes, format %s)", info.BaseBytes, info.BaseFormat)
+	}
+	if info.TornTail {
+		t.Fatal("clean shutdown left a torn delta tail")
+	}
+	if err := cp.Validate(); err != nil {
+		t.Fatalf("loaded chain checkpoint invalid: %v", err)
+	}
+
+	// A run resumed from the loaded chain is already at (or near) the
+	// fixed point and must stabilize onto the same MIS.
+	resumed := distConfig(g, 3)
+	resumed.Sparse = beep.SparseOn
+	resumed.Resume = cp
+	rres, err := Run(context.Background(), resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rres.Stabilized || maskHash(rres.MIS) != maskHash(res.MIS) {
+		t.Fatalf("chain-resumed run diverged: stabilized=%v hash=%#x want %#x",
+			rres.Stabilized, maskHash(rres.MIS), maskHash(res.MIS))
+	}
+	t.Logf("chain: base %d bytes (%s), %d deltas / %d bytes, loaded round %d",
+		info.BaseBytes, info.BaseFormat, info.Deltas, info.DeltaBytes, cp.Round)
 }

@@ -57,6 +57,20 @@ type stateMsg struct {
 	Caps     []int32     `json:"caps"`
 }
 
+// stateDeltaMsg is a worker's incremental range-state export (JSON
+// payload of fStateDeltaOK): the machine and stream states of exactly
+// the vertices whose slab word was dirtied since the worker's previous
+// export (the whole range after a restore). Verts is ascending and
+// bounded to the worker's range, so adjacent owners of a shared
+// boundary word report disjoint vertex sets. The legality probe's
+// levels/caps are not needed on checkpoint cadence and are omitted.
+type stateDeltaMsg struct {
+	Round    int         `json:"round"`
+	Verts    []int32     `json:"verts"`
+	Machines [][]int64   `json:"machines"`
+	Streams  [][4]uint64 `json:"streams"`
+}
+
 // partTable is the static exchange plan for one partitioned run.
 type partTable struct {
 	n      int

@@ -1,17 +1,16 @@
 package dist
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"math/bits"
+	"sort"
 	"time"
 
-	"repro/internal/atomicio"
 	"repro/internal/beep"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 )
 
@@ -259,6 +258,7 @@ func (co *coordinator) loop(ctx context.Context) error {
 		}
 		co.finalCheckpoint(r, states)
 	}
+	co.sealLastCP()
 	co.res.LastCheckpoint = co.lastCP
 	return nil
 }
@@ -344,23 +344,131 @@ func (co *coordinator) assembleCheckpoint(round int, states []stateMsg) *beep.Ch
 	return &cp
 }
 
-// checkpointNow collects states and installs a new recovery anchor,
-// persisting it when configured.
+// checkpointNow advances the recovery anchor incrementally: every
+// worker uploads the state of exactly the slab words its range dirtied
+// since the previous collection (its full range right after a restore),
+// the coordinator patches the anchor vertex-granularly, and — when a
+// checkpoint path is configured — persists either a base snapshot or a
+// delta link chained to it, per the chain writer's compaction policy.
+// Collection is all-or-nothing: a dead worker surfaces before the first
+// patch, and the recovery it triggers restores every worker (marking
+// everything dirty again), so a partially collected tick can never leak
+// into the chain.
 func (co *coordinator) checkpointNow(round int) error {
-	states, err := co.collectStates(round)
+	deltas, err := co.collectStateDeltas(round)
 	if err != nil {
 		return err
 	}
-	co.finalCheckpoint(round, states)
-	if co.cfg.CheckpointPath != "" {
-		if err := atomicio.WriteFile(co.cfg.CheckpointPath, func(w io.Writer) error {
-			return beep.WriteCheckpoint(w, co.lastCP)
-		}); err != nil {
-			return fmt.Errorf("dist: persist checkpoint: %w", err)
+	dirtyWords := make(map[int32]struct{})
+	cp := co.lastCP
+	for _, sd := range deltas {
+		for i, v := range sd.Verts {
+			cp.Machines[v] = sd.Machines[i]
+			cp.Streams[v] = sd.Streams[i]
+			dirtyWords[v>>6] = struct{}{}
 		}
 	}
-	co.logf("checkpoint at round %d (%d workers)", round, len(co.clients))
+	cp.Round = round
+	co.lastCPSealed = false
+	co.lastCPBytes = nil
+
+	kind := "memory"
+	nbytes := 0
+	if co.cfg.CheckpointPath != "" {
+		if co.chain == nil {
+			co.chain = ckpt.NewWriter(co.cfg.CheckpointPath)
+		}
+		if co.chain.NeedsBase(false, len(dirtyWords), co.totalWords) {
+			co.sealLastCP()
+			if nbytes, err = co.chain.WriteBase(cp); err != nil {
+				return fmt.Errorf("dist: persist checkpoint: %w", err)
+			}
+			kind = "base"
+		} else {
+			d := co.buildDelta(round, dirtyWords)
+			if nbytes, err = co.chain.AppendDelta(d); err != nil {
+				return fmt.Errorf("dist: persist checkpoint: %w", err)
+			}
+			kind = "delta"
+		}
+	}
+	co.logf("checkpoint at round %d (%d workers, %d dirty words, %s, %d bytes)",
+		round, len(co.clients), len(dirtyWords), kind, nbytes)
 	return nil
+}
+
+// collectStateDeltas gathers every worker's incremental range state at
+// the given round, validating all replies before returning any.
+func (co *coordinator) collectStateDeltas(round int) ([]stateDeltaMsg, error) {
+	errs := co.broadcast(nil, fStateDelta, fStateDeltaOK, func(int) []byte { return encodeRound(round) })
+	if err := co.classify(errs); err != nil {
+		return nil, err
+	}
+	n := co.g.N()
+	deltas := make([]stateDeltaMsg, len(co.clients))
+	for p := range co.clients {
+		var sd stateDeltaMsg
+		if err := json.Unmarshal(co.replies[p], &sd); err != nil {
+			return nil, &WorkerError{Part: p, Msg: fmt.Sprintf("state delta reply: %v", err)}
+		}
+		r := co.table.ranges[p]
+		if sd.Round != round || len(sd.Machines) != len(sd.Verts) || len(sd.Streams) != len(sd.Verts) {
+			return nil, &WorkerError{Part: p, Msg: fmt.Sprintf(
+				"state delta shape: round %d (want %d), %d verts / %d machines / %d streams",
+				sd.Round, round, len(sd.Verts), len(sd.Machines), len(sd.Streams))}
+		}
+		prev := int32(-1)
+		for _, v := range sd.Verts {
+			if v <= prev || int(v) < r[0] || int(v) >= r[1] || int(v) >= n {
+				return nil, &WorkerError{Part: p, Msg: fmt.Sprintf(
+					"state delta vertex %d outside ascending range [%d, %d)", v, r[0], r[1])}
+			}
+			prev = v
+		}
+		deltas[p] = sd
+	}
+	return deltas, nil
+}
+
+// buildDelta assembles the persistable delta link for the given dirty
+// word set, reading the word-complete vertex states from the freshly
+// patched anchor (vertices of a dirty word that no worker re-uploaded
+// are unchanged, so the anchor's rows are exact). The auxiliary RNG and
+// allocator fields are invariant in a partitioned run (Partition
+// rejects the fault models that would advance them).
+func (co *coordinator) buildDelta(round int, dirtyWords map[int32]struct{}) *beep.Delta {
+	cp := co.lastCP
+	wis := make([]int32, 0, len(dirtyWords))
+	for wi := range dirtyWords {
+		wis = append(wis, wi)
+	}
+	sort.Slice(wis, func(i, j int) bool { return wis[i] < wis[j] })
+	d := &beep.Delta{
+		GraphFingerprint: cp.GraphFingerprint,
+		Protocol:         cp.Protocol,
+		Round:            round,
+		ParentHash:       co.chain.ParentHash(),
+		Words:            wis,
+		NoiseRNG:         cp.NoiseRNG,
+		SleepRNG:         cp.SleepRNG,
+		AdvRNG:           cp.AdvRNG,
+		RootRNG:          cp.RootRNG,
+		NextStream:       cp.NextStream,
+		AdvEpoch:         cp.AdvEpoch,
+	}
+	n := cp.GraphN
+	for _, wi := range wis {
+		lo, hi := int(wi)*64, int(wi)*64+64
+		if hi > n {
+			hi = n
+		}
+		for v := lo; v < hi; v++ {
+			d.Machines = append(d.Machines, cp.Machines[v])
+			d.Streams = append(d.Streams, cp.Streams[v])
+		}
+	}
+	d.Seal()
+	return d
 }
 
 // finalCheckpoint installs an assembled checkpoint as the current
@@ -368,16 +476,16 @@ func (co *coordinator) checkpointNow(round int) error {
 func (co *coordinator) finalCheckpoint(round int, states []stateMsg) {
 	cp := co.assembleCheckpoint(round, states)
 	co.lastCP = cp
-	if b, err := encodeCheckpoint(cp); err == nil {
-		co.lastCPBytes = b
-	}
+	co.lastCPSealed = true
+	co.lastCPBytes = nil
 }
 
-// encodeCheckpoint serializes a checkpoint into the fRestore payload.
+// encodeCheckpoint serializes a sealed checkpoint into the fRestore
+// payload (the v3 binary snapshot; workers auto-detect the format).
 func encodeCheckpoint(cp *beep.Checkpoint) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := beep.WriteCheckpoint(&buf, cp); err != nil {
+	b, err := beep.EncodeSnapshot(cp)
+	if err != nil {
 		return nil, fmt.Errorf("dist: encode checkpoint: %w", err)
 	}
-	return buf.Bytes(), nil
+	return b, nil
 }

@@ -52,6 +52,12 @@ type workerState struct {
 	updatedRound int
 	emitReply    []byte
 	deliverReply []byte
+	// stateDeltaRound/stateDeltaReply cache the incremental state
+	// export: ExportStateDelta rebaselines (unlike the idempotent full
+	// fState export), so a retransmitted fStateDelta must be answered
+	// from the cache, never re-exported.
+	stateDeltaRound int
+	stateDeltaReply []byte
 
 	levelBuf []int32
 	capBuf   []int32
@@ -144,7 +150,7 @@ func handleFrame(wsp **workerState, part int, f frame, logf func(string, ...any)
 	}
 	switch f.Type {
 	case fRestore:
-		cp, err := beep.ReadCheckpoint(bytes.NewReader(f.Payload))
+		cp, err := beep.DecodeCheckpointAuto(f.Payload)
 		if err != nil {
 			return fail("worker %d: restore: %v", part, err)
 		}
@@ -156,8 +162,12 @@ func handleFrame(wsp **workerState, part int, f frame, logf func(string, ...any)
 			// coordinator zeroes its side in the same recovery.
 			ws.part.ResetSparse()
 		}
+		// The restored state also invalidates the incremental state
+		// export's baseline: the next fStateDelta covers the full range.
+		ws.part.MarkAllStateDirty()
 		ws.emittedRound, ws.updatedRound = cp.Round, cp.Round
 		ws.emitReply, ws.deliverReply = nil, nil
+		ws.stateDeltaRound, ws.stateDeltaReply = -1, nil
 		logf("worker %d: restored at round %d", part, cp.Round)
 		return &frame{Type: fRestoreOK, Seq: f.Seq, Payload: encodeRound(cp.Round)}, false
 
@@ -249,6 +259,30 @@ func handleFrame(wsp **workerState, part int, f frame, logf func(string, ...any)
 			return fail("worker %d: state: %v", part, err)
 		}
 		return &frame{Type: fStateOK, Seq: f.Seq, Payload: msg}, false
+
+	case fStateDelta:
+		r, err := decodeRound(f.Payload)
+		if err != nil {
+			return fail("worker %d: state delta: %v", part, err)
+		}
+		if r == ws.stateDeltaRound && ws.stateDeltaReply != nil {
+			// Retransmit: the export already rebaselined; replay the
+			// cached reply.
+			return &frame{Type: fStateDeltaOK, Seq: f.Seq, Payload: ws.stateDeltaReply}, false
+		}
+		if r != ws.updatedRound {
+			return fail("worker %d: state delta at round %d out of sync (updated %d)", part, r, ws.updatedRound)
+		}
+		verts, machines, streams, err := ws.part.ExportStateDelta()
+		if err != nil {
+			return fail("worker %d: state delta: %v", part, err)
+		}
+		msg, err := json.Marshal(stateDeltaMsg{Round: r, Verts: verts, Machines: machines, Streams: streams})
+		if err != nil {
+			return fail("worker %d: state delta: %v", part, err)
+		}
+		ws.stateDeltaRound, ws.stateDeltaReply = r, msg
+		return &frame{Type: fStateDeltaOK, Seq: f.Seq, Payload: msg}, false
 	}
 	return nil, false // unknown frame type: ignore
 }
@@ -280,7 +314,10 @@ func newWorkerState(payload []byte) (*workerState, error) {
 		net.Close()
 		return nil, err
 	}
-	ws := &workerState{net: net, part: part, lo: cfg.Lo, hi: cfg.Hi, cfg: cfg, words: (g.N() + 63) / 64}
+	ws := &workerState{
+		net: net, part: part, lo: cfg.Lo, hi: cfg.Hi, cfg: cfg,
+		words: (g.N() + 63) / 64, stateDeltaRound: -1,
+	}
 	if cfg.Sparse {
 		if err := part.EnableSparse(); err != nil {
 			net.Close()

@@ -111,8 +111,8 @@ func TestSweepCellResumesFromManifest(t *testing.T) {
 	defer m.Close()
 
 	spec := sweepSpec{
-		expID: 99,
-		sizes: []int{16},
+		expID:  99,
+		sizes:  []int{16},
 		trials: 2,
 		protoFor: func(*graph.Graph) beep.Protocol {
 			return core.NewAlg1(core.KnownMaxDegreeExact(core.DefaultC1KnownDelta))

@@ -66,8 +66,8 @@ func TestSeriesRenderPreservesOrder(t *testing.T) {
 
 func TestLookupAndIDs(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 21 {
-		t.Fatalf("registered %d experiments, want 21 (F1, E1–E19, E21)", len(ids))
+	if len(ids) != 22 {
+		t.Fatalf("registered %d experiments, want 22 (F1, E1–E19, E21, E22)", len(ids))
 	}
 	for _, id := range ids {
 		e, err := Lookup(id)

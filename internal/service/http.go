@@ -145,12 +145,13 @@ func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	status := map[string]any{
-		"ok":            true,
-		"draining":      d.draining,
-		"queued":        len(d.pending),
-		"jobs":          len(d.jobs),
-		"running":       running,
-		"tenantBacklog": backlog,
+		"ok":              true,
+		"draining":        d.draining,
+		"queued":          len(d.pending),
+		"jobs":            len(d.jobs),
+		"running":         running,
+		"tenantBacklog":   backlog,
+		"checkpointBytes": d.ckptBytes.Load(),
 	}
 	d.mu.Unlock()
 	writeJSON(w, http.StatusOK, status)

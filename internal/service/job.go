@@ -64,6 +64,9 @@ type Job struct {
 	// auto-checkpoints taken by the most recent run.
 	Attempts    int `json:"attempts,omitempty"`
 	Checkpoints int `json:"checkpoints,omitempty"`
+	// CheckpointBytes is the cumulative bytes of checkpoint data the
+	// most recent run persisted (base snapshots plus delta frames).
+	CheckpointBytes int64 `json:"checkpointBytes,omitempty"`
 	// Resumed reports that the most recent run continued from a
 	// checkpoint rather than starting fresh.
 	Resumed bool `json:"resumed,omitempty"`

@@ -95,6 +95,19 @@ func (d *Daemon) runJob(ctx context.Context, j *Job) {
 	// to the round being published.
 	var active, frontierWords int
 	statsObserver := func(round, act, fw int) { active, frontierWords = act, fw }
+	// Checkpoint writes land between rounds, after the round's signals
+	// were already published, so the durability metadata is stashed here
+	// and rides the NEXT round event. Both observers fire on the
+	// supervisor goroutine — no locking needed for the pending fields.
+	var pendCkptKind string
+	var pendCkptBytes int
+	var pendCkptNS int64
+	var jobCkptBytes int64
+	ckptObserver := func(kind string, n int, dur time.Duration) {
+		pendCkptKind, pendCkptBytes, pendCkptNS = kind, n, dur.Nanoseconds()
+		jobCkptBytes += int64(n)
+		d.ckptBytes.Add(int64(n))
+	}
 	observer := func(round int, sent, heard []beep.Signal) {
 		lastRound = round
 		beeps := 0
@@ -111,6 +124,10 @@ func (d *Daemon) runJob(ctx context.Context, j *Job) {
 			Beeps:         beeps,
 			Active:        active,
 			FrontierWords: frontierWords,
+		}
+		if pendCkptKind != "" {
+			ev.CkptKind, ev.CkptBytes, ev.CkptNS = pendCkptKind, pendCkptBytes, pendCkptNS
+			pendCkptKind = ""
 		}
 		line := ev.encode()
 		if err := tw.Append(line); err != nil {
@@ -142,20 +159,21 @@ func (d *Daemon) runJob(ctx context.Context, j *Job) {
 		opts = append(opts, beep.WithNoise(beep.Noise{PLoss: j.Spec.Noise, PFalse: j.Spec.Noise}))
 	}
 	sup, err := stab.NewSupervisor(stab.SupervisorConfig{
-		Graph:           g,
-		Protocol:        proto,
-		Seed:            j.Spec.Seed,
-		Init:            initMode,
-		Engine:          engine,
-		Options:         opts,
-		Ctx:             runCtx,
-		FixedRounds:     j.Spec.Rounds,
-		MaxRounds:       j.Spec.MaxRounds,
-		MaxRetries:      j.Spec.MaxRetries,
-		Deadline:        time.Duration(j.Spec.DeadlineMS) * time.Millisecond,
-		CheckpointEvery: checkpointEvery,
-		CheckpointPath:  cpPath,
-		Resume:          resume,
+		Graph:              g,
+		Protocol:           proto,
+		Seed:               j.Spec.Seed,
+		Init:               initMode,
+		Engine:             engine,
+		Options:            opts,
+		Ctx:                runCtx,
+		FixedRounds:        j.Spec.Rounds,
+		MaxRounds:          j.Spec.MaxRounds,
+		MaxRetries:         j.Spec.MaxRetries,
+		Deadline:           time.Duration(j.Spec.DeadlineMS) * time.Millisecond,
+		CheckpointEvery:    checkpointEvery,
+		CheckpointPath:     cpPath,
+		CheckpointObserver: ckptObserver,
+		Resume:             resume,
 	})
 	if err != nil {
 		tw.Close()
@@ -175,6 +193,7 @@ func (d *Daemon) runJob(ctx context.Context, j *Job) {
 			j.MISSize = res.MISSize
 			j.Attempts = res.Attempts
 			j.Checkpoints = res.Checkpoints
+			j.CheckpointBytes = jobCkptBytes
 			j.Resumed = res.Resumed
 		})
 
@@ -190,12 +209,14 @@ func (d *Daemon) runJob(ctx context.Context, j *Job) {
 			d.transition(j, func(j *Job) {
 				j.State = JobInterrupted
 				j.Rounds = lastRound
+				j.CheckpointBytes = jobCkptBytes
 				j.Resumed = resume != nil
 			})
 		case errors.Is(cause, errClientCancel):
 			d.finishTerminal(j, tw, lastRound, func(j *Job) {
 				j.State = JobCanceled
 				j.Rounds = lastRound
+				j.CheckpointBytes = jobCkptBytes
 				j.Resumed = resume != nil
 			})
 		default:

@@ -28,6 +28,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stab"
@@ -101,6 +102,10 @@ type Daemon struct {
 	admitted int             // admission-counted queue occupancy
 	cancels  map[string]context.CancelCauseFunc
 	draining bool
+
+	// ckptBytes accumulates checkpoint bytes persisted across all jobs
+	// since startup (base snapshots + delta frames), for /v1/healthz.
+	ckptBytes atomic.Int64
 
 	wake     chan struct{} // pokes idle workers (capacity 1, never closed)
 	drainCh  chan struct{} // closed once when Shutdown begins

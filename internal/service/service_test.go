@@ -326,7 +326,45 @@ func TestDrainInterruptsAndResumes(t *testing.T) {
 	_, refBase := testDaemon(t, nil)
 	ref := submitJob(t, refBase, spec)
 	refFinal := waitState(t, refBase, ref.ID, JobState.Terminal, 30*time.Second)
-	refTrace := roundHashes(fetchEvents(t, refBase, ref.ID, 0))
+	refEvents := fetchEvents(t, refBase, ref.ID, 0)
+	refTrace := roundHashes(refEvents)
+
+	// Durability observability: the job record carries cumulative
+	// checkpoint bytes, the round events carry per-checkpoint kind,
+	// size and duration, and the daemon's healthz totals them.
+	if refFinal.Checkpoints == 0 || refFinal.CheckpointBytes <= 0 {
+		t.Fatalf("reference job reports checkpoints=%d bytes=%d", refFinal.Checkpoints, refFinal.CheckpointBytes)
+	}
+	ckptEvents, sawBase := 0, false
+	for _, e := range refEvents {
+		if e.CkptKind == "" {
+			continue
+		}
+		ckptEvents++
+		if e.CkptKind == "base" {
+			sawBase = true
+		}
+		if e.CkptBytes <= 0 || e.CkptNS <= 0 {
+			t.Fatalf("checkpoint event %+v missing bytes or duration", e)
+		}
+	}
+	if ckptEvents == 0 || !sawBase {
+		t.Fatalf("round events carry %d checkpoint annotations (base seen: %v)", ckptEvents, sawBase)
+	}
+	var health struct {
+		CheckpointBytes int64 `json:"checkpointBytes"`
+	}
+	resp, err := http.Get(refBase + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	resp.Body.Close()
+	if health.CheckpointBytes < refFinal.CheckpointBytes {
+		t.Fatalf("healthz checkpointBytes %d < job's %d", health.CheckpointBytes, refFinal.CheckpointBytes)
+	}
 
 	dir := t.TempDir()
 	cfg := Config{DataDir: dir, Workers: 1, DrainTimeout: 30 * time.Second, Logf: t.Logf}

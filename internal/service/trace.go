@@ -36,6 +36,18 @@ type Event struct {
 	Active        int    `json:"active,omitempty"`
 	FrontierWords int    `json:"frontierWords,omitempty"`
 
+	// Checkpoint durability metadata: the auto-checkpoint taken since
+	// the previous round event (checkpoint writes happen between
+	// rounds, so the information rides the next round's event). Kind is
+	// "base" (full snapshot) or "delta" (incremental dirty-word frame);
+	// bytes is the on-disk size of what was written, NS the capture +
+	// encode + persist duration. These fields are NOT part of the
+	// bit-exact trace contract (only Hash is): a resumed run may
+	// legitimately re-checkpoint on a different cadence or kind.
+	CkptKind  string `json:"ckptKind,omitempty"`
+	CkptBytes int    `json:"ckptBytes,omitempty"`
+	CkptNS    int64  `json:"ckptNS,omitempty"`
+
 	// Done events.
 	State      JobState `json:"state,omitempty"`
 	Rounds     int      `json:"rounds,omitempty"`

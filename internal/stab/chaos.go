@@ -5,8 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"path/filepath"
 
 	"repro/internal/beep"
+	"repro/internal/ckpt"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -53,6 +55,13 @@ type ChaosScenario struct {
 	// Rounds is the fixed execution length; stabilization is irrelevant
 	// here, trace equivalence is the property under test.
 	Rounds int
+	// ChainDir, when set, routes every crash pass's checkpoints through
+	// an on-disk base + delta chain (internal/ckpt) in this directory,
+	// and resumes from ckpt.Load instead of an in-memory JSON roundtrip
+	// — the v3 incremental format under the exact kill–resume pressure
+	// the JSON path has always faced. Empty keeps the classic v2 wire
+	// roundtrip.
+	ChainDir string
 }
 
 // ChaosReport summarizes a kill–resume campaign over one scenario.
@@ -69,6 +78,10 @@ type ChaosReport struct {
 	// ZeroCheckpointResumes counts kills that resumed from the round-0
 	// checkpoint (kill before the first cadence multiple).
 	ZeroCheckpointResumes int
+	// DeltaResumes counts resumes whose loaded chain carried at least
+	// one delta link (only in ChainDir mode) — proof the campaign
+	// actually exercised incremental restore, not just bases.
+	DeltaResumes int
 }
 
 // chaosPass parameterizes one execution of the scenario.
@@ -82,6 +95,9 @@ type chaosPass struct {
 	// ckEvery auto-checkpoints every K rounds, plus once at round 0
 	// (0 disables).
 	ckEvery int
+	// chainPath, when set, persists the checkpoints as an on-disk
+	// base + delta chain at this path instead of only in memory.
+	chainPath string
 }
 
 // chaosTrace is the outcome of one pass: per-round hashes (index r holds
@@ -178,12 +194,38 @@ func runPass(s *ChaosScenario, p chaosPass) (*chaosTrace, error) {
 		net.RandomizeAll()
 	}
 
+	var chain *ckpt.Writer
+	if p.chainPath != "" {
+		chain = ckpt.NewWriter(p.chainPath)
+		defer chain.Close()
+	}
+	totalWords := (net.N() + 63) / 64
 	checkpoint := func() error {
-		cp, err := net.Checkpoint()
+		if chain == nil || chain.NeedsBase(net.DirtyAll(), net.DirtyWords(), totalWords) {
+			cp, err := net.Checkpoint()
+			if err != nil {
+				return fmt.Errorf("stab: chaos %q checkpoint: %w", s.Name, err)
+			}
+			if chain != nil {
+				if _, err := chain.WriteBase(cp); err != nil {
+					return fmt.Errorf("stab: chaos %q checkpoint: %w", s.Name, err)
+				}
+			}
+			tr.lastCP = cp
+			return nil
+		}
+		d, err := net.CheckpointDelta(chain.ParentHash())
 		if err != nil {
 			return fmt.Errorf("stab: chaos %q checkpoint: %w", s.Name, err)
 		}
-		tr.lastCP = cp
+		if _, err := chain.AppendDelta(d); err != nil {
+			return fmt.Errorf("stab: chaos %q checkpoint: %w", s.Name, err)
+		}
+		// Keep the in-memory tip honest (unsealed is fine: chain-mode
+		// resume loads from disk, lastCP only marks that one was taken).
+		if err := beep.ApplyDelta(tr.lastCP, d); err != nil {
+			return fmt.Errorf("stab: chaos %q checkpoint: %w", s.Name, err)
+		}
 		return nil
 	}
 	// Round-0 checkpoint: a kill before the first cadence multiple must
@@ -277,7 +319,11 @@ func RunChaos(s ChaosScenario, kills int, src *rng.Source) (*ChaosReport, error)
 		}
 		rep.Kills++
 
-		crash, err := runPass(&s, chaosPass{stopAfter: kill, ckEvery: ckEvery})
+		var chainPath string
+		if s.ChainDir != "" {
+			chainPath = filepath.Join(s.ChainDir, fmt.Sprintf("chain-k%d.ckpt", k))
+		}
+		crash, err := runPass(&s, chaosPass{stopAfter: kill, ckEvery: ckEvery, chainPath: chainPath})
 		if err != nil {
 			return rep, err
 		}
@@ -293,14 +339,28 @@ func RunChaos(s ChaosScenario, kills int, src *rng.Source) (*ChaosReport, error)
 		}
 
 		// Serialize/deserialize roundtrip: resume from what a crashed
-		// process would actually read back.
-		var buf bytes.Buffer
-		if err := beep.WriteCheckpoint(&buf, crash.lastCP); err != nil {
-			return rep, fmt.Errorf("stab: chaos %q kill@%d: %w", s.Name, kill, err)
-		}
-		cp, err := beep.ReadCheckpoint(&buf)
-		if err != nil {
-			return rep, fmt.Errorf("stab: chaos %q kill@%d: %w", s.Name, kill, err)
+		// process would actually read back. Chain mode assembles base +
+		// deltas from disk; classic mode round-trips the v2 JSON wire
+		// format.
+		var cp *beep.Checkpoint
+		if chainPath != "" {
+			loaded, info, err := ckpt.Load(chainPath)
+			if err != nil {
+				return rep, fmt.Errorf("stab: chaos %q kill@%d: %w", s.Name, kill, err)
+			}
+			if info.Deltas > 0 {
+				rep.DeltaResumes++
+			}
+			cp = loaded
+		} else {
+			var buf bytes.Buffer
+			if err := beep.WriteCheckpoint(&buf, crash.lastCP); err != nil {
+				return rep, fmt.Errorf("stab: chaos %q kill@%d: %w", s.Name, kill, err)
+			}
+			cp, err = beep.ReadCheckpoint(&buf)
+			if err != nil {
+				return rep, fmt.Errorf("stab: chaos %q kill@%d: %w", s.Name, kill, err)
+			}
 		}
 		if cp.Round == 0 {
 			rep.ZeroCheckpointResumes++

@@ -180,3 +180,47 @@ func TestChaosDetectsForgottenAdversaries(t *testing.T) {
 		t.Fatal("stripping adversary state from the checkpoint went unnoticed; the harness is blind")
 	}
 }
+
+// TestChaosChainKillResume re-runs the kill–resume matrix with every
+// crash pass's checkpoints persisted as an on-disk v3 base + delta
+// chain and every resume assembled by ckpt.Load — the incremental
+// checkpoint format under the same bit-exactness gate as the classic
+// JSON roundtrip. The quiet scenario must produce at least some resumes
+// that actually replayed delta links.
+func TestChaosChainKillResume(t *testing.T) {
+	const killsPerCombo = 12
+	engines := []struct {
+		name   string
+		engine beep.Engine
+		sparse beep.SparseMode
+	}{
+		{"flat", beep.Flat, beep.SparseAuto},
+		{"flatparallel", beep.FlatParallel, beep.SparseAuto},
+		{"flat-sparse-on", beep.Flat, beep.SparseOn},
+		{"sequential", beep.Sequential, beep.SparseAuto},
+	}
+	src := rng.New(7117)
+	combo := 0
+	deltaResumes := 0
+	for _, base := range chaosScenarios(t) {
+		for _, e := range engines {
+			combo++
+			s := base
+			s.Engine = e.engine
+			s.Sparse = e.sparse
+			s.Name = fmt.Sprintf("%s/%s/chain", base.Name, e.name)
+			s.ChainDir = t.TempDir()
+			rep, err := RunChaos(s, killsPerCombo, src.Split(uint64(combo)))
+			if err != nil {
+				t.Fatalf("%s: %v (after %d/%d kills)", s.Name, err, rep.Resumes, rep.Kills)
+			}
+			if rep.Resumes != rep.Kills {
+				t.Fatalf("%s: %d/%d kills resumed bit-exact", s.Name, rep.Resumes, rep.Kills)
+			}
+			deltaResumes += rep.DeltaResumes
+		}
+	}
+	if deltaResumes == 0 {
+		t.Fatal("no resume ever replayed a delta link; the chain matrix only exercised bases")
+	}
+}

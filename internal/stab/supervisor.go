@@ -4,12 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
-	"os"
 	"time"
 
-	"repro/internal/atomicio"
 	"repro/internal/beep"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/graph"
 )
@@ -89,12 +87,22 @@ type SupervisorConfig struct {
 
 	// CheckpointEvery auto-checkpoints the execution every K rounds
 	// (0 disables). Checkpoints are sealed with the integrity hash and,
-	// when CheckpointPath is set, written atomically (temp + fsync +
-	// rename), so a kill mid-write leaves the previous checkpoint
-	// intact.
+	// when CheckpointPath is set, persisted as a base + delta chain
+	// (see internal/ckpt): full binary snapshots written atomically
+	// (temp + fsync + rename), incremental dirty-word deltas appended
+	// and fsynced in between, so a kill at any instant leaves a
+	// restorable chain and steady-state durability costs O(dirty
+	// words), not O(n).
 	CheckpointEvery int
-	// CheckpointPath is the file auto-checkpoints are written to.
+	// CheckpointPath is the file auto-checkpoints are written to (the
+	// delta chain rides in the <path>.delta sidecar).
 	CheckpointPath string
+	// CheckpointObserver, when non-nil, is invoked after every
+	// auto-checkpoint with its kind ("base" or "delta" for the
+	// file-backed chain, "full" for the file-less in-memory path), the
+	// bytes written to disk (0 for in-memory) and the capture + encode
+	// + persist duration.
+	CheckpointObserver func(kind string, bytes int, d time.Duration)
 
 	// Resume, when non-nil, restores this checkpoint instead of
 	// applying Init: the execution continues exactly where it stopped.
@@ -176,22 +184,28 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 	return &Supervisor{cfg: cfg}, nil
 }
 
-// ReadCheckpointFile loads and validates a checkpoint file written by a
-// supervised run (or WriteCheckpointFile).
+// ReadCheckpointFile loads and validates a checkpoint written by a
+// supervised run (or WriteCheckpointFile): the base snapshot — v3
+// binary or v2 JSON, auto-detected — plus any delta chain in the
+// <path>.delta sidecar, every link hash-verified before use.
 func ReadCheckpointFile(path string) (*beep.Checkpoint, error) {
-	f, err := os.Open(path)
+	cp, _, err := ckpt.Load(path)
 	if err != nil {
-		return nil, fmt.Errorf("stab: open checkpoint: %w", err)
+		return nil, fmt.Errorf("stab: read checkpoint: %w", err)
 	}
-	defer f.Close()
-	return beep.ReadCheckpoint(f)
+	return cp, nil
 }
 
-// WriteCheckpointFile atomically persists a checkpoint.
+// WriteCheckpointFile atomically persists a full checkpoint as a fresh
+// chain base (v3 binary snapshot), truncating any delta sidecar so a
+// stale chain can never pair with the new base.
 func WriteCheckpointFile(path string, c *beep.Checkpoint) error {
-	return atomicio.WriteFile(path, func(w io.Writer) error {
-		return beep.WriteCheckpoint(w, c)
-	})
+	w := ckpt.NewWriter(path)
+	defer w.Close()
+	if _, err := w.WriteBase(c); err != nil {
+		return fmt.Errorf("stab: write checkpoint: %w", err)
+	}
+	return nil
 }
 
 // Run executes the supervised run. The outcome is one of:
@@ -240,18 +254,68 @@ func (s *Supervisor) Run() (*SupervisorResult, error) {
 	}
 	deadline := cfg.Deadline
 
+	// The file-backed path persists a base + delta chain: a full binary
+	// snapshot when the chain writer demands one (first tick, dirty-all,
+	// compaction policy), an O(dirty words) delta frame otherwise. cur
+	// mirrors the chain tip in memory; delta patches leave it unsealed
+	// (its hash stale) and sealLast reseals it only when the result
+	// escapes — resealing every tick would cost the O(n) hash pass the
+	// delta path exists to avoid.
+	var chain *ckpt.Writer
+	if cfg.CheckpointPath != "" {
+		chain = ckpt.NewWriter(cfg.CheckpointPath)
+		defer chain.Close()
+	}
+	var cur *beep.Checkpoint
+	curSealed := false
+	sealLast := func() {
+		if cur != nil && !curSealed {
+			cur.Seal()
+			curSealed = true
+		}
+	}
+	observe := func(kind string, bytes int, d time.Duration) {
+		if cfg.CheckpointObserver != nil {
+			cfg.CheckpointObserver(kind, bytes, d)
+		}
+	}
+	totalWords := (net.N() + 63) / 64
+
 	checkpoint := func() error {
-		cp, err := net.Checkpoint()
+		start := cfg.now()
+		if chain == nil || chain.NeedsBase(net.DirtyAll(), net.DirtyWords(), totalWords) {
+			cp, err := net.Checkpoint()
+			if err != nil {
+				return fmt.Errorf("stab: auto-checkpoint: %w", err)
+			}
+			kind, nbytes := "full", 0
+			if chain != nil {
+				if nbytes, err = chain.WriteBase(cp); err != nil {
+					return fmt.Errorf("stab: auto-checkpoint: %w", err)
+				}
+				kind = "base"
+			}
+			cur, curSealed = cp, true
+			res.Checkpoints++
+			res.LastCheckpoint = cp
+			observe(kind, nbytes, cfg.now().Sub(start))
+			return nil
+		}
+		d, err := net.CheckpointDelta(chain.ParentHash())
 		if err != nil {
 			return fmt.Errorf("stab: auto-checkpoint: %w", err)
 		}
-		if cfg.CheckpointPath != "" {
-			if err := WriteCheckpointFile(cfg.CheckpointPath, cp); err != nil {
-				return fmt.Errorf("stab: auto-checkpoint: %w", err)
-			}
+		nbytes, err := chain.AppendDelta(d)
+		if err != nil {
+			return fmt.Errorf("stab: auto-checkpoint: %w", err)
 		}
+		if err := beep.ApplyDelta(cur, d); err != nil {
+			return fmt.Errorf("stab: auto-checkpoint: patch in-memory tip: %w", err)
+		}
+		curSealed = false
 		res.Checkpoints++
-		res.LastCheckpoint = cp
+		res.LastCheckpoint = cur
+		observe("delta", nbytes, cfg.now().Sub(start))
 		return nil
 	}
 
@@ -274,6 +338,7 @@ func (s *Supervisor) Run() (*SupervisorResult, error) {
 	}
 
 	finish := func() (*SupervisorResult, error) {
+		sealLast()
 		if err := probe.Refresh(net); err != nil {
 			return nil, err
 		}
@@ -300,7 +365,7 @@ func (s *Supervisor) Run() (*SupervisorResult, error) {
 	}
 
 	if cfg.FixedRounds > 0 {
-		return s.runFixed(net, res, &probe, checkpoint, canceled)
+		return s.runFixed(net, res, &probe, checkpoint, canceled, sealLast)
 	}
 
 	// A resumed or already-legal configuration costs zero rounds.
@@ -373,7 +438,7 @@ func (s *Supervisor) Run() (*SupervisorResult, error) {
 // reports whether the final configuration happens to be legal; MIS is
 // populated only then.
 func (s *Supervisor) runFixed(net *beep.Network, res *SupervisorResult, probe *core.State,
-	checkpoint func() error, canceled func() error) (*SupervisorResult, error) {
+	checkpoint func() error, canceled func() error, sealLast func()) (*SupervisorResult, error) {
 	cfg := s.cfg
 	res.Attempts = 1
 	start := cfg.now()
@@ -398,6 +463,7 @@ func (s *Supervisor) runFixed(net *beep.Network, res *SupervisorResult, probe *c
 				ErrDeadline, net.Round(), cfg.FixedRounds, net.Graph().Name())
 		}
 	}
+	sealLast()
 	if err := probe.Refresh(net); err != nil {
 		return nil, fmt.Errorf("stab: %w", err)
 	}

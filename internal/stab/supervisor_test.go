@@ -544,3 +544,120 @@ func TestRetryBackoffValidation(t *testing.T) {
 		t.Fatal("negative MaxRetryBackoff accepted")
 	}
 }
+
+// TestSupervisorChainCheckpoints drives the file-backed base + delta
+// chain end to end through the supervisor: the chain file must
+// reproduce the in-memory tip bit-exactly, a stabilized resumed run
+// must checkpoint via deltas (not fresh bases), and the chain-assembled
+// state must equal an uninterrupted in-memory run's.
+func TestSupervisorChainCheckpoints(t *testing.T) {
+	g := graph.GNPAvgDegree(300, 6, rng.New(4))
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+
+	var kinds []string
+	obs := func(kind string, bytes int, d time.Duration) {
+		kinds = append(kinds, kind)
+		if kind != "full" && bytes <= 0 {
+			t.Errorf("%s checkpoint reported %d bytes written", kind, bytes)
+		}
+	}
+	sup, err := NewSupervisor(SupervisorConfig{
+		Graph: g, Protocol: testProto(), Seed: 9, Engine: beep.Flat,
+		CheckpointEvery: 1, CheckpointPath: path, CheckpointObserver: obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sup.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoints == 0 || res.LastCheckpoint == nil {
+		t.Fatal("no checkpoints taken")
+	}
+	if len(kinds) != res.Checkpoints || kinds[0] != "base" {
+		t.Fatalf("observer saw %v for %d checkpoints", kinds, res.Checkpoints)
+	}
+	if err := res.LastCheckpoint.Validate(); err != nil {
+		t.Fatalf("LastCheckpoint not sealed at finish: %v", err)
+	}
+	// The chain on disk must assemble to the exact in-memory tip.
+	cp, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Hash != res.LastCheckpoint.Hash || cp.Round != res.Rounds {
+		t.Fatalf("chain file (round %d hash %#x) != in-memory tip (round %d hash %#x)",
+			cp.Round, cp.Hash, res.Rounds, res.LastCheckpoint.Hash)
+	}
+
+	// Resume the stabilized execution for 40 fixed rounds: after the
+	// forced post-restore base, the quiescent rounds must checkpoint as
+	// deltas.
+	kinds = nil
+	path2 := filepath.Join(dir, "resumed.ckpt")
+	target := res.Rounds + 40
+	sup2, err := NewSupervisor(SupervisorConfig{
+		Graph: g, Protocol: testProto(), Seed: 9, Engine: beep.Flat,
+		Resume: cp, FixedRounds: target,
+		CheckpointEvery: 1, CheckpointPath: path2, CheckpointObserver: obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sup2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Rounds != target || !res2.Resumed {
+		t.Fatalf("resumed run ended at round %d (resumed=%v), want %d", res2.Rounds, res2.Resumed, target)
+	}
+	if kinds[0] != "base" {
+		t.Fatalf("post-restore checkpoint kind %q, want base", kinds[0])
+	}
+	deltas := 0
+	for _, k := range kinds[1:] {
+		if k == "delta" {
+			deltas++
+		}
+	}
+	if deltas == 0 {
+		t.Fatalf("stabilized resumed run wrote no delta checkpoints: %v", kinds)
+	}
+	if err := res2.LastCheckpoint.Validate(); err != nil {
+		t.Fatalf("delta-patched tip not resealed: %v", err)
+	}
+	cp2, err := ReadCheckpointFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Hash != res2.LastCheckpoint.Hash {
+		t.Fatalf("assembled chain hash %#x != in-memory tip %#x", cp2.Hash, res2.LastCheckpoint.Hash)
+	}
+
+	// Control: the same resumed run with in-memory (file-less) full
+	// checkpoints must land on the identical state.
+	kinds = nil
+	sup3, err := NewSupervisor(SupervisorConfig{
+		Graph: g, Protocol: testProto(), Seed: 9, Engine: beep.Flat,
+		Resume: cp, FixedRounds: target,
+		CheckpointEvery: 1, CheckpointObserver: obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := sup3.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range kinds {
+		if k != "full" {
+			t.Fatalf("file-less run observed kind %q", k)
+		}
+	}
+	if res3.LastCheckpoint.Hash != cp2.Hash {
+		t.Fatalf("chain-assembled state %#x != uninterrupted in-memory state %#x",
+			cp2.Hash, res3.LastCheckpoint.Hash)
+	}
+}

@@ -13,9 +13,11 @@
 # behaves the same way.
 set -euo pipefail
 
-BEEPD=$(mktemp -d)/beepd
+BIN=$(mktemp -d)
+BEEPD=$BIN/beepd
 DATA=$(mktemp -d)
 go build -o "$BEEPD" ./cmd/beepd
+go build -o "$BIN/beepmis" ./cmd/beepmis # for -inspect-checkpoint
 
 json_field() { # json_field FIELD  (reads object on stdin)
     python3 -c 'import json,sys; print(json.load(sys.stdin)[sys.argv[1]])' "$1"
@@ -41,6 +43,19 @@ JOB=$(curl -sf -X POST "http://$ADDR/v1/jobs" \
 echo "submitted $JOB"
 
 sleep 1 # mid-run: ~900 paced rounds take ~2s
+
+# Round-trip-validate the job's checkpoint through the chain reader
+# while the run is still alive, before the kill: the file the recovery
+# will read must already be a loadable chain. (Writes are atomic
+# renames, so reading beside the running daemon is safe.)
+CKPT=$DATA/jobs/$JOB/checkpoint.ck
+for _ in $(seq 100); do
+    [ -s "$CKPT" ] && break
+    sleep 0.05
+done
+"$BIN/beepmis" -inspect-checkpoint "$CKPT"
+echo "checkpoint chain validates pre-kill"
+
 kill -9 "$PID"
 wait "$PID" || true
 

@@ -31,16 +31,24 @@ REF=$(result_line "$BIN/ref.out" | sed 's/ (verified).*//')
 
 echo "== distributed, 3 worker processes =="
 "$BIN/beepmis" -family "$FAMILY" -alg "$ALG" -seed "$SEED" \
-    -distributed -partitions 3 -worker-bin "$BIN/beepworker" | tee "$BIN/dist.out"
+    -distributed -partitions 3 -worker-bin "$BIN/beepworker" \
+    -checkpoint "$BIN/match.ckpt" -checkpoint-every 8 | tee "$BIN/dist.out"
 DIST=$(result_line "$BIN/dist.out" | sed 's/ (verified).*//')
 [ "$DIST" = "$REF" ] || { echo "distributed result diverged: '$DIST' != '$REF'" >&2; exit 1; }
 echo "distributed result matches single-process reference"
+
+# Round-trip the persisted checkpoint through the chain reader (base
+# integrity hash plus every delta link) before trusting the format for
+# the kill drill below.
+"$BIN/beepmis" -inspect-checkpoint "$BIN/match.ckpt"
+echo "persisted checkpoint chain validates"
 
 echo "== chaos: SIGKILL a worker mid-run =="
 # Paced rounds keep the run alive long enough to land the kill; the
 # checkpoint cadence gives the coordinator something to rewind to.
 "$BIN/beepmis" -family "$FAMILY" -alg "$ALG" -seed "$SEED" \
     -distributed -partitions 3 -worker-bin "$BIN/beepworker" \
+    -checkpoint "$BIN/chaos.ckpt" -checkpoint-every 4 \
     -dist-round-delay 50ms > "$BIN/chaos.out" &
 COORD=$!
 
@@ -63,4 +71,9 @@ CHAOS=$(result_line "$BIN/chaos.out" | sed 's/ (verified).*//')
 [ "$CHAOS" = "$REF" ] || { echo "post-crash result diverged: '$CHAOS' != '$REF'" >&2; exit 1; }
 grep -q 'respawns=[1-9]' "$BIN/chaos.out" || { echo "kill landed but no respawn was recorded" >&2; exit 1; }
 echo "worker crash recovered, result identical"
+
+# The chain the chaos run left behind must still load cleanly: every
+# link hash-checked, torn tails tolerated, breaks fatal.
+"$BIN/beepmis" -inspect-checkpoint "$BIN/chaos.ckpt"
+echo "post-crash checkpoint chain validates"
 echo "dist smoke OK"
